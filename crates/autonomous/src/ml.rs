@@ -1,0 +1,189 @@
+//! The in-DB machine learning component.
+//!
+//! "The In-DB machine learning component provides functionalities of
+//! analyzing the stored information using machine-learning techniques"
+//! (§IV-A). Two workhorses over information-store data: ordinary
+//! least-squares linear regression (predicting response time from load —
+//! what the workload manager's SLA planning needs) and a kNN classifier
+//! (labelling workload types from feature vectors).
+
+use hdm_common::{HdmError, Result};
+
+/// Simple ordinary-least-squares linear regression `y = a + b·x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearRegression {
+    pub intercept: f64,
+    pub slope: f64,
+    /// Coefficient of determination on the training data.
+    pub r2: f64,
+}
+
+impl LinearRegression {
+    /// Fit from `(x, y)` pairs.
+    pub fn fit(data: &[(f64, f64)]) -> Result<Self> {
+        if data.len() < 2 {
+            return Err(HdmError::Execution(
+                "linear regression needs at least 2 points".into(),
+            ));
+        }
+        let n = data.len() as f64;
+        let sx: f64 = data.iter().map(|(x, _)| x).sum();
+        let sy: f64 = data.iter().map(|(_, y)| y).sum();
+        let sxx: f64 = data.iter().map(|(x, _)| x * x).sum();
+        let sxy: f64 = data.iter().map(|(x, y)| x * y).sum();
+        let denom = n * sxx - sx * sx;
+        if denom.abs() < 1e-12 {
+            return Err(HdmError::Execution(
+                "linear regression: x has no variance".into(),
+            ));
+        }
+        let slope = (n * sxy - sx * sy) / denom;
+        let intercept = (sy - slope * sx) / n;
+        let mean_y = sy / n;
+        let ss_tot: f64 = data.iter().map(|(_, y)| (y - mean_y).powi(2)).sum();
+        let ss_res: f64 = data
+            .iter()
+            .map(|(x, y)| (y - (intercept + slope * x)).powi(2))
+            .sum();
+        let r2 = if ss_tot < 1e-12 {
+            1.0
+        } else {
+            1.0 - ss_res / ss_tot
+        };
+        Ok(Self {
+            intercept,
+            slope,
+            r2,
+        })
+    }
+
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+
+    /// Solve `predict(x) = y` for x (capacity planning: "what concurrency
+    /// keeps response under the SLA target?").
+    pub fn invert(&self, y: f64) -> Option<f64> {
+        (self.slope.abs() > 1e-12).then(|| (y - self.intercept) / self.slope)
+    }
+}
+
+/// A k-nearest-neighbour classifier over f64 feature vectors.
+#[derive(Debug, Clone, Default)]
+pub struct KnnClassifier {
+    points: Vec<(Vec<f64>, String)>,
+}
+
+impl KnnClassifier {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn train(&mut self, features: Vec<f64>, label: &str) {
+        self.points.push((features, label.to_string()));
+    }
+
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Majority label among the `k` nearest training points.
+    pub fn classify(&self, features: &[f64], k: usize) -> Result<String> {
+        if self.points.is_empty() {
+            return Err(HdmError::Execution("knn: no training data".into()));
+        }
+        let mut dists: Vec<(f64, &str)> = self
+            .points
+            .iter()
+            .map(|(p, label)| {
+                let d: f64 = p
+                    .iter()
+                    .zip(features)
+                    .map(|(a, b)| (a - b).powi(2))
+                    .sum::<f64>()
+                    + (p.len() as f64 - features.len() as f64).powi(2) * 1e6;
+                (d, label.as_str())
+            })
+            .collect();
+        dists.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut votes: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+        for (_, label) in dists.iter().take(k.max(1)) {
+            *votes.entry(label).or_insert(0) += 1;
+        }
+        let mut best: Vec<(&str, usize)> = votes.into_iter().collect();
+        best.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        Ok(best[0].0.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_exact_line() {
+        let data: Vec<(f64, f64)> = (0..20).map(|i| (i as f64, 3.0 + 2.0 * i as f64)).collect();
+        let m = LinearRegression::fit(&data).unwrap();
+        assert!((m.intercept - 3.0).abs() < 1e-9);
+        assert!((m.slope - 2.0).abs() < 1e-9);
+        assert!((m.r2 - 1.0).abs() < 1e-9);
+        assert!((m.predict(100.0) - 203.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fits_noisy_latency_curve() {
+        use hdm_common::SplitMix64;
+        let mut rng = SplitMix64::new(5);
+        // resp = 20 + 8*concurrency + noise.
+        let data: Vec<(f64, f64)> = (1..200)
+            .map(|c| {
+                let noise = (rng.next_f64() - 0.5) * 10.0;
+                (c as f64, 20.0 + 8.0 * c as f64 + noise)
+            })
+            .collect();
+        let m = LinearRegression::fit(&data).unwrap();
+        assert!((m.slope - 8.0).abs() < 0.2, "slope {}", m.slope);
+        assert!(m.r2 > 0.99);
+        // SLA planning: response <= 100ms → concurrency <= ~10.
+        let cap = m.invert(100.0).unwrap();
+        assert!((9.0..11.0).contains(&cap), "cap {cap}");
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(LinearRegression::fit(&[(1.0, 1.0)]).is_err());
+        assert!(LinearRegression::fit(&[(2.0, 1.0), (2.0, 5.0)]).is_err());
+    }
+
+    #[test]
+    fn knn_separates_workload_types() {
+        // Features: (read fraction, mean rows touched).
+        let mut knn = KnnClassifier::new();
+        for i in 0..10 {
+            let jitter = i as f64 * 0.01;
+            knn.train(vec![0.95 + jitter * 0.001, 1e6], "olap");
+            knn.train(vec![0.5 + jitter * 0.001, 10.0], "oltp");
+        }
+        assert_eq!(knn.classify(&[0.9, 8e5], 3).unwrap(), "olap");
+        assert_eq!(knn.classify(&[0.55, 20.0], 3).unwrap(), "oltp");
+    }
+
+    #[test]
+    fn knn_majority_vote_with_ties_is_deterministic() {
+        let mut knn = KnnClassifier::new();
+        knn.train(vec![0.0], "a");
+        knn.train(vec![2.0], "b");
+        // Query at 1.0: one vote each at k=2 → lexicographically first wins.
+        assert_eq!(knn.classify(&[1.0], 2).unwrap(), "a");
+    }
+
+    #[test]
+    fn knn_empty_errors() {
+        let knn = KnnClassifier::new();
+        assert!(knn.classify(&[1.0], 1).is_err());
+    }
+}

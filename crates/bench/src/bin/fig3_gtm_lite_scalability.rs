@@ -1,0 +1,127 @@
+//! Reproduces **Fig 3: GTM-Lite scalability** (paper §II-A).
+//!
+//! "We deployed the database on various cluster sizes from 1 node, 2 nodes,
+//! 4 nodes up to 8 nodes. We modified the TPC-C benchmark to issue 100%
+//! single-shard (SS) or 90% single-shard transactions (MS). GTM-Lite
+//! achieved higher throughput and scaled out much better than baseline."
+//!
+//! Usage:
+//!   fig3_gtm_lite_scalability [--horizon-ms N] [--clients N]
+//!                             [--sweep-ms-fraction] [--demo-anomalies]
+
+use hdm_bench::{arg_flag, arg_value, render_table};
+use hdm_cluster::anomaly::{run_anomaly1, run_anomaly2};
+use hdm_cluster::{MergePolicy, Protocol, SimConfig, WorkloadMix};
+use hdm_common::SimDuration;
+
+fn run(nodes: usize, protocol: Protocol, mix: WorkloadMix, horizon_ms: u64, clients: usize) -> hdm_cluster::SimReport {
+    let mut cfg = SimConfig::new(nodes, protocol, mix);
+    cfg.horizon = SimDuration::from_millis(horizon_ms);
+    cfg.clients_per_node = clients;
+    hdm_cluster::sim::run_sim(cfg)
+}
+
+fn main() {
+    let horizon_ms: u64 = arg_value("--horizon-ms")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(250);
+    let clients: usize = arg_value("--clients")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(48);
+
+    println!("=== Fig 3: GTM-Lite scalability (virtual-time simulation) ===");
+    println!(
+        "horizon {horizon_ms}ms virtual, {clients} closed-loop clients/node, \
+         TPC-C-style short transactions\n"
+    );
+
+    let mut rows = vec![vec![
+        "nodes".to_string(),
+        "GTM-Lite SS (tps)".to_string(),
+        "GTM-Lite MS (tps)".to_string(),
+        "Baseline SS (tps)".to_string(),
+        "Baseline MS (tps)".to_string(),
+        "base GTM util".to_string(),
+    ]];
+    for &nodes in &[1usize, 2, 4, 8] {
+        let lite_ss = run(nodes, Protocol::GtmLite, WorkloadMix::ss(), horizon_ms, clients);
+        let lite_ms = run(nodes, Protocol::GtmLite, WorkloadMix::ms(), horizon_ms, clients);
+        let base_ss = run(nodes, Protocol::Baseline, WorkloadMix::ss(), horizon_ms, clients);
+        let base_ms = run(nodes, Protocol::Baseline, WorkloadMix::ms(), horizon_ms, clients);
+        rows.push(vec![
+            nodes.to_string(),
+            format!("{:.0}", lite_ss.throughput_tps),
+            format!("{:.0}", lite_ms.throughput_tps),
+            format!("{:.0}", base_ss.throughput_tps),
+            format!("{:.0}", base_ms.throughput_tps),
+            format!("{:.0}%", base_ss.gtm_utilization * 100.0),
+        ]);
+    }
+    println!("{}", render_table(&rows));
+    println!(
+        "Shape check (paper): GTM-Lite SS scales ~linearly; baseline flattens\n\
+         once the GTM saturates; SS outperforms MS under GTM-Lite.\n"
+    );
+
+    // Protocol detail at 8 nodes.
+    let lite = run(8, Protocol::GtmLite, WorkloadMix::ms(), horizon_ms, clients);
+    println!(
+        "GTM-Lite MS @8 nodes: {} GTM interactions, {} merges, \
+         {} downgrades, {} upgrade-waits, p99 latency {}us",
+        lite.gtm_interactions, lite.merges, lite.downgrades, lite.upgrade_waits,
+        lite.p99_latency_us
+    );
+    let base = run(8, Protocol::Baseline, WorkloadMix::ms(), horizon_ms, clients);
+    println!(
+        "Baseline MS @8 nodes: {} GTM interactions, GTM mean queue wait {:.0}us\n",
+        base.gtm_interactions, base.gtm_mean_wait_us
+    );
+
+    if arg_flag("--sweep-ms-fraction") {
+        println!("=== Ablation: multi-shard fraction sweep @4 nodes (GTM-lite vs baseline) ===");
+        let mut rows = vec![vec![
+            "multi-shard %".to_string(),
+            "GTM-Lite (tps)".to_string(),
+            "Baseline (tps)".to_string(),
+            "lite/base".to_string(),
+        ]];
+        for ms_pct in [0u32, 5, 10, 20, 40, 60, 80, 100] {
+            let mix = WorkloadMix::with_fraction(1.0 - ms_pct as f64 / 100.0);
+            let lite = run(4, Protocol::GtmLite, mix, horizon_ms, clients);
+            let base = run(4, Protocol::Baseline, mix, horizon_ms, clients);
+            rows.push(vec![
+                format!("{ms_pct}%"),
+                format!("{:.0}", lite.throughput_tps),
+                format!("{:.0}", base.throughput_tps),
+                format!("{:.2}x", lite.throughput_tps / base.throughput_tps),
+            ]);
+        }
+        println!("{}", render_table(&rows));
+        println!(
+            "Paper's claim: \"given that there are 10% or less multi-shard\n\
+             transactions in common OLTP workloads, the use of more complicated\n\
+             logic to guarantee consistency-read is justified.\"\n"
+        );
+    }
+
+    if arg_flag("--demo-anomalies") {
+        println!("=== §II-A anomalies: naive merge vs Algorithm 1 ===");
+        let naive1 = run_anomaly1(MergePolicy::Naive).unwrap();
+        let full1 = run_anomaly1(MergePolicy::Full).unwrap();
+        println!(
+            "Anomaly 1 (writer committed at GTM, unconfirmed on DN):\n\
+             naive merge read (a={:?}, b={:?}) consistent={}\n\
+             Algorithm 1 read  (a={:?}, b={:?}) consistent={} (UPGRADE wait)",
+            naive1.a, naive1.b, naive1.consistent, full1.a, full1.b, full1.consistent
+        );
+        let naive2 = run_anomaly2(MergePolicy::Naive).unwrap();
+        let full2 = run_anomaly2(MergePolicy::Full).unwrap();
+        println!(
+            "Anomaly 2 (Fig 2, T2 sees T3 without T1):\n\
+             naive merge: a versions {:?}, b={:?} consistent={}\n\
+             Algorithm 1: a versions {:?}, b={:?} consistent={} (DOWNGRADE)",
+            naive2.a_versions, naive2.b, naive2.consistent,
+            full2.a_versions, full2.b, full2.consistent
+        );
+    }
+}

@@ -1,0 +1,728 @@
+//! The functional (untimed) sharded OLTP engine.
+//!
+//! Implements both transaction-management protocols of §II-A over the same
+//! storage nodes:
+//!
+//! * **Baseline** — "applications interact with a sharded OLTP system by
+//!   sending queries … A global transaction manager (GTM) generates
+//!   ascending global transaction ID (XID) for transactions and dispatches
+//!   snapshots". *Every* transaction — single- or multi-shard — takes a
+//!   global XID and a global snapshot, and reports its commit to the GTM.
+//!   Tuples are stamped with global XIDs; DNs judge visibility against the
+//!   GTM's commit log.
+//! * **GTM-lite** — single-shard transactions never talk to the GTM: "CN
+//!   sends transaction to DN, then DN uses local XID and local snapshot to
+//!   execute and commit transaction locally." Multi-shard transactions take
+//!   a GXID + global snapshot, obtain a local XID + local snapshot per DN,
+//!   and judge visibility through the merged snapshot of Algorithm 1,
+//!   committing via 2PC (GTM first, then DNs — the Anomaly-1 ordering).
+//!
+//! The engine exposes both the one-call [`Cluster::commit`] and the split
+//! multi-shard commit steps ([`Cluster::multi_prepare`] /
+//! [`Cluster::multi_commit_at_gtm`] / [`Cluster::multi_finish`]) so tests
+//! can stand inside the commit window and reproduce the paper's anomalies.
+//! [`MergePolicy::Naive`] disables UPGRADE/DOWNGRADE to *exhibit* the
+//! anomalies; [`MergePolicy::Full`] is Algorithm 1.
+
+use crate::node::DataNode;
+use crate::shard::ShardMap;
+use hdm_common::{HdmError, Result, ShardId, Xid};
+use hdm_txn::{
+    merge_with_manager, Decision, Gtm, Snapshot, SnapshotVisibility, TwoPcCoordinator,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Which transaction-management protocol the cluster runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// Centralized: every transaction interacts with the GTM.
+    Baseline,
+    /// GTM-lite: only multi-shard transactions interact with the GTM.
+    GtmLite,
+}
+
+/// How multi-shard readers combine global and local snapshots (GTM-lite).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergePolicy {
+    /// Algorithm 1 with UPGRADE and DOWNGRADE.
+    Full,
+    /// Union of active sets only (lines 1–4). Exhibits Anomalies 1 and 2;
+    /// exists for tests and the merge-overhead ablation.
+    Naive,
+}
+
+/// Cluster construction parameters.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    pub shards: usize,
+    pub protocol: Protocol,
+    pub merge_policy: MergePolicy,
+    /// Prune each DN's LCO to this many entries after multi-shard commits
+    /// (0 = never prune; scripted tests use 0).
+    pub lco_prune_horizon: usize,
+}
+
+impl ClusterConfig {
+    pub fn baseline(shards: usize) -> Self {
+        Self {
+            shards,
+            protocol: Protocol::Baseline,
+            merge_policy: MergePolicy::Full,
+            lco_prune_horizon: 0,
+        }
+    }
+
+    pub fn gtm_lite(shards: usize) -> Self {
+        Self {
+            shards,
+            protocol: Protocol::GtmLite,
+            merge_policy: MergePolicy::Full,
+            lco_prune_horizon: 0,
+        }
+    }
+}
+
+/// Observable protocol activity, reported by Fig 3's harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterCounters {
+    /// Messages that had to visit the GTM (the baseline's bottleneck).
+    pub gtm_interactions: u64,
+    pub single_shard_commits: u64,
+    pub multi_shard_commits: u64,
+    pub aborts: u64,
+    /// Snapshot merges performed (multi-shard statements under GTM-lite).
+    pub merges: u64,
+    /// UPGRADE wait-for-commit events (Anomaly-1 repairs).
+    pub upgrade_waits: u64,
+    /// Local commits DOWNGRADEd in some reader's merged view.
+    pub downgrades: u64,
+}
+
+/// One leg of a multi-shard GTM-lite transaction on a particular DN.
+#[derive(Debug, Clone)]
+struct Leg {
+    xid: Xid,
+    merged: Snapshot,
+}
+
+#[derive(Debug, Clone)]
+enum TxnKind {
+    Baseline {
+        gxid: Xid,
+        gsnap: Snapshot,
+        touched: BTreeSet<u64>,
+    },
+    LiteSingle {
+        shard: ShardId,
+        xid: Xid,
+        snap: Snapshot,
+    },
+    LiteMulti {
+        gxid: Xid,
+        gsnap: Snapshot,
+        legs: BTreeMap<u64, Leg>,
+    },
+}
+
+/// An open transaction handle.
+#[derive(Debug, Clone)]
+pub struct Txn {
+    kind: TxnKind,
+}
+
+impl Txn {
+    /// The global XID, if this transaction has one.
+    pub fn gxid(&self) -> Option<Xid> {
+        match &self.kind {
+            TxnKind::Baseline { gxid, .. } | TxnKind::LiteMulti { gxid, .. } => Some(*gxid),
+            TxnKind::LiteSingle { .. } => None,
+        }
+    }
+
+    /// Is this a single-shard fast-path transaction?
+    pub fn is_single_shard(&self) -> bool {
+        matches!(self.kind, TxnKind::LiteSingle { .. })
+    }
+}
+
+/// The sharded OLTP cluster: one GTM, N data nodes.
+#[derive(Debug)]
+pub struct Cluster {
+    cfg: ClusterConfig,
+    map: ShardMap,
+    gtm: Gtm,
+    nodes: Vec<DataNode>,
+    counters: ClusterCounters,
+}
+
+impl Cluster {
+    pub fn new(cfg: ClusterConfig) -> Self {
+        let map = ShardMap::new(cfg.shards);
+        let nodes = map.all().map(DataNode::new).collect();
+        Self {
+            cfg,
+            map,
+            gtm: Gtm::new(),
+            nodes,
+            counters: ClusterCounters::default(),
+        }
+    }
+
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    pub fn counters(&self) -> ClusterCounters {
+        self.counters
+    }
+
+    pub fn gtm(&self) -> &Gtm {
+        &self.gtm
+    }
+
+    pub fn node(&self, shard: ShardId) -> &DataNode {
+        &self.nodes[shard.raw() as usize]
+    }
+
+    /// Begin a transaction the application knows is single-sharded (keys
+    /// share the sharding prefix `prefix`).
+    pub fn begin_single(&mut self, prefix: u32) -> Txn {
+        let shard = self.map.shard_of_prefix(prefix);
+        match self.cfg.protocol {
+            Protocol::Baseline => self.begin_baseline(),
+            Protocol::GtmLite => {
+                let node = &mut self.nodes[shard.raw() as usize];
+                let xid = node.mgr_mut().begin_local();
+                let snap = node.local_snapshot();
+                Txn {
+                    kind: TxnKind::LiteSingle { shard, xid, snap },
+                }
+            }
+        }
+    }
+
+    /// Begin a transaction that may touch several shards.
+    pub fn begin_multi(&mut self) -> Txn {
+        match self.cfg.protocol {
+            Protocol::Baseline => self.begin_baseline(),
+            Protocol::GtmLite => {
+                let gxid = self.gtm.begin();
+                let gsnap = self.gtm.snapshot();
+                self.counters.gtm_interactions += 2;
+                Txn {
+                    kind: TxnKind::LiteMulti {
+                        gxid,
+                        gsnap,
+                        legs: BTreeMap::new(),
+                    },
+                }
+            }
+        }
+    }
+
+    fn begin_baseline(&mut self) -> Txn {
+        let gxid = self.gtm.begin();
+        let gsnap = self.gtm.snapshot();
+        self.counters.gtm_interactions += 2;
+        Txn {
+            kind: TxnKind::Baseline {
+                gxid,
+                gsnap,
+                touched: BTreeSet::new(),
+            },
+        }
+    }
+
+    /// Read `key` in `txn`.
+    pub fn get(&mut self, txn: &mut Txn, key: i64) -> Result<Option<i64>> {
+        let shard = self.map.shard_of_key(key);
+        match &mut txn.kind {
+            TxnKind::Baseline {
+                gxid,
+                gsnap,
+                touched,
+            } => {
+                touched.insert(shard.raw());
+                let judge = SnapshotVisibility::new(gsnap, self.gtm.clog(), Some(*gxid));
+                self.nodes[shard.raw() as usize].get(&judge, key)
+            }
+            TxnKind::LiteSingle {
+                shard: own_shard,
+                xid,
+                snap,
+            } => {
+                if shard != *own_shard {
+                    return Err(HdmError::TxnState(format!(
+                        "single-shard transaction on {own_shard} touched key {key} on {shard}"
+                    )));
+                }
+                self.nodes[shard.raw() as usize].get_local(snap, Some(*xid), key)
+            }
+            TxnKind::LiteMulti { .. } => {
+                self.ensure_leg(txn, shard)?;
+                let TxnKind::LiteMulti { legs, .. } = &txn.kind else {
+                    unreachable!()
+                };
+                let leg = &legs[&shard.raw()];
+                self.nodes[shard.raw() as usize].get_local(&leg.merged, Some(leg.xid), key)
+            }
+        }
+    }
+
+    /// All visible values for `key` in a GTM-lite multi-shard `txn` — the
+    /// anomaly-observable read: a consistent view returns at most one value,
+    /// the naive merge can return several (paper Fig 2's tuple table).
+    pub fn get_versions(&mut self, txn: &mut Txn, key: i64) -> Result<Vec<i64>> {
+        let shard = self.map.shard_of_key(key);
+        match &txn.kind {
+            TxnKind::LiteMulti { .. } => {
+                self.ensure_leg(txn, shard)?;
+                let TxnKind::LiteMulti { legs, .. } = &txn.kind else {
+                    unreachable!()
+                };
+                let leg = &legs[&shard.raw()];
+                self.nodes[shard.raw() as usize].get_versions_local(
+                    &leg.merged,
+                    Some(leg.xid),
+                    key,
+                )
+            }
+            _ => self.get(txn, key).map(|v| v.into_iter().collect()),
+        }
+    }
+
+    /// Upsert `key = val` in `txn`.
+    pub fn put(&mut self, txn: &mut Txn, key: i64, val: i64) -> Result<()> {
+        let shard = self.map.shard_of_key(key);
+        match &mut txn.kind {
+            TxnKind::Baseline {
+                gxid,
+                gsnap,
+                touched,
+            } => {
+                touched.insert(shard.raw());
+                let judge = SnapshotVisibility::new(gsnap, self.gtm.clog(), Some(*gxid));
+                let gxid = *gxid;
+                self.nodes[shard.raw() as usize].put(&judge, gxid, key, val)
+            }
+            TxnKind::LiteSingle {
+                shard: own_shard,
+                xid,
+                snap,
+            } => {
+                if shard != *own_shard {
+                    return Err(HdmError::TxnState(format!(
+                        "single-shard transaction on {own_shard} touched key {key} on {shard}"
+                    )));
+                }
+                let (xid, snap) = (*xid, snap.clone());
+                self.nodes[shard.raw() as usize].put_local(&snap, Some(xid), xid, key, val)
+            }
+            TxnKind::LiteMulti { .. } => {
+                self.ensure_leg(txn, shard)?;
+                let TxnKind::LiteMulti { legs, .. } = &txn.kind else {
+                    unreachable!()
+                };
+                let leg = legs[&shard.raw()].clone();
+                self.nodes[shard.raw() as usize].put_local(
+                    &leg.merged,
+                    Some(leg.xid),
+                    leg.xid,
+                    key,
+                    val,
+                )
+            }
+        }
+    }
+
+    /// First touch of `shard` by a multi-shard GTM-lite transaction: begin
+    /// the local leg, take the local snapshot, and run Algorithm 1 (or the
+    /// naive union under [`MergePolicy::Naive`]). UPGRADE waits are resolved
+    /// by finishing the pending commits and re-merging.
+    fn ensure_leg(&mut self, txn: &mut Txn, shard: ShardId) -> Result<()> {
+        let TxnKind::LiteMulti { gxid, gsnap, legs } = &mut txn.kind else {
+            return Err(HdmError::TxnState("ensure_leg on non-multi txn".into()));
+        };
+        if legs.contains_key(&shard.raw()) {
+            return Ok(());
+        }
+        let node = &mut self.nodes[shard.raw() as usize];
+        let xid = node.mgr_mut().begin_global(*gxid);
+
+        let merged = match self.cfg.merge_policy {
+            MergePolicy::Naive => {
+                // Lines 1–4 only: union the active sets, skip both repairs.
+                let local = node.local_snapshot();
+                let mut active = local.active.clone();
+                for g in &gsnap.active {
+                    if let Some(l) = node.mgr().local_of(*g) {
+                        active.insert(l);
+                    }
+                }
+                let mut s = Snapshot {
+                    xmin: local.xmin,
+                    xmax: local.xmax,
+                    active,
+                };
+                s.normalize();
+                self.counters.merges += 1;
+                s
+            }
+            MergePolicy::Full => {
+                let mut rounds = 0;
+                loop {
+                    rounds += 1;
+                    if rounds > 10 {
+                        return Err(HdmError::TxnState(
+                            "UPGRADE did not quiesce after 10 rounds".into(),
+                        ));
+                    }
+                    let local = node.local_snapshot();
+                    let out =
+                        merge_with_manager(gsnap, &local, node.mgr(), |g| self.gtm.is_committed(g));
+                    self.counters.merges += 1;
+                    self.counters.downgrades += out.downgraded.len() as u64;
+                    if out.upgrade_waits.is_empty() {
+                        break out.merged;
+                    }
+                    // The paper's wait-for-commit: the decision is already
+                    // durable at the GTM, so the reader completes the local
+                    // commits instead of blocking.
+                    self.counters.upgrade_waits += out.upgrade_waits.len() as u64;
+                    for w in out.upgrade_waits {
+                        if !node.is_pending_commit(w) {
+                            return Err(HdmError::TxnState(format!(
+                                "UPGRADE wait on {w} which is not pending-commit"
+                            )));
+                        }
+                        node.finish_commit(w)?;
+                    }
+                }
+            }
+        };
+        legs.insert(shard.raw(), Leg { xid, merged });
+        Ok(())
+    }
+
+    /// Commit `txn` (all phases).
+    pub fn commit(&mut self, txn: Txn) -> Result<()> {
+        match txn.kind {
+            TxnKind::Baseline { .. } => self.commit_baseline(txn),
+            TxnKind::LiteSingle { shard, xid, .. } => {
+                let node = &mut self.nodes[shard.raw() as usize];
+                node.mgr_mut().commit(xid)?;
+                node.clear_undo(xid);
+                self.counters.single_shard_commits += 1;
+                Ok(())
+            }
+            TxnKind::LiteMulti { .. } => {
+                self.multi_prepare(&txn)?;
+                self.multi_commit_at_gtm(&txn)?;
+                self.multi_finish(txn)
+            }
+        }
+    }
+
+    fn commit_baseline(&mut self, txn: Txn) -> Result<()> {
+        let TxnKind::Baseline { gxid, touched, .. } = txn.kind else {
+            unreachable!()
+        };
+        // Multi-shard baseline pays 2PC prepare round-trips (counted as DN
+        // work, not GTM work) and then one GTM commit interaction; visibility
+        // flips atomically because all DNs consult the GTM's commit log.
+        self.gtm.commit(gxid)?;
+        self.counters.gtm_interactions += 1;
+        for s in &touched {
+            self.nodes[*s as usize].clear_undo(gxid);
+        }
+        if touched.len() > 1 {
+            self.counters.multi_shard_commits += 1;
+        } else {
+            self.counters.single_shard_commits += 1;
+        }
+        Ok(())
+    }
+
+    /// 2PC phase 1 for a GTM-lite multi-shard transaction: prepare every leg.
+    pub fn multi_prepare(&mut self, txn: &Txn) -> Result<()> {
+        let TxnKind::LiteMulti { legs, .. } = &txn.kind else {
+            return Err(HdmError::TxnState("multi_prepare on non-multi txn".into()));
+        };
+        if legs.is_empty() {
+            return Ok(());
+        }
+        let participants: Vec<ShardId> =
+            legs.keys().map(|&s| ShardId::new(s)).collect();
+        let mut coord = TwoPcCoordinator::new(participants.clone());
+        for (&s, leg) in legs {
+            let vote_yes = self.nodes[s as usize].mgr_mut().prepare(leg.xid).is_ok();
+            if let Some(Decision::Abort) = coord.vote(ShardId::new(s), vote_yes)? {
+                return Err(HdmError::TxnAborted(format!(
+                    "prepare failed on shard {s}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Commit decision at the GTM ("transactions are marked committed in GTM
+    /// first and then on all nodes"). Legs become pending on their DNs; the
+    /// Anomaly-1 window is open until [`Cluster::multi_finish`].
+    pub fn multi_commit_at_gtm(&mut self, txn: &Txn) -> Result<()> {
+        let TxnKind::LiteMulti { gxid, legs, .. } = &txn.kind else {
+            return Err(HdmError::TxnState(
+                "multi_commit_at_gtm on non-multi txn".into(),
+            ));
+        };
+        self.gtm.commit(*gxid)?;
+        self.counters.gtm_interactions += 1;
+        for (&s, leg) in legs {
+            self.nodes[s as usize].mark_pending_commit(leg.xid);
+        }
+        Ok(())
+    }
+
+    /// Deliver the commit confirmations to every leg's DN, closing the
+    /// window. Idempotent per leg (a reader's UPGRADE may have finished some
+    /// legs already).
+    pub fn multi_finish(&mut self, txn: Txn) -> Result<()> {
+        let TxnKind::LiteMulti { legs, .. } = txn.kind else {
+            return Err(HdmError::TxnState("multi_finish on non-multi txn".into()));
+        };
+        for (&s, leg) in &legs {
+            let node = &mut self.nodes[s as usize];
+            node.finish_commit(leg.xid)?;
+            if self.cfg.lco_prune_horizon > 0 {
+                node.mgr_mut().prune_lco(self.cfg.lco_prune_horizon);
+            }
+        }
+        self.counters.multi_shard_commits += 1;
+        Ok(())
+    }
+
+    /// Abort `txn`, rolling back its writes everywhere.
+    pub fn abort(&mut self, txn: Txn) -> Result<()> {
+        self.counters.aborts += 1;
+        match txn.kind {
+            TxnKind::Baseline { gxid, touched, .. } => {
+                for s in &touched {
+                    self.nodes[*s as usize].rollback_writes(gxid)?;
+                }
+                self.gtm.abort(gxid)?;
+                self.counters.gtm_interactions += 1;
+                Ok(())
+            }
+            TxnKind::LiteSingle { shard, xid, .. } => {
+                let node = &mut self.nodes[shard.raw() as usize];
+                node.rollback_writes(xid)?;
+                node.mgr_mut().abort(xid)?;
+                Ok(())
+            }
+            TxnKind::LiteMulti { gxid, legs, .. } => {
+                for (&s, leg) in &legs {
+                    let node = &mut self.nodes[s as usize];
+                    node.rollback_writes(leg.xid)?;
+                    node.mgr_mut().abort(leg.xid)?;
+                }
+                self.gtm.abort(gxid)?;
+                self.counters.gtm_interactions += 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// A consistent snapshot of every shard's visible `(key, value)` pairs
+    /// — the HTAP replica-sync read path ("eliminating the analytic latency
+    /// and data movement across OLAP and OLTP database management systems",
+    /// §II-A: the analytical side reads the transactional state directly).
+    pub fn snapshot_all(&self) -> Vec<(i64, i64)> {
+        let mut out = Vec::new();
+        match self.cfg.protocol {
+            Protocol::Baseline => {
+                let snap = self.gtm.peek_snapshot();
+                for node in &self.nodes {
+                    let judge = SnapshotVisibility::new(&snap, self.gtm.clog(), None);
+                    out.extend(node.snapshot_rows(&judge));
+                }
+            }
+            Protocol::GtmLite => {
+                for node in &self.nodes {
+                    let snap = node.local_snapshot();
+                    let judge = SnapshotVisibility::new(&snap, node.mgr().clog(), None);
+                    out.extend(node.snapshot_rows(&judge));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Convenience for benches/tests: run a read-your-writes transaction
+    /// that bumps `key` by `delta`, committing it. Returns the new value.
+    pub fn bump(&mut self, single_prefix: Option<u32>, key: i64, delta: i64) -> Result<i64> {
+        let mut txn = match single_prefix {
+            Some(p) => self.begin_single(p),
+            None => self.begin_multi(),
+        };
+        let old = match self.get(&mut txn, key) {
+            Ok(v) => v.unwrap_or(0),
+            Err(e) => {
+                self.abort(txn)?;
+                return Err(e);
+            }
+        };
+        let new = old + delta;
+        if let Err(e) = self.put(&mut txn, key, new) {
+            self.abort(txn)?;
+            return Err(e);
+        }
+        self.commit(txn)?;
+        Ok(new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::make_key;
+
+    fn lite(shards: usize) -> Cluster {
+        Cluster::new(ClusterConfig::gtm_lite(shards))
+    }
+
+    fn baseline(shards: usize) -> Cluster {
+        Cluster::new(ClusterConfig::baseline(shards))
+    }
+
+    #[test]
+    fn lite_single_shard_never_touches_gtm() {
+        let mut c = lite(4);
+        for w in 0..8u32 {
+            c.bump(Some(w), make_key(w, 1), 5).unwrap();
+        }
+        assert_eq!(c.counters().gtm_interactions, 0);
+        assert_eq!(c.counters().single_shard_commits, 8);
+        assert_eq!(c.gtm().counters().total(), 0);
+    }
+
+    #[test]
+    fn baseline_always_touches_gtm() {
+        let mut c = baseline(4);
+        for w in 0..8u32 {
+            c.bump(Some(w), make_key(w, 1), 5).unwrap();
+        }
+        // 2 interactions at begin (+1 at commit) per transaction.
+        assert_eq!(c.counters().gtm_interactions, 8 * 3);
+    }
+
+    #[test]
+    fn lite_multi_shard_reads_own_writes_and_commits() {
+        let mut c = lite(4);
+        let mut t = c.begin_multi();
+        let (k1, k2) = (make_key(0, 1), make_key(1, 1));
+        c.put(&mut t, k1, 10).unwrap();
+        c.put(&mut t, k2, 20).unwrap();
+        assert_eq!(c.get(&mut t, k1).unwrap(), Some(10));
+        c.commit(t).unwrap();
+
+        let mut r = c.begin_multi();
+        assert_eq!(c.get(&mut r, k1).unwrap(), Some(10));
+        assert_eq!(c.get(&mut r, k2).unwrap(), Some(20));
+        c.commit(r).unwrap();
+        // Both the writer and the reader committed as multi-shard.
+        assert_eq!(c.counters().multi_shard_commits, 2);
+    }
+
+    #[test]
+    fn values_survive_protocol_mix_of_readers_and_writers() {
+        let mut c = lite(2);
+        let k = make_key(3, 9);
+        c.bump(Some(3), k, 7).unwrap();
+        c.bump(None, k, 3).unwrap(); // multi-shard writer on same key
+        assert_eq!(c.bump(Some(3), k, 0).unwrap(), 10);
+    }
+
+    #[test]
+    fn abort_rolls_back_across_shards() {
+        let mut c = lite(4);
+        let (k1, k2) = (make_key(0, 1), make_key(1, 1));
+        c.bump(None, k1, 1).unwrap();
+        c.bump(None, k2, 2).unwrap();
+
+        let mut t = c.begin_multi();
+        c.put(&mut t, k1, 100).unwrap();
+        c.put(&mut t, k2, 200).unwrap();
+        c.abort(t).unwrap();
+
+        let mut r = c.begin_multi();
+        assert_eq!(c.get(&mut r, k1).unwrap(), Some(1));
+        assert_eq!(c.get(&mut r, k2).unwrap(), Some(2));
+        c.commit(r).unwrap();
+    }
+
+    #[test]
+    fn single_shard_txn_rejects_foreign_keys() {
+        let mut c = lite(4);
+        // Find two prefixes on different shards.
+        let (a, b) = {
+            let m = c.shard_map();
+            let mut found = (0u32, 0u32);
+            'outer: for x in 0..16 {
+                for y in 0..16 {
+                    if m.shard_of_prefix(x) != m.shard_of_prefix(y) {
+                        found = (x, y);
+                        break 'outer;
+                    }
+                }
+            }
+            found
+        };
+        let mut t = c.begin_single(a);
+        let err = c.get(&mut t, make_key(b, 0)).unwrap_err();
+        assert_eq!(err.class(), "txn_state");
+    }
+
+    #[test]
+    fn baseline_multi_shard_is_atomic() {
+        let mut c = baseline(4);
+        let (k1, k2) = (make_key(0, 1), make_key(1, 1));
+        let mut t = c.begin_multi();
+        c.put(&mut t, k1, 5).unwrap();
+        c.put(&mut t, k2, 6).unwrap();
+        c.commit(t).unwrap();
+        let mut r = c.begin_multi();
+        assert_eq!(c.get(&mut r, k1).unwrap(), Some(5));
+        assert_eq!(c.get(&mut r, k2).unwrap(), Some(6));
+        c.commit(r).unwrap();
+    }
+
+    #[test]
+    fn write_write_conflict_aborts_loser() {
+        let mut c = lite(1);
+        let k = make_key(0, 1);
+        c.bump(Some(0), k, 1).unwrap();
+        let mut t1 = c.begin_single(0);
+        let mut t2 = c.begin_single(0);
+        c.put(&mut t1, k, 10).unwrap();
+        let err = c.put(&mut t2, k, 20).unwrap_err();
+        assert_eq!(err.class(), "txn_aborted");
+        c.abort(t2).unwrap();
+        c.commit(t1).unwrap();
+        assert_eq!(c.bump(Some(0), k, 0).unwrap(), 10);
+    }
+
+    #[test]
+    fn lco_pruning_keeps_merges_bounded() {
+        let mut cfg = ClusterConfig::gtm_lite(2);
+        cfg.lco_prune_horizon = 16;
+        let mut c = Cluster::new(cfg);
+        for i in 0..100 {
+            c.bump(None, make_key(0, i), 1).unwrap();
+        }
+        assert!(c.node(ShardId::new(0)).mgr().lco().len() <= 16 + 1);
+    }
+}

@@ -1,0 +1,26 @@
+//! # hdm-cluster
+//!
+//! The sharded OLTP cluster of §II-A: coordinator-routed transactions over
+//! data nodes with either the **baseline** centralized-GTM protocol or
+//! **GTM-lite**.
+//!
+//! * [`shard`] — application sharding (key prefix → shard placement).
+//! * [`node`] — a data node: MVCC KV table + local transaction manager +
+//!   pending-commit window.
+//! * [`engine`] — the functional engine implementing both protocols with a
+//!   split multi-shard commit for anomaly scripting.
+//! * [`anomaly`] — scripted reproductions of the paper's Anomaly 1 and
+//!   Anomaly 2 (Fig 2), runnable under the naive and full merge policies.
+//! * [`sim`] — the timed Fig 3 experiment: a closed-loop TPC-C-style driver
+//!   over the discrete-event kernel, reporting throughput per cluster size.
+
+pub mod anomaly;
+pub mod engine;
+pub mod node;
+pub mod shard;
+pub mod sim;
+
+pub use engine::{Cluster, ClusterConfig, ClusterCounters, MergePolicy, Protocol, Txn};
+pub use node::DataNode;
+pub use shard::{key_local, key_prefix, make_key, ShardMap};
+pub use sim::{SimConfig, SimReport, WorkloadMix};

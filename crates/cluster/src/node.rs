@@ -1,0 +1,403 @@
+//! A data node: one shard's storage plus its local transaction machinery.
+//!
+//! The node stores a transactional key→value table (the OLTP surface Fig 3
+//! exercises), tracks per-transaction undo information for aborts, and keeps
+//! the "pending commit" set that UPGRADE waits resolve against: a multi-shard
+//! transaction that is decided-commit at the GTM but whose confirmation has
+//! not yet been applied here can be *finished* on demand by a reader.
+
+use hdm_common::{row, Datum, HdmError, Result, ShardId, Xid};
+use hdm_storage::heap::TupleId;
+use hdm_storage::mvcc::Visibility;
+use hdm_storage::{Table, TableStats};
+use hdm_txn::{LocalTxnManager, Snapshot, SnapshotVisibility};
+use std::collections::HashMap;
+
+/// One undoable write.
+#[derive(Debug, Clone, Copy)]
+enum UndoOp {
+    /// We inserted this version; abort neutralizes it.
+    Insert(TupleId),
+    /// We stamped this version dead; abort clears the stamp.
+    Delete(TupleId),
+}
+
+/// A data node holding one shard.
+#[derive(Debug)]
+pub struct DataNode {
+    id: ShardId,
+    mgr: LocalTxnManager,
+    table: Table,
+    /// Undo log per writing XID (local XID under GTM-lite, global XID under
+    /// the baseline protocol — the node is agnostic).
+    undo: HashMap<u64, Vec<UndoOp>>,
+    /// Local XIDs prepared here whose global decision is commit, awaiting
+    /// the confirmation message. Readers' UPGRADE may finish them early.
+    pending_commit: HashMap<u64, ()>,
+}
+
+impl DataNode {
+    pub fn new(id: ShardId) -> Self {
+        let mut table = Table::new(
+            format!("kv@{id}"),
+            hdm_common::Schema::from_pairs(&[
+                ("k", hdm_common::DataType::Int),
+                ("v", hdm_common::DataType::Int),
+            ]),
+        );
+        table.create_index(vec![0]).expect("static index def");
+        Self {
+            id,
+            mgr: LocalTxnManager::new(),
+            table,
+            undo: HashMap::new(),
+            pending_commit: HashMap::new(),
+        }
+    }
+
+    pub fn id(&self) -> ShardId {
+        self.id
+    }
+
+    pub fn mgr(&self) -> &LocalTxnManager {
+        &self.mgr
+    }
+
+    pub fn mgr_mut(&mut self) -> &mut LocalTxnManager {
+        &mut self.mgr
+    }
+
+    pub fn stats(&self) -> Option<&TableStats> {
+        self.table.stats()
+    }
+
+    /// Read `key` under the caller's visibility judge.
+    pub fn get<V: Visibility + ?Sized>(&self, judge: &V, key: i64) -> Result<Option<i64>> {
+        let hits = self.table.probe(0, &vec![Datum::Int(key)], judge)?;
+        match hits.len() {
+            0 => Ok(None),
+            1 => Ok(hits[0].1.get(1).and_then(Datum::as_int)),
+            n => Err(HdmError::Execution(format!(
+                "key {key} resolves to {n} visible versions on {}",
+                self.id
+            ))),
+        }
+    }
+
+    /// Upsert `key = val` as transaction `xid`. The visible old version (if
+    /// any) is judged with `judge`; a write-write conflict aborts.
+    pub fn put<V: Visibility + ?Sized>(
+        &mut self,
+        judge: &V,
+        xid: Xid,
+        key: i64,
+        val: i64,
+    ) -> Result<()> {
+        let old = {
+            let hits = self.table.probe(0, &vec![Datum::Int(key)], judge)?;
+            hits.first().map(|(tid, _)| *tid)
+        };
+        self.apply_put(xid, old, key, val)
+    }
+
+    /// Delete `key` as transaction `xid`. Returns whether a version existed.
+    pub fn del<V: Visibility + ?Sized>(
+        &mut self,
+        judge: &V,
+        xid: Xid,
+        key: i64,
+    ) -> Result<bool> {
+        let old = {
+            let hits = self.table.probe(0, &vec![Datum::Int(key)], judge)?;
+            hits.first().map(|(tid, _)| *tid)
+        };
+        match old {
+            None => Ok(false),
+            Some(tid) => {
+                self.table.delete(xid, tid)?;
+                self.undo.entry(xid.raw()).or_default().push(UndoOp::Delete(tid));
+                Ok(true)
+            }
+        }
+    }
+
+    /// [`Self::get`] judged by this node's *own* snapshot machinery
+    /// (GTM-lite path): `snap` is a local or merged snapshot in this node's
+    /// XID namespace, checked against this node's commit log.
+    pub fn get_local(&self, snap: &Snapshot, own: Option<Xid>, key: i64) -> Result<Option<i64>> {
+        let judge = SnapshotVisibility::new(snap, self.mgr.clog(), own);
+        let hits = self.table.probe(0, &vec![Datum::Int(key)], &judge)?;
+        match hits.len() {
+            0 => Ok(None),
+            1 => Ok(hits[0].1.get(1).and_then(Datum::as_int)),
+            n => Err(HdmError::Execution(format!(
+                "key {key} resolves to {n} visible versions on {}",
+                self.id
+            ))),
+        }
+    }
+
+    /// All visible values for `key` under this node's own snapshot
+    /// machinery. A consistent snapshot yields at most one; an inconsistent
+    /// merged view (the paper's Anomaly 2 tuple table) can yield several —
+    /// this method exists so that scenario is observable.
+    pub fn get_versions_local(
+        &self,
+        snap: &Snapshot,
+        own: Option<Xid>,
+        key: i64,
+    ) -> Result<Vec<i64>> {
+        let judge = SnapshotVisibility::new(snap, self.mgr.clog(), own);
+        let hits = self.table.probe(0, &vec![Datum::Int(key)], &judge)?;
+        Ok(hits
+            .iter()
+            .filter_map(|(_, r)| r.get(1).and_then(Datum::as_int))
+            .collect())
+    }
+
+    /// [`Self::put`] judged by this node's own snapshot machinery.
+    pub fn put_local(
+        &mut self,
+        snap: &Snapshot,
+        own: Option<Xid>,
+        xid: Xid,
+        key: i64,
+        val: i64,
+    ) -> Result<()> {
+        let old = {
+            let judge = SnapshotVisibility::new(snap, self.mgr.clog(), own);
+            self.table
+                .probe(0, &vec![Datum::Int(key)], &judge)?
+                .first()
+                .map(|(tid, _)| *tid)
+        };
+        self.apply_put(xid, old, key, val)
+    }
+
+    /// [`Self::del`] judged by this node's own snapshot machinery.
+    pub fn del_local(
+        &mut self,
+        snap: &Snapshot,
+        own: Option<Xid>,
+        xid: Xid,
+        key: i64,
+    ) -> Result<bool> {
+        let old = {
+            let judge = SnapshotVisibility::new(snap, self.mgr.clog(), own);
+            self.table
+                .probe(0, &vec![Datum::Int(key)], &judge)?
+                .first()
+                .map(|(tid, _)| *tid)
+        };
+        match old {
+            None => Ok(false),
+            Some(tid) => {
+                self.table.delete(xid, tid)?;
+                self.undo.entry(xid.raw()).or_default().push(UndoOp::Delete(tid));
+                Ok(true)
+            }
+        }
+    }
+
+    fn apply_put(&mut self, xid: Xid, old: Option<TupleId>, key: i64, val: i64) -> Result<()> {
+        match old {
+            Some(tid) => {
+                let new_tid = self.table.update(xid, tid, row![key, val])?;
+                let u = self.undo.entry(xid.raw()).or_default();
+                u.push(UndoOp::Delete(tid));
+                u.push(UndoOp::Insert(new_tid));
+            }
+            None => {
+                let tid = self.table.insert(xid, row![key, val])?;
+                self.undo.entry(xid.raw()).or_default().push(UndoOp::Insert(tid));
+            }
+        }
+        Ok(())
+    }
+
+    /// Roll back every write `xid` made here.
+    pub fn rollback_writes(&mut self, xid: Xid) -> Result<()> {
+        if let Some(ops) = self.undo.remove(&xid.raw()) {
+            for op in ops.into_iter().rev() {
+                match op {
+                    UndoOp::Insert(tid) => self.table.undo_insert(xid, tid)?,
+                    UndoOp::Delete(tid) => self.table.undo_delete(xid, tid)?,
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Forget undo info after a successful commit.
+    pub fn clear_undo(&mut self, xid: Xid) {
+        self.undo.remove(&xid.raw());
+    }
+
+    /// Record that `local_xid` (prepared here) is decided-commit globally but
+    /// unconfirmed locally — the Anomaly-1 window for this node.
+    pub fn mark_pending_commit(&mut self, local_xid: Xid) {
+        self.pending_commit.insert(local_xid.raw(), ());
+    }
+
+    /// Apply the commit confirmation for `local_xid`. Idempotent: a reader's
+    /// UPGRADE wait and the writer's own confirmation may race benignly.
+    pub fn finish_commit(&mut self, local_xid: Xid) -> Result<()> {
+        if self.pending_commit.remove(&local_xid.raw()).is_some() {
+            self.mgr.commit(local_xid)?;
+            self.clear_undo(local_xid);
+        }
+        Ok(())
+    }
+
+    /// Is this local XID in the decided-but-unconfirmed window?
+    pub fn is_pending_commit(&self, local_xid: Xid) -> bool {
+        self.pending_commit.contains_key(&local_xid.raw())
+    }
+
+    /// A local snapshot as of now.
+    pub fn local_snapshot(&self) -> Snapshot {
+        self.mgr.local_snapshot()
+    }
+
+    /// ANALYZE the node's table under `judge`.
+    pub fn analyze<V: Visibility + ?Sized>(&mut self, judge: &V) {
+        self.table.analyze(judge);
+    }
+
+    /// Count of all tuple versions (storage growth metric).
+    pub fn version_count(&self) -> usize {
+        self.table.heap().version_count()
+    }
+
+    /// All `(key, value)` pairs visible to `judge` — the HTAP replica-sync
+    /// read path (a consistent snapshot scan of the shard).
+    pub fn snapshot_rows<V: Visibility + ?Sized>(&self, judge: &V) -> Vec<(i64, i64)> {
+        let mut out: Vec<(i64, i64)> = self
+            .table
+            .scan(judge)
+            .filter_map(|(_, r)| {
+                Some((
+                    r.get(0)?.as_int()?,
+                    r.get(1)?.as_int()?,
+                ))
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node() -> DataNode {
+        DataNode::new(ShardId::new(0))
+    }
+
+    /// Helper: run a committed single-statement write.
+    fn committed_put(n: &mut DataNode, key: i64, val: i64) {
+        let x = n.mgr_mut().begin_local();
+        let snap = n.local_snapshot();
+        n.put_local(&snap, Some(x), x, key, val).unwrap();
+        n.mgr_mut().commit(x).unwrap();
+    }
+
+    fn read_latest(n: &DataNode, key: i64) -> Option<i64> {
+        let snap = n.local_snapshot();
+        n.get_local(&snap, None, key).unwrap()
+    }
+
+    #[test]
+    fn put_get_within_own_transaction() {
+        let mut n = node();
+        let x = n.mgr_mut().begin_local();
+        let snap = n.local_snapshot();
+        n.put_local(&snap, Some(x), x, 1, 100).unwrap();
+        assert_eq!(n.get_local(&snap, Some(x), 1).unwrap(), Some(100));
+        // Another reader with the same snapshot sees nothing yet.
+        assert_eq!(n.get_local(&snap, None, 1).unwrap(), None);
+        n.mgr_mut().commit(x).unwrap();
+        assert_eq!(read_latest(&n, 1), Some(100));
+    }
+
+    #[test]
+    fn update_in_place_and_read_back() {
+        let mut n = node();
+        committed_put(&mut n, 5, 1);
+        committed_put(&mut n, 5, 2);
+        assert_eq!(read_latest(&n, 5), Some(2));
+        assert_eq!(n.version_count(), 2, "two MVCC versions exist");
+    }
+
+    #[test]
+    fn rollback_restores_previous_value() {
+        let mut n = node();
+        committed_put(&mut n, 9, 1);
+        let b = n.mgr_mut().begin_local();
+        let snap = n.local_snapshot();
+        n.put_local(&snap, Some(b), b, 9, 2).unwrap();
+        n.rollback_writes(b).unwrap();
+        n.mgr_mut().abort(b).unwrap();
+        assert_eq!(read_latest(&n, 9), Some(1));
+    }
+
+    #[test]
+    fn rollback_of_fresh_insert_removes_it() {
+        let mut n = node();
+        let b = n.mgr_mut().begin_local();
+        let snap = n.local_snapshot();
+        n.put_local(&snap, Some(b), b, 3, 30).unwrap();
+        n.rollback_writes(b).unwrap();
+        n.mgr_mut().abort(b).unwrap();
+        assert_eq!(read_latest(&n, 3), None);
+    }
+
+    #[test]
+    fn write_write_conflict_reported() {
+        let mut n = node();
+        committed_put(&mut n, 7, 1);
+        let b = n.mgr_mut().begin_local();
+        let c = n.mgr_mut().begin_local();
+        let snap = n.local_snapshot();
+        n.put_local(&snap, Some(b), b, 7, 2).unwrap();
+        let err = n.put_local(&snap, Some(c), c, 7, 3).unwrap_err();
+        assert_eq!(err.class(), "txn_aborted");
+    }
+
+    #[test]
+    fn pending_commit_finish_is_idempotent() {
+        let mut n = node();
+        let x = n.mgr_mut().begin_global(Xid(900));
+        n.mgr_mut().prepare(x).unwrap();
+        n.mark_pending_commit(x);
+        assert!(n.is_pending_commit(x));
+        n.finish_commit(x).unwrap();
+        assert!(!n.is_pending_commit(x));
+        n.finish_commit(x).unwrap(); // second call: no-op
+        assert_eq!(n.mgr().lco(), &[x]);
+    }
+
+    #[test]
+    fn delete_then_read_none() {
+        let mut n = node();
+        committed_put(&mut n, 4, 44);
+        let b = n.mgr_mut().begin_local();
+        let snap = n.local_snapshot();
+        assert!(n.del_local(&snap, Some(b), b, 4).unwrap());
+        assert!(!n.del_local(&snap, Some(b), b, 4).unwrap(), "already dead to b");
+        n.mgr_mut().commit(b).unwrap();
+        assert_eq!(read_latest(&n, 4), None);
+    }
+
+    #[test]
+    fn snapshot_isolation_across_statements() {
+        let mut n = node();
+        committed_put(&mut n, 8, 1);
+        // Reader takes its snapshot, then a writer commits.
+        let early = n.local_snapshot();
+        committed_put(&mut n, 8, 2);
+        assert_eq!(n.get_local(&early, None, 8).unwrap(), Some(1));
+        assert_eq!(read_latest(&n, 8), Some(2));
+    }
+}

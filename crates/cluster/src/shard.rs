@@ -1,0 +1,115 @@
+//! Key → shard placement.
+//!
+//! "In many practical application systems, database is designed with
+//! application sharding in mind and the majority of transactions in such
+//! systems are single-sharded" (§II-A). We reproduce TPC-C-style application
+//! sharding: a 64-bit key packs a *sharding prefix* (warehouse id) in its
+//! upper 32 bits and a local identifier below, and placement hashes only the
+//! prefix — so all keys of one warehouse land on one shard.
+
+use hdm_common::ShardId;
+
+/// Pack a (prefix, local) pair into a cluster key.
+pub fn make_key(prefix: u32, local: u32) -> i64 {
+    ((prefix as i64) << 32) | local as i64
+}
+
+/// The sharding prefix of a key.
+pub fn key_prefix(key: i64) -> u32 {
+    (key >> 32) as u32
+}
+
+/// The local identifier of a key.
+pub fn key_local(key: i64) -> u32 {
+    (key & 0xffff_ffff) as u32
+}
+
+/// Static hash placement of sharding prefixes onto `n` shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMap {
+    shards: u32,
+}
+
+impl ShardMap {
+    /// # Panics
+    /// If `shards == 0`.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "cluster needs at least one shard");
+        Self {
+            shards: shards as u32,
+        }
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.shards as usize
+    }
+
+    /// Placement of a packed key.
+    pub fn shard_of_key(&self, key: i64) -> ShardId {
+        self.shard_of_prefix(key_prefix(key))
+    }
+
+    /// Placement of a sharding prefix (e.g. a warehouse id).
+    pub fn shard_of_prefix(&self, prefix: u32) -> ShardId {
+        // Fibonacci hashing spreads sequential warehouse ids evenly.
+        let h = (prefix as u64).wrapping_mul(0x9e3779b97f4a7c15) >> 32;
+        ShardId::new(h % self.shards as u64)
+    }
+
+    /// All shard ids.
+    pub fn all(&self) -> impl Iterator<Item = ShardId> {
+        (0..self.shards as u64).map(ShardId::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_packing_round_trips() {
+        let k = make_key(7, 42);
+        assert_eq!(key_prefix(k), 7);
+        assert_eq!(key_local(k), 42);
+        let k = make_key(u32::MAX, u32::MAX);
+        assert_eq!(key_prefix(k), u32::MAX);
+        assert_eq!(key_local(k), u32::MAX);
+    }
+
+    #[test]
+    fn same_prefix_same_shard() {
+        let m = ShardMap::new(8);
+        let s = m.shard_of_key(make_key(3, 0));
+        for local in 0..100 {
+            assert_eq!(m.shard_of_key(make_key(3, local)), s);
+        }
+    }
+
+    #[test]
+    fn prefixes_spread_over_shards() {
+        let m = ShardMap::new(8);
+        let mut counts = vec![0usize; 8];
+        for w in 0..800u32 {
+            counts[m.shard_of_prefix(w).raw() as usize] += 1;
+        }
+        for (i, c) in counts.iter().enumerate() {
+            assert!(
+                (60..=140).contains(c),
+                "shard {i} got {c}/800, expected near 100"
+            );
+        }
+    }
+
+    #[test]
+    fn single_shard_cluster_maps_everything_to_zero() {
+        let m = ShardMap::new(1);
+        assert_eq!(m.shard_of_prefix(12345), ShardId::new(0));
+        assert_eq!(m.all().count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = ShardMap::new(0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Unified error type used across the workspace.
+
+use std::fmt;
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, HdmError>;
+
+/// Errors produced by any subsystem in the workspace.
+///
+/// A single enum (rather than per-crate error types) keeps cross-crate
+/// plumbing simple: the MPP engine threads storage, transaction, planner and
+/// executor errors through one channel, mirroring how a monolithic database
+/// kernel reports errors to its client protocol layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HdmError {
+    /// SQL text failed to lex or parse.
+    Parse(String),
+    /// Catalog lookup failures: unknown table/column/schema-version, duplicate
+    /// definitions, arity mismatches.
+    Catalog(String),
+    /// Planner/optimizer failures.
+    Plan(String),
+    /// Runtime execution failures (type mismatch at runtime, overflow, ...).
+    Execution(String),
+    /// Storage-level failures (unknown tuple, corrupt page, codec mismatch).
+    Storage(String),
+    /// Transaction aborted; carries the reason. Write-write conflicts,
+    /// serialization failures and 2PC vote-to-abort all surface here.
+    TxnAborted(String),
+    /// The transaction manager rejected an operation in the current state
+    /// (e.g. commit of an already-aborted transaction).
+    TxnState(String),
+    /// GMDB schema evolution rejected an illegal schema change
+    /// (field deletion / reorder, per §III-B) or an unknown version.
+    SchemaEvolution(String),
+    /// Edge-sync protocol violation (gap in op log, unknown replica).
+    Sync(String),
+    /// Feature intentionally outside the reproduced SQL subset.
+    Unsupported(String),
+    /// Invalid configuration of a component.
+    Config(String),
+    /// I/O error message (flushing GMDB snapshots, bench output).
+    Io(String),
+}
+
+impl HdmError {
+    /// Short machine-readable class name, handy for metrics and tests.
+    pub fn class(&self) -> &'static str {
+        match self {
+            HdmError::Parse(_) => "parse",
+            HdmError::Catalog(_) => "catalog",
+            HdmError::Plan(_) => "plan",
+            HdmError::Execution(_) => "execution",
+            HdmError::Storage(_) => "storage",
+            HdmError::TxnAborted(_) => "txn_aborted",
+            HdmError::TxnState(_) => "txn_state",
+            HdmError::SchemaEvolution(_) => "schema_evolution",
+            HdmError::Sync(_) => "sync",
+            HdmError::Unsupported(_) => "unsupported",
+            HdmError::Config(_) => "config",
+            HdmError::Io(_) => "io",
+        }
+    }
+}
+
+impl fmt::Display for HdmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HdmError::Parse(m) => write!(f, "parse error: {m}"),
+            HdmError::Catalog(m) => write!(f, "catalog error: {m}"),
+            HdmError::Plan(m) => write!(f, "plan error: {m}"),
+            HdmError::Execution(m) => write!(f, "execution error: {m}"),
+            HdmError::Storage(m) => write!(f, "storage error: {m}"),
+            HdmError::TxnAborted(m) => write!(f, "transaction aborted: {m}"),
+            HdmError::TxnState(m) => write!(f, "transaction state error: {m}"),
+            HdmError::SchemaEvolution(m) => write!(f, "schema evolution error: {m}"),
+            HdmError::Sync(m) => write!(f, "sync error: {m}"),
+            HdmError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            HdmError::Config(m) => write!(f, "config error: {m}"),
+            HdmError::Io(m) => write!(f, "io error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for HdmError {}
+
+impl From<std::io::Error> for HdmError {
+    fn from(e: std::io::Error) -> Self {
+        HdmError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_message() {
+        let e = HdmError::Parse("unexpected token".into());
+        assert_eq!(e.to_string(), "parse error: unexpected token");
+    }
+
+    #[test]
+    fn class_names_are_stable() {
+        assert_eq!(HdmError::TxnAborted(String::new()).class(), "txn_aborted");
+        assert_eq!(
+            HdmError::SchemaEvolution(String::new()).class(),
+            "schema_evolution"
+        );
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: HdmError = io.into();
+        assert_eq!(e.class(), "io");
+    }
+}

@@ -1,0 +1,142 @@
+//! Virtual time for the discrete-event simulator.
+//!
+//! Fig 3's scalability experiment must be host-independent (this repo is
+//! routinely built on a single-core container), so the cluster simulation
+//! runs on a virtual clock measured in microseconds. `SimInstant` and
+//! `SimDuration` are deliberately *not* interchangeable with
+//! `std::time::{Instant, Duration}` to keep wall-clock time out of the
+//! simulation by construction.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time (microseconds since simulation start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimInstant(pub u64);
+
+/// A span of virtual time in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimInstant {
+    pub const ZERO: SimInstant = SimInstant(0);
+
+    pub fn micros(self) -> u64 {
+        self.0
+    }
+
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Saturating distance to an earlier instant.
+    pub fn since(self, earlier: SimInstant) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000)
+    }
+
+    pub fn micros(self) -> u64 {
+        self.0
+    }
+
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Scale by a float factor (latency jitter), rounding to nearest µs.
+    pub fn mul_f64(self, k: f64) -> Self {
+        SimDuration((self.0 as f64 * k).round().max(0.0) as u64)
+    }
+}
+
+impl Add<SimDuration> for SimInstant {
+    type Output = SimInstant;
+    fn add(self, rhs: SimDuration) -> SimInstant {
+        SimInstant(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimInstant {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimInstant> for SimInstant {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimInstant) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl fmt::Display for SimInstant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}us", self.0)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1_000.0)
+        } else {
+            write!(f, "{}us", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimInstant::ZERO + SimDuration::from_millis(2);
+        assert_eq!(t.micros(), 2_000);
+        assert_eq!((t - SimInstant::ZERO).micros(), 2_000);
+        assert_eq!(t.since(SimInstant(5_000)).micros(), 0, "saturates");
+    }
+
+    #[test]
+    fn mul_f64_rounds() {
+        assert_eq!(SimDuration::from_micros(10).mul_f64(1.26).micros(), 13);
+        assert_eq!(SimDuration::from_micros(10).mul_f64(0.0).micros(), 0);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(SimDuration::from_micros(5).to_string(), "5us");
+        assert_eq!(SimDuration::from_micros(1_500).to_string(), "1.500ms");
+        assert_eq!(SimDuration::from_secs(2).to_string(), "2.000s");
+    }
+}

@@ -1,0 +1,872 @@
+//! The MPP query layer: scatter–gather SQL over sharded data nodes.
+//!
+//! "FI-MPPDB scales linearly to hundreds of physical machines … data are
+//! partitioned and stored in data nodes … Query planning and execution are
+//! optimized for large scale parallel processing across hundreds of
+//! servers. They exchange data on-demand from each other and execute the
+//! query in parallel" (§II, Fig 1).
+//!
+//! This module reproduces the architecture at library scale: a coordinator
+//! over N per-node SQL engines. Fact tables are **hash-distributed** on a
+//! declared column; dimension tables are **replicated** to every node (the
+//! classic MPP star schema layout, making joins node-local). A SELECT is
+//! compiled into
+//!
+//! 1. a *node query* scattered to every data node (filters, projections,
+//!    joins against replicated tables, **partial aggregates**), and
+//! 2. a *final query* run by the coordinator over the gathered partials
+//!    (merging `count→sum`, `sum→sum`, `min→min`, `max→max`,
+//!    `avg→sum/count`, then HAVING/ORDER BY/LIMIT) —
+//!
+//! the standard two-phase aggregation every shared-nothing engine uses.
+//! The learning optimizer keeps working untouched: each node's planner
+//! consults its own plan store on the node query.
+
+use hdm_common::{Datum, HdmError, Result, Row};
+use hdm_sql::ast::{
+    BinOp, Expr, Literal, SelectItem, SelectStmt, Statement, TableRef, UnOp,
+};
+use hdm_sql::{Database, QueryResult};
+use std::collections::HashMap;
+
+/// How a table is laid out across the cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Distribution {
+    /// Hash-partitioned on this column (fact tables).
+    Hash(String),
+    /// Full copy on every node (dimension tables).
+    Replicated,
+}
+
+/// An MPP database: one coordinator, N data-node SQL engines.
+pub struct MppDatabase {
+    nodes: Vec<Database>,
+    layout: HashMap<String, Distribution>,
+    /// Rows shipped from nodes to the coordinator (the "data exchange"
+    /// volume the paper's planner optimizes).
+    exchanged_rows: u64,
+}
+
+impl MppDatabase {
+    /// # Panics
+    /// If `nodes == 0`.
+    pub fn new(nodes: usize) -> Self {
+        assert!(nodes > 0, "MPP cluster needs nodes");
+        Self {
+            nodes: (0..nodes).map(|_| Database::new()).collect(),
+            layout: HashMap::new(),
+            exchanged_rows: 0,
+        }
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total rows gathered to the coordinator so far.
+    pub fn exchanged_rows(&self) -> u64 {
+        self.exchanged_rows
+    }
+
+    /// Create a table on every node with the given distribution.
+    pub fn create_table(&mut self, ddl: &str, dist: Distribution) -> Result<()> {
+        let stmt = hdm_sql::parser::parse(ddl)?;
+        let Statement::CreateTable { name, columns } = &stmt else {
+            return Err(HdmError::Plan("create_table expects CREATE TABLE".into()));
+        };
+        if let Distribution::Hash(col) = &dist {
+            if !columns.iter().any(|c| c.name.eq_ignore_ascii_case(col)) {
+                return Err(HdmError::Catalog(format!(
+                    "distribution column {col} is not a column of {name}"
+                )));
+            }
+        }
+        for n in &mut self.nodes {
+            n.execute_statement(&stmt)?;
+        }
+        self.layout.insert(name.to_ascii_lowercase(), dist);
+        Ok(())
+    }
+
+    /// Create an index on every node.
+    pub fn create_index(&mut self, ddl: &str) -> Result<()> {
+        for n in &mut self.nodes {
+            n.execute(ddl)?;
+        }
+        Ok(())
+    }
+
+    /// Insert rows, routing by the table's distribution.
+    pub fn insert(&mut self, sql: &str) -> Result<u64> {
+        let stmt = hdm_sql::parser::parse(sql)?;
+        let Statement::Insert {
+            table,
+            columns,
+            rows,
+        } = stmt
+        else {
+            return Err(HdmError::Plan("insert expects INSERT".into()));
+        };
+        let key = table.to_ascii_lowercase();
+        let dist = self
+            .layout
+            .get(&key)
+            .ok_or_else(|| HdmError::Catalog(format!("unknown MPP table {table}")))?
+            .clone();
+        match dist {
+            Distribution::Replicated => {
+                let stmt = Statement::Insert {
+                    table,
+                    columns,
+                    rows,
+                };
+                let mut n_rows = 0;
+                for n in &mut self.nodes {
+                    n_rows = n.execute_statement(&stmt)?.affected;
+                }
+                Ok(n_rows)
+            }
+            Distribution::Hash(col) => {
+                // Locate the distribution column's slot within the insert.
+                let slot = match &columns {
+                    Some(cols) => cols
+                        .iter()
+                        .position(|c| c.eq_ignore_ascii_case(&col))
+                        .ok_or_else(|| {
+                            HdmError::Catalog(format!(
+                                "INSERT into {table} must include distribution column {col}"
+                            ))
+                        })?,
+                    None => {
+                        let schema_idx = self.nodes[0]
+                            .catalog()
+                            .get(&table)?
+                            .schema()
+                            .index_of(&col)
+                            .expect("checked at create");
+                        schema_idx
+                    }
+                };
+                let mut per_node: Vec<Vec<Vec<Expr>>> =
+                    vec![Vec::new(); self.nodes.len()];
+                for row in rows {
+                    let datum = eval_const(&row[slot])?;
+                    let node = (datum.dist_hash() % self.nodes.len() as u64) as usize;
+                    per_node[node].push(row);
+                }
+                let mut total = 0;
+                for (i, batch) in per_node.into_iter().enumerate() {
+                    if batch.is_empty() {
+                        continue;
+                    }
+                    let stmt = Statement::Insert {
+                        table: table.clone(),
+                        columns: columns.clone(),
+                        rows: batch,
+                    };
+                    total += self.nodes[i].execute_statement(&stmt)?.affected;
+                }
+                Ok(total)
+            }
+        }
+    }
+
+    /// ANALYZE everywhere.
+    pub fn analyze(&mut self) -> Result<()> {
+        for n in &mut self.nodes {
+            n.execute("analyze")?;
+        }
+        Ok(())
+    }
+
+    /// Run a distributed SELECT.
+    pub fn query(&mut self, sql: &str) -> Result<QueryResult> {
+        let stmt = hdm_sql::parser::parse(sql)?;
+        let Statement::Select(s) = stmt else {
+            return Err(HdmError::Plan("query expects SELECT".into()));
+        };
+        self.validate_distributable(&s)?;
+        let plan = compile(&s)?;
+
+        // Scatter.
+        let mut gathered: Vec<Row> = Vec::new();
+        let mut columns: Vec<String> = Vec::new();
+        for n in &mut self.nodes {
+            let r = n.execute(&plan.node_sql)?;
+            columns = r.columns.clone();
+            self.exchanged_rows += r.rows.len() as u64;
+            gathered.extend(r.rows);
+        }
+
+        // Gather: load partials into a coordinator-local engine and run the
+        // final query over them.
+        let mut coord = Database::new();
+        let types: Vec<&str> = infer_types(&gathered, columns.len());
+        let ddl_cols: Vec<String> = columns
+            .iter()
+            .zip(&types)
+            .map(|(c, t)| format!("{c} {t}"))
+            .collect();
+        coord.execute(&format!(
+            "create table __partials ({})",
+            ddl_cols.join(", ")
+        ))?;
+        for chunk in gathered.chunks(500) {
+            let values: Vec<String> = chunk.iter().map(row_to_values).collect();
+            if !values.is_empty() {
+                coord.execute(&format!(
+                    "insert into __partials values {}",
+                    values.join(",")
+                ))?;
+            }
+        }
+        coord.execute(&plan.final_sql)
+    }
+
+    /// Every referenced table must be replicated or hash-distributed; joins
+    /// are node-local only when at most one distributed table participates
+    /// (the star-schema rule).
+    fn validate_distributable(&self, s: &SelectStmt) -> Result<()> {
+        if !s.with.is_empty() || s.set_op.is_some() {
+            return Err(HdmError::Unsupported(
+                "MPP query: CTEs/set operations run on the coordinator engine".into(),
+            ));
+        }
+        let mut distributed = 0;
+        let mut names = Vec::new();
+        collect_tables(&s.from, &mut names)?;
+        for name in names {
+            match self.layout.get(&name.to_ascii_lowercase()) {
+                None => {
+                    return Err(HdmError::Catalog(format!(
+                        "table {name} is not an MPP table"
+                    )))
+                }
+                Some(Distribution::Hash(_)) => distributed += 1,
+                Some(Distribution::Replicated) => {}
+            }
+        }
+        if distributed > 1 {
+            return Err(HdmError::Unsupported(
+                "MPP query: joining two hash-distributed tables requires \
+                 redistribution (not implemented); replicate one side"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+fn collect_tables(from: &[TableRef], out: &mut Vec<String>) -> Result<()> {
+    for t in from {
+        match t {
+            TableRef::Named { name, .. } => out.push(name.clone()),
+            TableRef::Join { left, right, .. } => {
+                collect_tables(std::slice::from_ref(left), out)?;
+                collect_tables(std::slice::from_ref(right), out)?;
+            }
+            TableRef::Function { .. } | TableRef::Subquery { .. } => {
+                return Err(HdmError::Unsupported(
+                    "MPP query: table functions/subqueries in FROM".into(),
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The compiled two-phase plan.
+#[derive(Debug, Clone)]
+pub struct MppPlan {
+    pub node_sql: String,
+    pub final_sql: String,
+}
+
+/// Compile a SELECT into node + final queries.
+pub fn compile(s: &SelectStmt) -> Result<MppPlan> {
+    let has_agg = !s.group_by.is_empty()
+        || s.projections.iter().any(|p| match p {
+            SelectItem::Expr { expr, .. } => expr.has_aggregate(),
+            SelectItem::Star => false,
+        });
+
+    if !has_agg {
+        // Scatter the filter/projection; gather; final order/limit.
+        let mut node = s.clone();
+        node.order_by = vec![];
+        // A LIMIT without ORDER BY may be taken per node as an upper bound;
+        // with ORDER BY the node keeps top-k only if it also sorts. Keep it
+        // simple and correct: push limit down only when there is no order.
+        if !s.order_by.is_empty() {
+            node.limit = None;
+        }
+        let node_sql = render_select(&node)?;
+        let mut final_parts = vec!["select * from __partials".to_string()];
+        if !s.order_by.is_empty() {
+            let keys: Vec<String> = s
+                .order_by
+                .iter()
+                .map(|(e, d)| {
+                    Ok(format!(
+                        "{}{}",
+                        expr_to_sql(e)?,
+                        if *d { " desc" } else { "" }
+                    ))
+                })
+                .collect::<Result<_>>()?;
+            final_parts.push(format!("order by {}", keys.join(", ")));
+        }
+        if let Some(n) = s.limit {
+            final_parts.push(format!("limit {n}"));
+        }
+        return Ok(MppPlan {
+            node_sql,
+            final_sql: final_parts.join(" "),
+        });
+    }
+
+    // Two-phase aggregation.
+    let mut partials: Vec<String> = Vec::new(); // node-query projections
+    let mut merge_map: Vec<(Expr, Expr)> = Vec::new(); // (original agg, final expr)
+
+    // Group columns become g0..gk on the wire.
+    let mut group_names = Vec::new();
+    for (i, g) in s.group_by.iter().enumerate() {
+        let name = format!("g{i}");
+        partials.push(format!("{} as {name}", expr_to_sql(g)?));
+        group_names.push((g.clone(), name));
+    }
+
+    // Collect aggregate calls from projections + having.
+    let mut aggs: Vec<Expr> = Vec::new();
+    for item in &s.projections {
+        if let SelectItem::Expr { expr, .. } = item {
+            collect_aggs(expr, &mut aggs);
+        }
+    }
+    if let Some(h) = &s.having {
+        collect_aggs(h, &mut aggs);
+    }
+    for (i, agg) in aggs.iter().enumerate() {
+        let Expr::Func { name, args, star } = agg else {
+            unreachable!("collect_aggs yields Func nodes")
+        };
+        match (name.as_str(), *star) {
+            ("count", true) => {
+                partials.push(format!("count(*) as p{i}"));
+                merge_map.push((agg.clone(), parse_expr(&format!("sum(p{i})"))?));
+            }
+            ("count", false) => {
+                partials.push(format!("count({}) as p{i}", expr_to_sql(&args[0])?));
+                merge_map.push((agg.clone(), parse_expr(&format!("sum(p{i})"))?));
+            }
+            ("sum", _) => {
+                partials.push(format!("sum({}) as p{i}", expr_to_sql(&args[0])?));
+                merge_map.push((agg.clone(), parse_expr(&format!("sum(p{i})"))?));
+            }
+            ("min", _) => {
+                partials.push(format!("min({}) as p{i}", expr_to_sql(&args[0])?));
+                merge_map.push((agg.clone(), parse_expr(&format!("min(p{i})"))?));
+            }
+            ("max", _) => {
+                partials.push(format!("max({}) as p{i}", expr_to_sql(&args[0])?));
+                merge_map.push((agg.clone(), parse_expr(&format!("max(p{i})"))?));
+            }
+            ("avg", _) => {
+                partials.push(format!("sum({}) as p{i}s", expr_to_sql(&args[0])?));
+                partials.push(format!("count({}) as p{i}c", expr_to_sql(&args[0])?));
+                merge_map.push((
+                    agg.clone(),
+                    parse_expr(&format!("(1.0 * sum(p{i}s)) / sum(p{i}c)"))?,
+                ));
+            }
+            other => {
+                return Err(HdmError::Unsupported(format!(
+                    "MPP partial aggregation for {other:?}"
+                )))
+            }
+        }
+    }
+
+    // Node query: same FROM/WHERE, partial projections, same GROUP BY.
+    let mut node_parts = vec![format!("select {}", partials.join(", "))];
+    node_parts.push(render_from(&s.from)?);
+    if let Some(w) = &s.where_clause {
+        node_parts.push(format!("where {}", expr_to_sql(w)?));
+    }
+    if !s.group_by.is_empty() {
+        let gs: Vec<String> = s
+            .group_by
+            .iter()
+            .map(|g| expr_to_sql(g))
+            .collect::<Result<_>>()?;
+        node_parts.push(format!("group by {}", gs.join(", ")));
+    }
+    let node_sql = node_parts.join(" ");
+
+    // Final query: original shape over __partials, aggs merged, group
+    // expressions replaced by their wire names.
+    let rewrite = |e: &Expr| -> Result<Expr> {
+        rewrite_final(e, &group_names, &merge_map)
+    };
+    let mut sel: Vec<String> = Vec::new();
+    for item in &s.projections {
+        match item {
+            SelectItem::Star => {
+                return Err(HdmError::Unsupported(
+                    "MPP aggregate query: SELECT * with GROUP BY".into(),
+                ))
+            }
+            SelectItem::Expr { expr, alias } => {
+                let mut text = expr_to_sql(&rewrite(expr)?)?;
+                if let Some(a) = alias {
+                    text.push_str(&format!(" as {a}"));
+                }
+                sel.push(text);
+            }
+        }
+    }
+    let mut final_parts = vec![format!("select {}", sel.join(", "))];
+    final_parts.push("from __partials".to_string());
+    if !group_names.is_empty() {
+        let gs: Vec<String> = group_names.iter().map(|(_, n)| n.clone()).collect();
+        final_parts.push(format!("group by {}", gs.join(", ")));
+    }
+    if let Some(h) = &s.having {
+        final_parts.push(format!("having {}", expr_to_sql(&rewrite(h)?)?));
+    }
+    if !s.order_by.is_empty() {
+        let keys: Vec<String> = s
+            .order_by
+            .iter()
+            .map(|(e, d)| {
+                Ok(format!(
+                    "{}{}",
+                    expr_to_sql(&rewrite(e)?)?,
+                    if *d { " desc" } else { "" }
+                ))
+            })
+            .collect::<Result<_>>()?;
+        final_parts.push(format!("order by {}", keys.join(", ")));
+    }
+    if let Some(n) = s.limit {
+        final_parts.push(format!("limit {n}"));
+    }
+
+    Ok(MppPlan {
+        node_sql,
+        final_sql: final_parts.join(" "),
+    })
+}
+
+fn collect_aggs(e: &Expr, out: &mut Vec<Expr>) {
+    match e {
+        Expr::Func { name, .. }
+            if matches!(name.as_str(), "count" | "sum" | "avg" | "min" | "max") =>
+        {
+            if !out.contains(e) {
+                out.push(e.clone());
+            }
+        }
+        Expr::Binary { left, right, .. } => {
+            collect_aggs(left, out);
+            collect_aggs(right, out);
+        }
+        Expr::Unary { expr, .. } => collect_aggs(expr, out),
+        _ => {}
+    }
+}
+
+fn rewrite_final(
+    e: &Expr,
+    groups: &[(Expr, String)],
+    merges: &[(Expr, Expr)],
+) -> Result<Expr> {
+    if let Some((_, name)) = groups.iter().find(|(g, _)| g == e) {
+        return Ok(Expr::Column(None, name.clone()));
+    }
+    if let Some((_, m)) = merges.iter().find(|(a, _)| a == e) {
+        return Ok(m.clone());
+    }
+    Ok(match e {
+        Expr::Binary { op, left, right } => Expr::Binary {
+            op: *op,
+            left: Box::new(rewrite_final(left, groups, merges)?),
+            right: Box::new(rewrite_final(right, groups, merges)?),
+        },
+        Expr::Unary { op, expr } => Expr::Unary {
+            op: *op,
+            expr: Box::new(rewrite_final(expr, groups, merges)?),
+        },
+        Expr::Literal(_) => e.clone(),
+        Expr::Column(q, n) => {
+            return Err(HdmError::Plan(format!(
+                "column {}{n} must appear in GROUP BY or an aggregate",
+                q.as_deref().map(|s| format!("{s}.")).unwrap_or_default()
+            )))
+        }
+        Expr::Func { .. } => e.clone(), // non-agg scalar over... rejected upstream
+    })
+}
+
+/// Render an expression back to SQL text (fully parenthesized).
+pub fn expr_to_sql(e: &Expr) -> Result<String> {
+    Ok(match e {
+        Expr::Column(None, n) => n.clone(),
+        Expr::Column(Some(q), n) => format!("{q}.{n}"),
+        Expr::Literal(l) => match l {
+            Literal::Int(v) => v.to_string(),
+            Literal::Float(v) => {
+                if v.fract() == 0.0 {
+                    format!("{v:.1}")
+                } else {
+                    v.to_string()
+                }
+            }
+            Literal::Str(s) => format!("'{}'", s.replace('\'', "''")),
+            Literal::Bool(b) => b.to_string(),
+            Literal::Null => "null".to_string(),
+        },
+        Expr::Binary { op, left, right } => {
+            let (l, r) = (expr_to_sql(left)?, expr_to_sql(right)?);
+            match op {
+                BinOp::And => format!("({l} and {r})"),
+                BinOp::Or => format!("({l} or {r})"),
+                _ => format!("({l} {} {r})", sql_op(*op)),
+            }
+        }
+        Expr::Unary { op, expr } => match op {
+            UnOp::Not => format!("(not {})", expr_to_sql(expr)?),
+            UnOp::Neg => format!("(-{})", expr_to_sql(expr)?),
+        },
+        Expr::Func { name, args, star } => {
+            if *star {
+                format!("{name}(*)")
+            } else {
+                let a: Vec<String> = args.iter().map(expr_to_sql).collect::<Result<_>>()?;
+                format!("{name}({})", a.join(", "))
+            }
+        }
+    })
+}
+
+fn sql_op(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Eq => "=",
+        BinOp::Ne => "<>",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Mod => "%",
+        BinOp::And => "and",
+        BinOp::Or => "or",
+    }
+}
+
+fn render_from(from: &[TableRef]) -> Result<String> {
+    fn one(t: &TableRef) -> Result<String> {
+        Ok(match t {
+            TableRef::Named { name, alias } => match alias {
+                Some(a) => format!("{name} {a}"),
+                None => name.clone(),
+            },
+            TableRef::Join { left, right, on } => format!(
+                "{} join {} on {}",
+                one(left)?,
+                one(right)?,
+                expr_to_sql(on)?
+            ),
+            _ => {
+                return Err(HdmError::Unsupported(
+                    "MPP: non-named relation in FROM".into(),
+                ))
+            }
+        })
+    }
+    let parts: Vec<String> = from.iter().map(one).collect::<Result<_>>()?;
+    Ok(format!("from {}", parts.join(", ")))
+}
+
+fn render_select(s: &SelectStmt) -> Result<String> {
+    let mut parts = Vec::new();
+    let sel: Vec<String> = s
+        .projections
+        .iter()
+        .map(|p| match p {
+            SelectItem::Star => Ok("*".to_string()),
+            SelectItem::Expr { expr, alias } => {
+                let mut t = expr_to_sql(expr)?;
+                if let Some(a) = alias {
+                    t.push_str(&format!(" as {a}"));
+                }
+                Ok(t)
+            }
+        })
+        .collect::<Result<_>>()?;
+    parts.push(format!(
+        "select {}{}",
+        if s.distinct { "distinct " } else { "" },
+        sel.join(", ")
+    ));
+    if !s.from.is_empty() {
+        parts.push(render_from(&s.from)?);
+    }
+    if let Some(w) = &s.where_clause {
+        parts.push(format!("where {}", expr_to_sql(w)?));
+    }
+    if let Some(n) = s.limit {
+        parts.push(format!("limit {n}"));
+    }
+    Ok(parts.join(" "))
+}
+
+fn parse_expr(text: &str) -> Result<Expr> {
+    let stmt = hdm_sql::parser::parse(&format!("select {text}"))?;
+    let Statement::Select(s) = stmt else {
+        unreachable!()
+    };
+    let SelectItem::Expr { expr, .. } = s.projections.into_iter().next().unwrap() else {
+        unreachable!()
+    };
+    Ok(expr)
+}
+
+fn eval_const(e: &Expr) -> Result<Datum> {
+    let bound = hdm_sql::expr::bind(e, &hdm_sql::expr::BoundSchema::default())?;
+    bound.eval(&[])
+}
+
+fn infer_types(rows: &[Row], width: usize) -> Vec<&'static str> {
+    (0..width)
+        .map(|c| {
+            for r in rows {
+                match r.get(c) {
+                    Some(Datum::Int(_)) => return "int",
+                    Some(Datum::Float(_)) => return "float",
+                    Some(Datum::Text(_)) => return "text",
+                    Some(Datum::Bool(_)) => return "bool",
+                    Some(Datum::Timestamp(_)) => return "timestamp",
+                    _ => continue,
+                }
+            }
+            "int"
+        })
+        .collect()
+}
+
+fn row_to_values(r: &Row) -> String {
+    let vals: Vec<String> = r
+        .values()
+        .iter()
+        .map(|d| match d {
+            Datum::Null => "null".to_string(),
+            Datum::Int(v) => v.to_string(),
+            Datum::Float(v) => {
+                if v.fract() == 0.0 {
+                    format!("{v:.1}")
+                } else {
+                    v.to_string()
+                }
+            }
+            Datum::Text(s) => format!("'{}'", s.replace('\'', "''")),
+            Datum::Bool(b) => b.to_string(),
+            Datum::Timestamp(v) => v.to_string(),
+        })
+        .collect();
+    format!("({})", vals.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 4-node star schema: distributed fact, replicated dimension.
+    fn cluster() -> MppDatabase {
+        let mut mpp = MppDatabase::new(4);
+        mpp.create_table(
+            "create table sales (sale_id int, cust_id int, region int, amount int)",
+            Distribution::Hash("sale_id".into()),
+        )
+        .unwrap();
+        mpp.create_table(
+            "create table customers (cust_id int, segment int)",
+            Distribution::Replicated,
+        )
+        .unwrap();
+        let mut rows = Vec::new();
+        for i in 0..1000i64 {
+            rows.push(format!("({i}, {}, {}, {})", i % 50, i % 5, i % 97));
+        }
+        mpp.insert(&format!("insert into sales values {}", rows.join(",")))
+            .unwrap();
+        let dims: Vec<String> = (0..50).map(|i| format!("({i}, {})", i % 3)).collect();
+        mpp.insert(&format!("insert into customers values {}", dims.join(",")))
+            .unwrap();
+        mpp.analyze().unwrap();
+        mpp
+    }
+
+    #[test]
+    fn rows_spread_over_nodes() {
+        let mpp = cluster();
+        let mut counts = Vec::new();
+        for n in &mpp.nodes {
+            let t = n.catalog().get("sales").unwrap();
+            counts.push(t.heap().version_count());
+        }
+        assert_eq!(counts.iter().sum::<usize>(), 1000);
+        assert!(counts.iter().all(|&c| c > 150), "skewed: {counts:?}");
+        // Replicated dimension is everywhere in full.
+        for n in &mpp.nodes {
+            assert_eq!(n.catalog().get("customers").unwrap().heap().version_count(), 50);
+        }
+    }
+
+    #[test]
+    fn scatter_gather_filter_matches_single_node() {
+        let mut mpp = cluster();
+        let r = mpp
+            .query("select sale_id from sales where amount > 90 order by sale_id")
+            .unwrap();
+        // amount = i % 97 > 90 → i%97 in 91..=96 → 6 per 97 → 60 full + tail.
+        let expect: Vec<i64> = (0..1000).filter(|i| i % 97 > 90).collect();
+        let got: Vec<i64> = r
+            .rows
+            .iter()
+            .map(|row| row.get(0).unwrap().as_int().unwrap())
+            .collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn global_aggregates_merge_exactly() {
+        let mut mpp = cluster();
+        let r = mpp
+            .query("select count(*), sum(amount), min(amount), max(amount), avg(amount) from sales")
+            .unwrap();
+        let row = &r.rows[0];
+        let sum: i64 = (0..1000i64).map(|i| i % 97).sum();
+        assert_eq!(row.get(0).unwrap().as_int(), Some(1000));
+        assert_eq!(row.get(1).unwrap().as_int(), Some(sum));
+        assert_eq!(row.get(2).unwrap().as_int(), Some(0));
+        assert_eq!(row.get(3).unwrap().as_int(), Some(96));
+        let avg = row.get(4).unwrap().as_float().unwrap();
+        assert!((avg - sum as f64 / 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn group_by_with_having_and_order() {
+        let mut mpp = cluster();
+        let r = mpp
+            .query(
+                "select region, count(*), sum(amount) from sales \
+                 where amount > 10 group by region \
+                 having count(*) > 150 order by region",
+            )
+            .unwrap();
+        // Reference computation.
+        let mut expect: std::collections::BTreeMap<i64, (i64, i64)> = Default::default();
+        for i in 0..1000i64 {
+            let amount = i % 97;
+            if amount > 10 {
+                let e = expect.entry(i % 5).or_insert((0, 0));
+                e.0 += 1;
+                e.1 += amount;
+            }
+        }
+        let expect: Vec<(i64, i64, i64)> = expect
+            .into_iter()
+            .filter(|(_, (c, _))| *c > 150)
+            .map(|(g, (c, s))| (g, c, s))
+            .collect();
+        let got: Vec<(i64, i64, i64)> = r
+            .rows
+            .iter()
+            .map(|row| {
+                (
+                    row.get(0).unwrap().as_int().unwrap(),
+                    row.get(1).unwrap().as_int().unwrap(),
+                    row.get(2).unwrap().as_int().unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(got, expect);
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn star_join_against_replicated_dimension() {
+        let mut mpp = cluster();
+        let r = mpp
+            .query(
+                "select c.segment, count(*) from sales s, customers c \
+                 where s.cust_id = c.cust_id and s.amount > 50 \
+                 group by c.segment order by c.segment",
+            )
+            .unwrap();
+        let mut expect: std::collections::BTreeMap<i64, i64> = Default::default();
+        for i in 0..1000i64 {
+            if i % 97 > 50 {
+                *expect.entry((i % 50) % 3).or_insert(0) += 1;
+            }
+        }
+        assert_eq!(r.rows.len(), expect.len());
+        for row in &r.rows {
+            let seg = row.get(0).unwrap().as_int().unwrap();
+            assert_eq!(row.get(1).unwrap().as_int(), Some(expect[&seg]));
+        }
+    }
+
+    #[test]
+    fn exchange_volume_shrinks_with_partial_aggregation() {
+        let mut mpp = cluster();
+        mpp.query("select region, count(*) from sales group by region")
+            .unwrap();
+        let agg_exchange = mpp.exchanged_rows();
+        // 5 groups × 4 nodes = 20 partial rows, not 1000.
+        assert!(agg_exchange <= 20, "exchanged {agg_exchange}");
+        mpp.query("select sale_id from sales").unwrap();
+        assert_eq!(mpp.exchanged_rows() - agg_exchange, 1000, "full scan ships all");
+    }
+
+    #[test]
+    fn two_distributed_tables_rejected() {
+        let mut mpp = cluster();
+        mpp.create_table(
+            "create table sales2 (sale_id int, amount int)",
+            Distribution::Hash("sale_id".into()),
+        )
+        .unwrap();
+        let err = mpp
+            .query("select * from sales s, sales2 t where s.sale_id = t.sale_id")
+            .unwrap_err();
+        assert_eq!(err.class(), "unsupported");
+    }
+
+    #[test]
+    fn ddl_validation() {
+        let mut mpp = MppDatabase::new(2);
+        assert!(mpp
+            .create_table("create table t (a int)", Distribution::Hash("zz".into()))
+            .is_err());
+        assert!(mpp.insert("insert into missing values (1)").is_err());
+        assert!(mpp.query("select * from missing").is_err());
+    }
+
+    #[test]
+    fn learning_optimizer_runs_per_node() {
+        use hdm_learnopt::SharedPlanStore;
+        let mut mpp = cluster();
+        // Attach a plan store to node 0 and run a misestimated query twice.
+        let store = SharedPlanStore::default();
+        mpp.nodes[0].set_plan_store(store.hints(), store.observer());
+        mpp.query("select sale_id from sales where amount > 90").unwrap();
+        mpp.query("select sale_id from sales where amount > 90").unwrap();
+        assert!(store.inner().borrow().stats().lookups > 0);
+    }
+}

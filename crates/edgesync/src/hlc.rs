@@ -1,0 +1,157 @@
+//! Hybrid logical clocks.
+//!
+//! Device wall clocks drift (the paper's "time drift problem across
+//! devices"); an HLC timestamps events with `max(local physical, observed)`
+//! plus a logical counter, so causality is never inverted by a skewed clock
+//! while timestamps stay close to physical time. Ties break on the device
+//! id, giving a total order for last-writer-wins.
+
+use hdm_common::DeviceId;
+
+/// A hybrid logical clock timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Hlc {
+    /// Physical component (µs).
+    pub physical: u64,
+    /// Logical counter for events within one physical tick.
+    pub logical: u32,
+    /// Tie-breaking device id.
+    pub node: u64,
+}
+
+impl Hlc {
+    pub const ZERO: Hlc = Hlc {
+        physical: 0,
+        logical: 0,
+        node: 0,
+    };
+}
+
+/// The clock state owned by one device.
+#[derive(Debug, Clone)]
+pub struct HlcClock {
+    node: DeviceId,
+    last: Hlc,
+}
+
+impl HlcClock {
+    pub fn new(node: DeviceId) -> Self {
+        Self {
+            node,
+            last: Hlc::ZERO,
+        }
+    }
+
+    /// Timestamp a local event given the device's (possibly drifted)
+    /// physical clock reading.
+    pub fn tick(&mut self, physical_now: u64) -> Hlc {
+        let mut next = if physical_now > self.last.physical {
+            Hlc {
+                physical: physical_now,
+                logical: 0,
+                node: self.node.raw(),
+            }
+        } else {
+            Hlc {
+                physical: self.last.physical,
+                logical: self.last.logical + 1,
+                node: self.node.raw(),
+            }
+        };
+        next.node = self.node.raw();
+        self.last = next;
+        next
+    }
+
+    /// Merge an observed remote timestamp (message receipt).
+    pub fn observe(&mut self, remote: Hlc, physical_now: u64) -> Hlc {
+        let max_phys = physical_now.max(remote.physical).max(self.last.physical);
+        let logical = if max_phys == self.last.physical && max_phys == remote.physical {
+            self.last.logical.max(remote.logical) + 1
+        } else if max_phys == self.last.physical {
+            self.last.logical + 1
+        } else if max_phys == remote.physical {
+            remote.logical + 1
+        } else {
+            0
+        };
+        let next = Hlc {
+            physical: max_phys,
+            logical,
+            node: self.node.raw(),
+        };
+        self.last = next;
+        next
+    }
+
+    pub fn last(&self) -> Hlc {
+        self.last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_ticks_are_strictly_increasing() {
+        let mut c = HlcClock::new(DeviceId::new(1));
+        let mut prev = c.tick(100);
+        for now in [100, 100, 101, 50, 200] {
+            let t = c.tick(now);
+            assert!(t > prev, "{t:?} must exceed {prev:?}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn stalled_physical_clock_advances_logical() {
+        let mut c = HlcClock::new(DeviceId::new(1));
+        let a = c.tick(100);
+        let b = c.tick(100);
+        assert_eq!(b.physical, 100);
+        assert_eq!(b.logical, a.logical + 1);
+    }
+
+    #[test]
+    fn observe_never_goes_backwards_despite_drift() {
+        // Device 2's clock is 1 hour behind; it still orders after what it
+        // observed from device 1.
+        let mut fast = HlcClock::new(DeviceId::new(1));
+        let mut slow = HlcClock::new(DeviceId::new(2));
+        let sent = fast.tick(3_600_000_000);
+        let received = slow.observe(sent, 42); // slow local clock!
+        assert!(received > sent);
+        let next_local = slow.tick(43);
+        assert!(next_local > received, "causality preserved after receipt");
+    }
+
+    #[test]
+    fn ties_break_on_node_id() {
+        let a = Hlc {
+            physical: 5,
+            logical: 0,
+            node: 1,
+        };
+        let b = Hlc {
+            physical: 5,
+            logical: 0,
+            node: 2,
+        };
+        assert!(a < b);
+    }
+
+    #[test]
+    fn concurrent_observes_merge_logical_counters() {
+        let mut c = HlcClock::new(DeviceId::new(3));
+        c.tick(100);
+        let remote = Hlc {
+            physical: 100,
+            logical: 9,
+            node: 1,
+        };
+        let merged = c.observe(remote, 100);
+        assert_eq!(merged.physical, 100);
+        assert!(merged.logical >= 10);
+    }
+}

@@ -1,0 +1,30 @@
+//! # hdm-edgesync
+//!
+//! The distributed data collaboration platform across devices, edge and
+//! cloud (paper §IV-B, Fig 13), focused on the MBaaS direct device-to-device
+//! sync the paper describes: "We adopt a peer to peer architecture (P2P)
+//! for supporting device to device data sync in an ad hoc wireless network
+//! that allows devices to be added and removed dynamically. Our data sync
+//! mechanism guarantees no data loss and no redundant data. In addition,
+//! our system adopts a P2P sync algorithm to solve the time drift problem
+//! across devices. It currently supports eventual consistency."
+//!
+//! * [`hlc`] — hybrid logical clocks: the time-drift-robust ordering.
+//! * [`oplog`] — per-origin operation logs + version vectors: exactly-once
+//!   delivery (no loss, no duplicates) by construction.
+//! * [`replica`] — a device/edge/cloud replica: last-writer-wins KV state,
+//!   anti-entropy sync sessions, query-based event subscriptions
+//!   ("low latency data access and query-based event subscriptions").
+//! * [`fleet`] — the Fig 13 topology: devices round-robined over edges
+//!   under one cloud, hierarchical gossip rounds with virtual-time link
+//!   costs, plus ad hoc direct device sessions.
+
+pub mod fleet;
+pub mod hlc;
+pub mod oplog;
+pub mod replica;
+
+pub use fleet::{Fleet, RoundReport};
+pub use hlc::Hlc;
+pub use oplog::{Op, OpLog, VersionVector};
+pub use replica::{Replica, Role};

@@ -1,0 +1,216 @@
+//! Operation logs and version vectors.
+//!
+//! Every replica assigns its local operations consecutive sequence numbers;
+//! a version vector `origin → highest contiguous seq` summarizes what a
+//! replica has. Anti-entropy sends exactly the ops the peer's vector lacks:
+//! *no loss* (gaps are impossible — ops apply in per-origin order) and *no
+//! redundant data* (a peer never receives a seq it already covers), the
+//! paper's two sync guarantees.
+
+use crate::hlc::Hlc;
+use hdm_common::{DeviceId, HdmError, Result};
+use std::collections::BTreeMap;
+
+/// One replicated operation (a key write or delete).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Op {
+    pub origin: DeviceId,
+    /// Per-origin sequence number, starting at 1, contiguous.
+    pub seq: u64,
+    pub hlc: Hlc,
+    pub key: String,
+    /// `None` is a delete (tombstone).
+    pub value: Option<String>,
+}
+
+/// `origin → highest contiguous sequence received`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct VersionVector {
+    entries: BTreeMap<u64, u64>,
+}
+
+impl VersionVector {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn get(&self, origin: DeviceId) -> u64 {
+        self.entries.get(&origin.raw()).copied().unwrap_or(0)
+    }
+
+    /// Record receipt of `seq` from `origin`; must be the next contiguous
+    /// number.
+    pub fn advance(&mut self, origin: DeviceId, seq: u64) -> Result<()> {
+        let cur = self.get(origin);
+        if seq != cur + 1 {
+            return Err(HdmError::Sync(format!(
+                "op gap from {origin}: have {cur}, got {seq}"
+            )));
+        }
+        self.entries.insert(origin.raw(), seq);
+        Ok(())
+    }
+
+    /// Does this vector already cover `(origin, seq)`?
+    pub fn covers(&self, origin: DeviceId, seq: u64) -> bool {
+        self.get(origin) >= seq
+    }
+
+    /// Pointwise maximum (lattice join).
+    pub fn merge(&mut self, other: &VersionVector) {
+        for (&o, &s) in &other.entries {
+            let e = self.entries.entry(o).or_insert(0);
+            *e = (*e).max(s);
+        }
+    }
+
+    /// `self ≤ other` pointwise.
+    pub fn dominated_by(&self, other: &VersionVector) -> bool {
+        self.entries
+            .iter()
+            .all(|(&o, &s)| other.get(DeviceId::new(o)) >= s)
+    }
+
+    pub fn origins(&self) -> impl Iterator<Item = (DeviceId, u64)> + '_ {
+        self.entries.iter().map(|(&o, &s)| (DeviceId::new(o), s))
+    }
+}
+
+/// A replica's full operation history, per origin.
+#[derive(Debug, Clone, Default)]
+pub struct OpLog {
+    by_origin: BTreeMap<u64, Vec<Op>>,
+    vector: VersionVector,
+}
+
+impl OpLog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn vector(&self) -> &VersionVector {
+        &self.vector
+    }
+
+    pub fn len(&self) -> usize {
+        self.by_origin.values().map(Vec::len).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append an op; it must be the next contiguous seq from its origin.
+    /// Duplicate receipts (already covered) are rejected distinctly so
+    /// callers can count redundancy.
+    pub fn append(&mut self, op: Op) -> Result<()> {
+        if self.vector.covers(op.origin, op.seq) {
+            return Err(HdmError::Sync(format!(
+                "duplicate op {}#{}",
+                op.origin, op.seq
+            )));
+        }
+        self.vector.advance(op.origin, op.seq)?;
+        self.by_origin.entry(op.origin.raw()).or_default().push(op);
+        Ok(())
+    }
+
+    /// Ops the peer (described by `their` vector) is missing, in per-origin
+    /// order — the anti-entropy payload.
+    pub fn missing_for(&self, their: &VersionVector) -> Vec<Op> {
+        let mut out = Vec::new();
+        for (&origin, ops) in &self.by_origin {
+            let have = their.get(DeviceId::new(origin));
+            for op in ops {
+                if op.seq > have {
+                    out.push(op.clone());
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(origin: u64, seq: u64, key: &str, val: Option<&str>) -> Op {
+        Op {
+            origin: DeviceId::new(origin),
+            seq,
+            hlc: Hlc {
+                physical: seq * 10,
+                logical: 0,
+                node: origin,
+            },
+            key: key.to_string(),
+            value: val.map(str::to_string),
+        }
+    }
+
+    #[test]
+    fn contiguous_appends_advance_the_vector() {
+        let mut log = OpLog::new();
+        log.append(op(1, 1, "a", Some("x"))).unwrap();
+        log.append(op(1, 2, "a", Some("y"))).unwrap();
+        log.append(op(2, 1, "b", Some("z"))).unwrap();
+        assert_eq!(log.vector().get(DeviceId::new(1)), 2);
+        assert_eq!(log.vector().get(DeviceId::new(2)), 1);
+        assert_eq!(log.len(), 3);
+    }
+
+    #[test]
+    fn gaps_and_duplicates_rejected() {
+        let mut log = OpLog::new();
+        log.append(op(1, 1, "a", Some("x"))).unwrap();
+        let gap = log.append(op(1, 3, "a", Some("y"))).unwrap_err();
+        assert!(gap.to_string().contains("gap"));
+        let dup = log.append(op(1, 1, "a", Some("x"))).unwrap_err();
+        assert!(dup.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn missing_for_sends_exactly_the_difference() {
+        let mut a = OpLog::new();
+        for s in 1..=5 {
+            a.append(op(1, s, "k", Some("v"))).unwrap();
+        }
+        a.append(op(2, 1, "k2", None)).unwrap();
+
+        let mut their = VersionVector::new();
+        their.advance(DeviceId::new(1), 1).unwrap();
+        their.advance(DeviceId::new(1), 2).unwrap();
+        their.advance(DeviceId::new(1), 3).unwrap();
+
+        let missing = a.missing_for(&their);
+        // Ops 4,5 from origin 1 and op 1 from origin 2 — nothing else.
+        assert_eq!(missing.len(), 3);
+        assert!(missing.iter().all(|o| !their.covers(o.origin, o.seq)));
+    }
+
+    #[test]
+    fn vector_merge_is_a_lattice_join() {
+        let mut a = VersionVector::new();
+        a.advance(DeviceId::new(1), 1).unwrap();
+        a.advance(DeviceId::new(1), 2).unwrap();
+        let mut b = VersionVector::new();
+        b.advance(DeviceId::new(2), 1).unwrap();
+        let mut j = a.clone();
+        j.merge(&b);
+        assert!(a.dominated_by(&j));
+        assert!(b.dominated_by(&j));
+        assert_eq!(j.get(DeviceId::new(1)), 2);
+        assert_eq!(j.get(DeviceId::new(2)), 1);
+    }
+
+    #[test]
+    fn dominated_by_detects_strict_progress() {
+        let mut a = VersionVector::new();
+        a.advance(DeviceId::new(1), 1).unwrap();
+        let mut b = a.clone();
+        b.advance(DeviceId::new(1), 2).unwrap();
+        assert!(a.dominated_by(&b));
+        assert!(!b.dominated_by(&a));
+    }
+}

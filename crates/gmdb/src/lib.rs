@@ -1,0 +1,43 @@
+//! # hdm-gmdb
+//!
+//! GMDB (paper §III): "a distributed in-memory database that provides
+//! low-latency, high-throughput, elastic expansion and high-availability"
+//! for telecom (CT) workloads, with deliberate trade-offs: asynchronous
+//! periodic disk flush, single-object transactions only, and a fiber-based
+//! lock-free storage engine.
+//!
+//! * [`object`] — the tree object model: "each object has a record schema
+//!   like a RDBMS table … related data of multiple tables with a key/foreign
+//!   key relationship can be organized and stored together in a tree format.
+//!   A record can contain multiple fields. Each field can be either a
+//!   primary data type, or a record type with an array of records."
+//! * [`evolution`] — **online schema evolution** (Figs 8–10): version
+//!   registry, legality rules (adding fields allowed; "deleting and
+//!   re-ordering fields are two major cases that are not allowed"), and
+//!   upgrade/downgrade conversion applied when a client reads an object
+//!   stored under a different version.
+//! * [`delta`] — delta objects: "data updates and schema evolution happen
+//!   on delta objects instead of whole objects", with byte accounting for
+//!   the Fig 11 experiment.
+//! * [`store`] — the data-node store: KV interface, per-client schema
+//!   versions with read-time conversion, pub/sub with delta notifications.
+//! * [`fibers`] — the fiber runtime: objects are partitioned across
+//!   single-threaded workers (one per "core"), making every single-object
+//!   transaction lock-free by construction.
+//! * [`flush`] — asynchronous periodic flush to disk and recovery
+//!   ("GMDB only asynchronously flush data to disk periodically").
+
+pub mod client;
+pub mod delta;
+pub mod evolution;
+pub mod fibers;
+pub mod flush;
+pub mod object;
+pub mod store;
+
+pub use client::GmdbClient;
+pub use delta::Delta;
+pub use evolution::SchemaRegistry;
+pub use fibers::GmdbRuntime;
+pub use object::{FieldDef, FieldType, ObjectSchema, RecordSchema};
+pub use store::{GmdbStore, Notification};

@@ -1,0 +1,341 @@
+//! Continuous queries over time-series streams.
+//!
+//! §II-B: "We integrate two languages in our SQL extensions: the Gremlin
+//! language … and a **continuous query language used in streaming
+//! processing**." A continuous query is a standing tumbling-window
+//! aggregation over one ingestion stream: every time the stream's watermark
+//! crosses a window boundary, the window's aggregate is emitted — optionally
+//! gated by a HAVING-style threshold (the alerting pattern: "emit when the
+//! average speed in a 1-minute window exceeds 120").
+//!
+//! Late points (behind the watermark's window) are counted and dropped,
+//! the standard tumbling-window discipline.
+
+use hdm_common::{HdmError, Result};
+
+/// Aggregate function of a continuous query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamAgg {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+/// Threshold gate: emit only when the aggregate compares true.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Gate {
+    Always,
+    GreaterThan(f64),
+    LessThan(f64),
+}
+
+impl Gate {
+    fn passes(&self, v: f64) -> bool {
+        match self {
+            Gate::Always => true,
+            Gate::GreaterThan(t) => v > *t,
+            Gate::LessThan(t) => v < *t,
+        }
+    }
+}
+
+/// A standing query definition.
+#[derive(Debug, Clone)]
+pub struct ContinuousQuery {
+    pub name: String,
+    /// Which ingestion stream (series name) it listens to.
+    pub series: String,
+    /// Tumbling window width (µs).
+    pub window_us: i64,
+    pub agg: StreamAgg,
+    /// Only points with this tag (None = all points).
+    pub tag_filter: Option<String>,
+    pub gate: Gate,
+}
+
+/// One emitted window result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowEvent {
+    pub query: String,
+    pub window_start: i64,
+    pub window_end: i64,
+    pub value: f64,
+    pub count: u64,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Acc {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Acc {
+    fn update(&mut self, v: f64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    fn finish(&self, agg: StreamAgg) -> f64 {
+        match agg {
+            StreamAgg::Count => self.count as f64,
+            StreamAgg::Sum => self.sum,
+            StreamAgg::Avg => {
+                if self.count == 0 {
+                    0.0
+                } else {
+                    self.sum / self.count as f64
+                }
+            }
+            StreamAgg::Min => self.min,
+            StreamAgg::Max => self.max,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct QueryState {
+    q: ContinuousQuery,
+    window_key: Option<i64>,
+    acc: Acc,
+    late_points: u64,
+}
+
+/// The continuous-query engine: feed points, collect window events.
+#[derive(Debug, Default)]
+pub struct StreamEngine {
+    queries: Vec<QueryState>,
+    pending: Vec<WindowEvent>,
+}
+
+impl StreamEngine {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a standing query.
+    pub fn register(&mut self, q: ContinuousQuery) -> Result<()> {
+        if q.window_us <= 0 {
+            return Err(HdmError::Config(format!(
+                "continuous query {}: window must be positive",
+                q.name
+            )));
+        }
+        if self.queries.iter().any(|s| s.q.name == q.name) {
+            return Err(HdmError::Config(format!(
+                "continuous query {} already registered",
+                q.name
+            )));
+        }
+        self.queries.push(QueryState {
+            q,
+            window_key: None,
+            acc: Acc::default(),
+            late_points: 0,
+        });
+        Ok(())
+    }
+
+    pub fn query_names(&self) -> Vec<&str> {
+        self.queries.iter().map(|s| s.q.name.as_str()).collect()
+    }
+
+    /// Late points dropped by a query so far.
+    pub fn late_points(&self, name: &str) -> Option<u64> {
+        self.queries
+            .iter()
+            .find(|s| s.q.name == name)
+            .map(|s| s.late_points)
+    }
+
+    /// Feed one ingested point; completed windows land in the pending queue.
+    pub fn on_point(&mut self, series: &str, ts: i64, tag: &str, value: f64) {
+        for s in &mut self.queries {
+            if s.q.series != series {
+                continue;
+            }
+            if let Some(f) = &s.q.tag_filter {
+                if f != tag {
+                    continue;
+                }
+            }
+            let key = ts.div_euclid(s.q.window_us);
+            match s.window_key {
+                None => {
+                    s.window_key = Some(key);
+                    s.acc.update(value);
+                }
+                Some(cur) if key == cur => s.acc.update(value),
+                Some(cur) if key < cur => s.late_points += 1,
+                Some(cur) => {
+                    // Watermark crossed: close the current window.
+                    let value_out = s.acc.finish(s.q.agg);
+                    if s.q.gate.passes(value_out) && s.acc.count > 0 {
+                        self.pending.push(WindowEvent {
+                            query: s.q.name.clone(),
+                            window_start: cur * s.q.window_us,
+                            window_end: (cur + 1) * s.q.window_us,
+                            value: value_out,
+                            count: s.acc.count,
+                        });
+                    }
+                    s.window_key = Some(key);
+                    s.acc = Acc::default();
+                    s.acc.update(value);
+                }
+            }
+        }
+    }
+
+    /// Force-close all open windows (end of stream / checkpoint).
+    pub fn flush(&mut self) {
+        for s in &mut self.queries {
+            if let Some(cur) = s.window_key.take() {
+                let value_out = s.acc.finish(s.q.agg);
+                if s.q.gate.passes(value_out) && s.acc.count > 0 {
+                    self.pending.push(WindowEvent {
+                        query: s.q.name.clone(),
+                        window_start: cur * s.q.window_us,
+                        window_end: (cur + 1) * s.q.window_us,
+                        value: value_out,
+                        count: s.acc.count,
+                    });
+                }
+                s.acc = Acc::default();
+            }
+        }
+    }
+
+    /// Drain emitted window events.
+    pub fn take_events(&mut self) -> Vec<WindowEvent> {
+        std::mem::take(&mut self.pending)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn speed_query(gate: Gate) -> ContinuousQuery {
+        ContinuousQuery {
+            name: "avg_speed".into(),
+            series: "speed".into(),
+            window_us: 1_000,
+            agg: StreamAgg::Avg,
+            tag_filter: None,
+            gate,
+        }
+    }
+
+    #[test]
+    fn tumbling_windows_emit_on_boundary_crossing() {
+        let mut e = StreamEngine::new();
+        e.register(speed_query(Gate::Always)).unwrap();
+        for ts in [0i64, 250, 900] {
+            e.on_point("speed", ts, "car-1", 100.0);
+        }
+        assert!(e.take_events().is_empty(), "window still open");
+        e.on_point("speed", 1_100, "car-1", 50.0); // crosses boundary
+        let ev = e.take_events();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].window_start, 0);
+        assert_eq!(ev[0].window_end, 1_000);
+        assert_eq!(ev[0].value, 100.0);
+        assert_eq!(ev[0].count, 3);
+    }
+
+    #[test]
+    fn gate_filters_quiet_windows() {
+        let mut e = StreamEngine::new();
+        e.register(speed_query(Gate::GreaterThan(120.0))).unwrap();
+        // Window 0: avg 90 (quiet). Window 1: avg 150 (alert).
+        e.on_point("speed", 100, "car-1", 90.0);
+        e.on_point("speed", 1_100, "car-1", 150.0);
+        e.on_point("speed", 2_100, "car-1", 80.0);
+        let ev = e.take_events();
+        assert_eq!(ev.len(), 1, "only the speeding window");
+        assert_eq!(ev[0].value, 150.0);
+        assert_eq!(ev[0].window_start, 1_000);
+    }
+
+    #[test]
+    fn tag_filter_scopes_the_stream() {
+        let mut e = StreamEngine::new();
+        let mut q = speed_query(Gate::Always);
+        q.tag_filter = Some("car-7".into());
+        q.agg = StreamAgg::Count;
+        e.register(q).unwrap();
+        for tag in ["car-1", "car-7", "car-7", "car-2"] {
+            e.on_point("speed", 10, tag, 1.0);
+        }
+        e.on_point("speed", 1_500, "car-7", 1.0);
+        let ev = e.take_events();
+        assert_eq!(ev[0].count, 2, "only car-7 points counted");
+    }
+
+    #[test]
+    fn late_points_are_dropped_and_counted() {
+        let mut e = StreamEngine::new();
+        e.register(speed_query(Gate::Always)).unwrap();
+        e.on_point("speed", 2_500, "c", 10.0);
+        e.on_point("speed", 500, "c", 99.0); // behind the watermark
+        assert_eq!(e.late_points("avg_speed"), Some(1));
+        e.on_point("speed", 3_500, "c", 20.0);
+        let ev = e.take_events();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].value, 10.0, "late point did not pollute the window");
+    }
+
+    #[test]
+    fn flush_closes_open_windows() {
+        let mut e = StreamEngine::new();
+        e.register(speed_query(Gate::Always)).unwrap();
+        e.on_point("speed", 100, "c", 42.0);
+        e.flush();
+        let ev = e.take_events();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].value, 42.0);
+        // Flushing again emits nothing.
+        e.flush();
+        assert!(e.take_events().is_empty());
+    }
+
+    #[test]
+    fn multiple_queries_over_one_stream() {
+        let mut e = StreamEngine::new();
+        e.register(speed_query(Gate::Always)).unwrap();
+        let mut max_q = speed_query(Gate::Always);
+        max_q.name = "max_speed".into();
+        max_q.agg = StreamAgg::Max;
+        e.register(max_q).unwrap();
+        e.on_point("speed", 100, "c", 80.0);
+        e.on_point("speed", 200, "c", 120.0);
+        e.on_point("speed", 1_200, "c", 1.0);
+        let ev = e.take_events();
+        assert_eq!(ev.len(), 2);
+        let avg = ev.iter().find(|x| x.query == "avg_speed").unwrap();
+        let max = ev.iter().find(|x| x.query == "max_speed").unwrap();
+        assert_eq!(avg.value, 100.0);
+        assert_eq!(max.value, 120.0);
+    }
+
+    #[test]
+    fn registration_validation() {
+        let mut e = StreamEngine::new();
+        let mut q = speed_query(Gate::Always);
+        q.window_us = 0;
+        assert!(e.register(q).is_err());
+        e.register(speed_query(Gate::Always)).unwrap();
+        assert!(e.register(speed_query(Gate::Always)).is_err(), "duplicate");
+    }
+}

@@ -1,0 +1,106 @@
+//! Network latency models with deterministic jitter.
+
+use hdm_common::{SimDuration, SplitMix64};
+
+/// A point-to-point network link: a base one-way latency plus uniform jitter.
+///
+/// Defaults are calibrated to the paper's environments: FI-MPPDB clusters use
+/// datacenter Ethernet (tens of µs one-way); the edge-sync experiments use
+/// Bluetooth vs Internet links where the paper claims "direct communication
+/// between devices based on Bluetooth is at least 10X faster" (§IV-B).
+#[derive(Debug, Clone)]
+pub struct NetLink {
+    base: SimDuration,
+    jitter_frac: f64,
+    rng: SplitMix64,
+}
+
+impl NetLink {
+    /// A link with `base` one-way latency and ±`jitter_frac` uniform jitter.
+    pub fn new(base: SimDuration, jitter_frac: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&jitter_frac), "jitter must be in [0,1)");
+        Self {
+            base,
+            jitter_frac,
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// Datacenter LAN: 25µs ± 20%.
+    pub fn datacenter(seed: u64) -> Self {
+        Self::new(SimDuration::from_micros(25), 0.2, seed)
+    }
+
+    /// Loopback / same-host IPC: 2µs ± 20%.
+    pub fn local(seed: u64) -> Self {
+        Self::new(SimDuration::from_micros(2), 0.2, seed)
+    }
+
+    /// Device-to-device Bluetooth-class link: 3ms ± 30%.
+    pub fn bluetooth(seed: u64) -> Self {
+        Self::new(SimDuration::from_millis(3), 0.3, seed)
+    }
+
+    /// Device-to-cloud Internet path: 30ms ± 30% (≈10x Bluetooth, §IV-B).
+    pub fn internet(seed: u64) -> Self {
+        Self::new(SimDuration::from_millis(30), 0.3, seed)
+    }
+
+    /// Sample a one-way message latency.
+    pub fn one_way(&mut self) -> SimDuration {
+        let jitter = (self.rng.next_f64() * 2.0 - 1.0) * self.jitter_frac;
+        self.base.mul_f64(1.0 + jitter)
+    }
+
+    /// Sample a round-trip latency (two independent one-way samples).
+    pub fn round_trip(&mut self) -> SimDuration {
+        self.one_way() + self.one_way()
+    }
+
+    /// The deterministic mean one-way latency.
+    pub fn base(&self) -> SimDuration {
+        self.base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jitter_stays_in_band() {
+        let mut l = NetLink::new(SimDuration::from_micros(100), 0.2, 1);
+        for _ in 0..1_000 {
+            let d = l.one_way().micros();
+            assert!((80..=120).contains(&d), "latency {d} outside ±20%");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = NetLink::datacenter(7);
+        let mut b = NetLink::datacenter(7);
+        for _ in 0..100 {
+            assert_eq!(a.one_way(), b.one_way());
+        }
+    }
+
+    #[test]
+    fn internet_is_about_10x_bluetooth() {
+        let bt = NetLink::bluetooth(1).base().micros() as f64;
+        let inet = NetLink::internet(1).base().micros() as f64;
+        assert!((inet / bt - 10.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn round_trip_is_two_hops() {
+        let mut l = NetLink::new(SimDuration::from_micros(50), 0.0, 1);
+        assert_eq!(l.round_trip().micros(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter must be in [0,1)")]
+    fn rejects_full_jitter() {
+        let _ = NetLink::new(SimDuration::from_micros(1), 1.0, 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! # hdm-simnet
+//!
+//! A small discrete-event simulation kernel in virtual time.
+//!
+//! The paper's Fig 3 evaluates GTM-lite on physical clusters of 1–8 nodes.
+//! We do not have that testbed (and the build host may have a single core),
+//! so the cluster experiments run under this kernel: every CPU, network hop
+//! and GTM interaction costs *virtual* microseconds, and throughput is
+//! computed from virtual time. This reproduces the queueing behaviour that
+//! Fig 3 is really about — a centralized GTM is a single-server queue that
+//! saturates, while GTM-lite's single-shard fast path never visits it —
+//! deterministically and independently of host hardware.
+//!
+//! Three building blocks:
+//!
+//! * [`Sim`] — an event loop scheduling boxed callbacks at virtual instants
+//!   over a user-supplied world state.
+//! * [`Resource`] — a multi-server FCFS resource *timeline* (a CPU, a disk,
+//!   the GTM service loop) granting `(start, end)` spans to requests issued
+//!   in arrival order.
+//! * [`NetLink`] — a latency model with deterministic jitter.
+
+pub mod latency;
+pub mod resource;
+pub mod sim;
+
+pub use latency::NetLink;
+pub use resource::{Grant, Resource};
+pub use sim::Sim;

@@ -1,0 +1,774 @@
+//! The embedded database facade: parse → plan → execute with autocommit
+//! transactions, plus the three extension hooks the rest of the workspace
+//! plugs into (plan store consumer/producer, table functions).
+
+use crate::ast::{SelectItem, SelectStmt, Statement};
+use crate::catalog::Catalog;
+use crate::exec::execute;
+use crate::expr::{bind, BoundSchema};
+use crate::parser::parse;
+use crate::plan::{PlanNode, StepObservation};
+use crate::planner::{Planner, PlanningInfo, TempRels};
+use hdm_common::{Datum, HdmError, Result, Row, Schema};
+use hdm_txn::{LocalTxnManager, SnapshotVisibility};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Plan-store *consumer* hook: the optimizer asks for the actual cardinality
+/// of a canonical step before trusting its own estimate (§II-C).
+pub trait CardinalityHints {
+    fn lookup(&self, step_text: &str) -> Option<u64>;
+}
+
+/// Plan-store *producer* hook: receives every executed step with its
+/// estimated and actual cardinality; the store decides what to keep.
+pub trait StepObserver {
+    fn observe(&self, steps: &[StepObservation]);
+}
+
+/// A table-valued function callable in FROM — the integration point the
+/// multi-model engines use for `gtimeseries(...)` / `ggraph(...)` (§II-B).
+pub trait TableFunction {
+    fn eval(&self, args: &[Datum]) -> Result<(Schema, Vec<Row>)>;
+}
+
+/// Result of executing one statement.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Output column names.
+    pub columns: Vec<String>,
+    pub rows: Vec<Row>,
+    /// Rows touched by DML (INSERT/UPDATE/DELETE).
+    pub affected: u64,
+    /// Step observations from SELECT execution.
+    pub steps: Vec<StepObservation>,
+    /// Hint usage during planning.
+    pub planning: PlanningInfo,
+}
+
+impl QueryResult {
+    fn empty() -> Self {
+        Self {
+            columns: vec![],
+            rows: vec![],
+            affected: 0,
+            steps: vec![],
+            planning: PlanningInfo::default(),
+        }
+    }
+
+    /// First column of the first row as an integer (test convenience).
+    pub fn scalar_int(&self) -> Option<i64> {
+        self.rows.first().and_then(|r| r.get(0)).and_then(Datum::as_int)
+    }
+}
+
+/// An embedded single-node SQL database.
+pub struct Database {
+    catalog: Catalog,
+    mgr: LocalTxnManager,
+    hints: Option<Rc<dyn CardinalityHints>>,
+    observer: Option<Rc<dyn StepObserver>>,
+    table_funcs: HashMap<String, Box<dyn TableFunction>>,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Database {
+    pub fn new() -> Self {
+        Self {
+            catalog: Catalog::new(),
+            mgr: LocalTxnManager::new(),
+            hints: None,
+            observer: None,
+            table_funcs: HashMap::new(),
+        }
+    }
+
+    /// Install the learning plan store (usually one object serving both
+    /// roles — see `hdm-learnopt`).
+    pub fn set_plan_store(
+        &mut self,
+        hints: Rc<dyn CardinalityHints>,
+        observer: Rc<dyn StepObserver>,
+    ) {
+        self.hints = Some(hints);
+        self.observer = Some(observer);
+    }
+
+    /// Disable the learning plan store.
+    pub fn clear_plan_store(&mut self) {
+        self.hints = None;
+        self.observer = None;
+    }
+
+    /// Register a table-valued function usable in FROM.
+    pub fn register_table_function(&mut self, name: &str, f: Box<dyn TableFunction>) {
+        self.table_funcs.insert(name.to_ascii_lowercase(), f);
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// Execute one SQL statement (rewritten before planning).
+    pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
+        let mut stmt = parse(sql)?;
+        crate::rewrite::rewrite_statement(&mut stmt);
+        self.execute_statement(&stmt)
+    }
+
+    /// Convenience: execute and return rows.
+    pub fn query(&mut self, sql: &str) -> Result<Vec<Row>> {
+        Ok(self.execute(sql)?.rows)
+    }
+
+    pub fn execute_statement(&mut self, stmt: &Statement) -> Result<QueryResult> {
+        match stmt {
+            Statement::CreateTable { name, columns } => {
+                let schema = Schema::new(
+                    columns
+                        .iter()
+                        .map(|c| {
+                            let col = hdm_common::Column::new(c.name.clone(), c.data_type);
+                            if c.not_null {
+                                col.not_null()
+                            } else {
+                                col
+                            }
+                        })
+                        .collect(),
+                );
+                self.catalog.create_table(name, schema)?;
+                Ok(QueryResult::empty())
+            }
+            Statement::CreateIndex { table, columns } => {
+                let t = self.catalog.get_mut(table)?;
+                let idxs: Vec<usize> = columns
+                    .iter()
+                    .map(|c| {
+                        t.schema()
+                            .index_of(c)
+                            .ok_or_else(|| HdmError::Catalog(format!("no column {c} in {table}")))
+                    })
+                    .collect::<Result<_>>()?;
+                t.create_index(idxs)?;
+                Ok(QueryResult::empty())
+            }
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+            } => self.run_insert(table, columns.as_deref(), rows),
+            Statement::Update {
+                table,
+                sets,
+                where_clause,
+            } => self.run_update(table, sets, where_clause.as_ref()),
+            Statement::Delete {
+                table,
+                where_clause,
+            } => self.run_delete(table, where_clause.as_ref()),
+            Statement::Analyze { table } => {
+                let snap = self.mgr.local_snapshot();
+                let judge = SnapshotVisibility::new(&snap, self.mgr.clog(), None);
+                match table {
+                    Some(t) => self.catalog.get_mut(t)?.analyze(&judge),
+                    None => {
+                        for t in self.catalog.tables_mut() {
+                            t.analyze(&judge);
+                        }
+                    }
+                }
+                Ok(QueryResult::empty())
+            }
+            Statement::Select(s) => self.run_select(s),
+            Statement::Explain(inner) => self.run_explain(inner),
+        }
+    }
+
+    fn plan_with_ctes(&mut self, s: &SelectStmt) -> Result<(PlanNode, PlanningInfo)> {
+        // Materialize CTEs in order; later CTEs may reference earlier ones.
+        let mut temp: TempRels = TempRels::new();
+        for (name, sub) in &s.with {
+            let (plan, _) = {
+                let mut p = Planner::new(
+                    &self.catalog,
+                    self.hints.as_deref(),
+                    &self.table_funcs,
+                );
+                (p.plan_select(sub, &temp)?, p.info)
+            };
+            let snap = self.mgr.local_snapshot();
+            let judge = SnapshotVisibility::new(&snap, self.mgr.clog(), None);
+            let mut obs = Vec::new();
+            let rows = execute(&plan, &self.catalog, &judge, &mut obs)?;
+            if let Some(o) = &self.observer {
+                o.observe(&obs);
+            }
+            temp.insert(name.to_ascii_lowercase(), (plan.schema.clone(), rows));
+        }
+        let mut p = Planner::new(&self.catalog, self.hints.as_deref(), &self.table_funcs);
+        let plan = p.plan_select(s, &temp)?;
+        Ok((plan, p.info))
+    }
+
+    fn run_select(&mut self, s: &SelectStmt) -> Result<QueryResult> {
+        let (plan, planning) = self.plan_with_ctes(s)?;
+        let snap = self.mgr.local_snapshot();
+        let judge = SnapshotVisibility::new(&snap, self.mgr.clog(), None);
+        let mut steps = Vec::new();
+        let rows = execute(&plan, &self.catalog, &judge, &mut steps)?;
+        if let Some(o) = &self.observer {
+            o.observe(&steps);
+        }
+        Ok(QueryResult {
+            columns: plan.schema.cols.iter().map(|c| c.name.clone()).collect(),
+            rows,
+            affected: 0,
+            steps,
+            planning,
+        })
+    }
+
+    fn run_explain(&mut self, inner: &Statement) -> Result<QueryResult> {
+        let Statement::Select(s) = inner else {
+            return Err(HdmError::Unsupported("EXPLAIN supports SELECT only".into()));
+        };
+        let (plan, planning) = self.plan_with_ctes(s)?;
+        let text = plan.explain();
+        let rows: Vec<Row> = text
+            .lines()
+            .map(|l| Row::new(vec![Datum::Text(l.to_string())]))
+            .collect();
+        Ok(QueryResult {
+            columns: vec!["plan".into()],
+            rows,
+            affected: 0,
+            steps: vec![],
+            planning,
+        })
+    }
+
+    fn run_insert(
+        &mut self,
+        table: &str,
+        columns: Option<&[String]>,
+        rows: &[Vec<crate::ast::Expr>],
+    ) -> Result<QueryResult> {
+        // Evaluate all rows before writing anything.
+        let t = self.catalog.get(table)?;
+        let width = t.schema().len();
+        let col_map: Vec<usize> = match columns {
+            None => (0..width).collect(),
+            Some(cols) => cols
+                .iter()
+                .map(|c| {
+                    t.schema()
+                        .index_of(c)
+                        .ok_or_else(|| HdmError::Catalog(format!("no column {c} in {table}")))
+                })
+                .collect::<Result<_>>()?,
+        };
+        let empty = BoundSchema::default();
+        let mut materialized: Vec<Row> = Vec::with_capacity(rows.len());
+        for r in rows {
+            if r.len() != col_map.len() {
+                return Err(HdmError::Execution(format!(
+                    "INSERT row has {} values, expected {}",
+                    r.len(),
+                    col_map.len()
+                )));
+            }
+            let mut vals = vec![Datum::Null; width];
+            for (expr, &slot) in r.iter().zip(&col_map) {
+                vals[slot] = bind(expr, &empty)?.eval(&[])?;
+            }
+            materialized.push(Row::new(vals));
+        }
+
+        let xid = self.mgr.begin_local();
+        let t = self.catalog.get_mut(table)?;
+        let mut inserted = Vec::new();
+        for row in materialized {
+            match t.insert(xid, row) {
+                Ok(tid) => inserted.push(tid),
+                Err(e) => {
+                    for tid in inserted {
+                        t.undo_insert(xid, tid)?;
+                    }
+                    self.mgr.abort(xid)?;
+                    return Err(e);
+                }
+            }
+        }
+        self.mgr.commit(xid)?;
+        Ok(QueryResult {
+            affected: inserted.len() as u64,
+            ..QueryResult::empty()
+        })
+    }
+
+    fn run_update(
+        &mut self,
+        table: &str,
+        sets: &[(String, crate::ast::Expr)],
+        where_clause: Option<&crate::ast::Expr>,
+    ) -> Result<QueryResult> {
+        let t = self.catalog.get(table)?;
+        let schema = BoundSchema::from_table(
+            &table.to_ascii_lowercase(),
+            &table.to_ascii_lowercase(),
+            t.schema(),
+        );
+        let pred = where_clause.map(|w| bind(w, &schema)).transpose()?;
+        let set_bound: Vec<(usize, crate::expr::SExpr)> = sets
+            .iter()
+            .map(|(c, e)| {
+                let idx = t
+                    .schema()
+                    .index_of(c)
+                    .ok_or_else(|| HdmError::Catalog(format!("no column {c} in {table}")))?;
+                Ok((idx, bind(e, &schema)?))
+            })
+            .collect::<Result<_>>()?;
+
+        let xid = self.mgr.begin_local();
+        let snap = self.mgr.local_snapshot();
+        // Collect targets first (snapshot view), then write.
+        let targets: Vec<(hdm_storage::heap::TupleId, Row)> = {
+            let judge = SnapshotVisibility::new(&snap, self.mgr.clog(), Some(xid));
+            let t = self.catalog.get(table)?;
+            let mut v = Vec::new();
+            for (tid, row) in t.scan(&judge) {
+                let hit = match &pred {
+                    None => true,
+                    Some(p) => p.eval_filter(row.values())?,
+                };
+                if hit {
+                    v.push((tid, row.clone()));
+                }
+            }
+            v
+        };
+        let t = self.catalog.get_mut(table)?;
+        let mut n = 0;
+        for (tid, old) in targets {
+            let mut vals = old.into_values();
+            for (idx, e) in &set_bound {
+                vals[*idx] = e.eval(&vals)?;
+            }
+            match t.update(xid, tid, Row::new(vals)) {
+                Ok(_) => n += 1,
+                Err(e) => {
+                    // Write-write conflict mid-statement: abort the lot.
+                    self.mgr.abort(xid)?;
+                    return Err(e);
+                }
+            }
+        }
+        self.mgr.commit(xid)?;
+        Ok(QueryResult {
+            affected: n,
+            ..QueryResult::empty()
+        })
+    }
+
+    fn run_delete(
+        &mut self,
+        table: &str,
+        where_clause: Option<&crate::ast::Expr>,
+    ) -> Result<QueryResult> {
+        let t = self.catalog.get(table)?;
+        let schema = BoundSchema::from_table(
+            &table.to_ascii_lowercase(),
+            &table.to_ascii_lowercase(),
+            t.schema(),
+        );
+        let pred = where_clause.map(|w| bind(w, &schema)).transpose()?;
+        let xid = self.mgr.begin_local();
+        let snap = self.mgr.local_snapshot();
+        let targets: Vec<hdm_storage::heap::TupleId> = {
+            let judge = SnapshotVisibility::new(&snap, self.mgr.clog(), Some(xid));
+            let t = self.catalog.get(table)?;
+            let mut v = Vec::new();
+            for (tid, row) in t.scan(&judge) {
+                let hit = match &pred {
+                    None => true,
+                    Some(p) => p.eval_filter(row.values())?,
+                };
+                if hit {
+                    v.push(tid);
+                }
+            }
+            v
+        };
+        let t = self.catalog.get_mut(table)?;
+        let mut n = 0;
+        for tid in targets {
+            match t.delete(xid, tid) {
+                Ok(()) => n += 1,
+                Err(e) => {
+                    self.mgr.abort(xid)?;
+                    return Err(e);
+                }
+            }
+        }
+        self.mgr.commit(xid)?;
+        Ok(QueryResult {
+            affected: n,
+            ..QueryResult::empty()
+        })
+    }
+
+    /// Parse + plan a SELECT and return the plan without executing —
+    /// exposes estimates to tests and the Table I harness.
+    pub fn plan_only(&mut self, sql: &str) -> Result<PlanNode> {
+        let mut stmt = parse(sql)?;
+        crate::rewrite::rewrite_statement(&mut stmt);
+        let Statement::Select(s) = stmt else {
+            return Err(HdmError::Plan("plan_only expects SELECT".into()));
+        };
+        Ok(self.plan_with_ctes(&s)?.0)
+    }
+}
+
+/// Free helper: evaluate SELECT items when validating star-expansion (used
+/// by tests; kept public-in-crate for the planner tests).
+#[allow(dead_code)]
+fn is_star(items: &[SelectItem]) -> bool {
+    matches!(items, [SelectItem::Star])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdm_common::row;
+
+    fn setup() -> Database {
+        let mut db = Database::new();
+        db.execute("create table olap.t1 (a1 int, b1 int)").unwrap();
+        db.execute("create table olap.t2 (a2 int)").unwrap();
+        // t1: 1000 rows, b1 skewed: 0..=99 repeating, a1 = i % 200.
+        for chunk in (0..1000i64).collect::<Vec<_>>().chunks(100) {
+            let values: Vec<String> = chunk
+                .iter()
+                .map(|i| format!("({}, {})", i % 200, i % 100))
+                .collect();
+            db.execute(&format!(
+                "insert into olap.t1 values {}",
+                values.join(", ")
+            ))
+            .unwrap();
+        }
+        // t2: 200 rows, a2 = i.
+        let values: Vec<String> = (0..200i64).map(|i| format!("({i})")).collect();
+        db.execute(&format!("insert into olap.t2 values {}", values.join(", ")))
+            .unwrap();
+        db.execute("analyze").unwrap();
+        db
+    }
+
+    #[test]
+    fn create_insert_select_roundtrip() {
+        let mut db = Database::new();
+        db.execute("create table t (a int, b text)").unwrap();
+        let r = db
+            .execute("insert into t values (1, 'x'), (2, 'y')")
+            .unwrap();
+        assert_eq!(r.affected, 2);
+        let rows = db.query("select a, b from t order by a desc").unwrap();
+        assert_eq!(rows, vec![row![2, "y"], row![1, "x"]]);
+    }
+
+    #[test]
+    fn where_filtering_and_projection_exprs() {
+        let mut db = setup();
+        let rows = db
+            .query("select a1 + 1 from olap.t1 where b1 = 7 order by a1 limit 3")
+            .unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0], row![8]); // a1=7 -> 8
+    }
+
+    #[test]
+    fn the_table1_join_runs_and_counts() {
+        let mut db = setup();
+        let r = db
+            .execute(
+                "select * from olap.t1, olap.t2 \
+                 where olap.t1.a1 = olap.t2.a2 and olap.t1.b1 > 10",
+            )
+            .unwrap();
+        // b1 > 10: 890 of 1000 rows; all a1 values < 200 join t2 exactly once.
+        assert_eq!(r.rows.len(), 890);
+        // Steps observed: two scans and a join.
+        let kinds: Vec<_> = r.steps.iter().map(|s| s.kind).collect();
+        assert!(kinds.contains(&crate::plan::StepKind::Scan));
+        assert!(kinds.contains(&crate::plan::StepKind::Join));
+        let join = r
+            .steps
+            .iter()
+            .find(|s| s.kind == crate::plan::StepKind::Join)
+            .unwrap();
+        assert_eq!(join.actual, 890);
+    }
+
+    #[test]
+    fn group_by_aggregates() {
+        let mut db = setup();
+        let rows = db
+            .query(
+                "select b1, count(*), sum(a1) from olap.t1 \
+                 where b1 < 2 group by b1 order by b1",
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 2);
+        // b1 = 0: rows i in {0,100,...,900}, count 10.
+        assert_eq!(rows[0].get(1).unwrap().as_int(), Some(10));
+    }
+
+    #[test]
+    fn global_aggregate_without_group() {
+        let mut db = setup();
+        let r = db.execute("select count(*), min(b1), max(b1) from olap.t1").unwrap();
+        assert_eq!(r.rows[0], row![1000, 0, 99]);
+    }
+
+    #[test]
+    fn update_and_delete() {
+        let mut db = Database::new();
+        db.execute("create table t (a int, b int)").unwrap();
+        db.execute("insert into t values (1, 10), (2, 20), (3, 30)")
+            .unwrap();
+        let r = db.execute("update t set b = b + 1 where a >= 2").unwrap();
+        assert_eq!(r.affected, 2);
+        let r = db.execute("delete from t where a = 1").unwrap();
+        assert_eq!(r.affected, 1);
+        let rows = db.query("select b from t order by b").unwrap();
+        assert_eq!(rows, vec![row![21], row![31]]);
+    }
+
+    #[test]
+    fn index_scan_is_chosen_for_equality() {
+        let mut db = setup();
+        db.execute("create index on olap.t2 (a2)").unwrap();
+        let plan = db.plan_only("select * from olap.t2 where a2 = 7").unwrap();
+        assert!(
+            matches!(plan.op, crate::plan::PlanOp::IndexScan { .. }),
+            "expected index scan, got {:?}",
+            plan.op
+        );
+        let rows = db.query("select * from olap.t2 where a2 = 7").unwrap();
+        assert_eq!(rows, vec![row![7]]);
+    }
+
+    #[test]
+    fn index_and_seq_scans_share_canonical_text() {
+        let mut db = setup();
+        let seq = db.plan_only("select * from olap.t2 where a2 = 7").unwrap();
+        let seq_text = seq.canonical().unwrap();
+        db.execute("create index on olap.t2 (a2)").unwrap();
+        let ix = db.plan_only("select * from olap.t2 where a2 = 7").unwrap();
+        assert_eq!(ix.canonical().unwrap(), seq_text);
+    }
+
+    #[test]
+    fn set_operations() {
+        let mut db = Database::new();
+        db.execute("create table a (x int)").unwrap();
+        db.execute("create table b (x int)").unwrap();
+        db.execute("insert into a values (1), (2), (2), (3)").unwrap();
+        db.execute("insert into b values (2), (3), (4)").unwrap();
+        let rows = db
+            .query("select x from a union select x from b order by x")
+            .unwrap();
+        assert_eq!(rows, vec![row![1], row![2], row![3], row![4]]);
+        let rows = db
+            .query("select x from a intersect select x from b order by x")
+            .unwrap();
+        assert_eq!(rows, vec![row![2], row![3]]);
+        let rows = db
+            .query("select x from a except select x from b order by x")
+            .unwrap();
+        assert_eq!(rows, vec![row![1]]);
+        let rows = db
+            .query("select x from a union all select x from b")
+            .unwrap();
+        assert_eq!(rows.len(), 7);
+    }
+
+    #[test]
+    fn ctes_materialize_and_join() {
+        let mut db = setup();
+        let rows = db
+            .query(
+                "with big as (select a1 from olap.t1 where b1 > 95) \
+                 select count(*) from big",
+            )
+            .unwrap();
+        assert_eq!(rows[0], row![40]); // b1 in {96..99}: 4 * 10 rows
+    }
+
+    #[test]
+    fn explain_returns_plan_text() {
+        let mut db = setup();
+        let r = db
+            .execute("explain select * from olap.t1 where b1 > 10")
+            .unwrap();
+        let text: Vec<String> = r
+            .rows
+            .iter()
+            .map(|row| row.get(0).unwrap().as_text().unwrap().to_string())
+            .collect();
+        assert!(text[0].contains("Seq Scan on olap.t1"));
+    }
+
+    #[test]
+    fn hints_override_estimates() {
+        struct Fixed;
+        impl CardinalityHints for Fixed {
+            fn lookup(&self, step: &str) -> Option<u64> {
+                step.starts_with("SCAN(OLAP.T1").then_some(123_456)
+            }
+        }
+        struct Nop;
+        impl StepObserver for Nop {
+            fn observe(&self, _: &[StepObservation]) {}
+        }
+        let mut db = setup();
+        db.set_plan_store(Rc::new(Fixed), Rc::new(Nop));
+        let plan = db
+            .plan_only("select * from olap.t1 where b1 > 10")
+            .unwrap();
+        assert_eq!(plan.est_rows, 123_456.0);
+    }
+
+    #[test]
+    fn observer_receives_steps() {
+        use std::cell::RefCell;
+        #[derive(Default)]
+        struct Capture(RefCell<Vec<StepObservation>>);
+        impl StepObserver for Capture {
+            fn observe(&self, steps: &[StepObservation]) {
+                self.0.borrow_mut().extend(steps.iter().cloned());
+            }
+        }
+        struct NoHints;
+        impl CardinalityHints for NoHints {
+            fn lookup(&self, _: &str) -> Option<u64> {
+                None
+            }
+        }
+        let mut db = setup();
+        let cap = Rc::new(Capture::default());
+        db.set_plan_store(Rc::new(NoHints), cap.clone());
+        db.query("select * from olap.t1 where b1 > 10").unwrap();
+        assert!(!cap.0.borrow().is_empty());
+    }
+
+    #[test]
+    fn table_functions_feed_from() {
+        struct Doubler;
+        impl TableFunction for Doubler {
+            fn eval(&self, args: &[Datum]) -> Result<(Schema, Vec<Row>)> {
+                let n = args[0].as_int().unwrap_or(0);
+                let schema = Schema::from_pairs(&[("v", hdm_common::DataType::Int)]);
+                let rows = (0..n).map(|i| row![i * 2]).collect();
+                Ok((schema, rows))
+            }
+        }
+        let mut db = Database::new();
+        db.register_table_function("doubler", Box::new(Doubler));
+        let rows = db
+            .query("select v from doubler(3) d where v > 0 order by v")
+            .unwrap();
+        assert_eq!(rows, vec![row![2], row![4]]);
+    }
+
+    #[test]
+    fn subquery_in_from() {
+        let mut db = setup();
+        let rows = db
+            .query(
+                "select count(*) from \
+                 (select a1 from olap.t1 where b1 = 0) s where s.a1 < 100",
+            )
+            .unwrap();
+        assert_eq!(rows[0], row![5]); // i in {0,100,...,900}, a1=i%200<100: i=0,100,400,500,800,900 -> wait
+    }
+
+    #[test]
+    fn select_distinct_deduplicates() {
+        let mut db = Database::new();
+        db.execute("create table t (a int, b int)").unwrap();
+        db.execute("insert into t values (1,1), (1,1), (1,2), (2,1)")
+            .unwrap();
+        let rows = db.query("select distinct a from t order by a").unwrap();
+        assert_eq!(rows, vec![row![1], row![2]]);
+        let rows = db.query("select distinct a, b from t order by a, b").unwrap();
+        assert_eq!(rows.len(), 3);
+        // Non-distinct control.
+        assert_eq!(db.query("select a from t").unwrap().len(), 4);
+    }
+
+    #[test]
+    fn having_filters_groups() {
+        let mut db = setup();
+        // Groups of b1 with at least 11 members (none: each b1 has 10).
+        let rows = db
+            .query("select b1, count(*) from olap.t1 group by b1 having count(*) > 10")
+            .unwrap();
+        assert!(rows.is_empty());
+        let rows = db
+            .query(
+                "select b1, count(*) from olap.t1 where b1 < 5 \
+                 group by b1 having sum(a1) > 400 order by b1",
+            )
+            .unwrap();
+        // Each b1 group: a1 values five x and five x+100 → sum = 10x + 500.
+        // sum > 400 always holds (x >= 0): all 5 groups pass.
+        assert_eq!(rows.len(), 5);
+        // Tighter: sum > 530 → 10x + 500 > 530 → x > 3 → only b1 = 4.
+        let rows = db
+            .query(
+                "select b1 from olap.t1 where b1 < 5 \
+                 group by b1 having sum(a1) > 530",
+            )
+            .unwrap();
+        assert_eq!(rows, vec![row![4]]);
+    }
+
+    #[test]
+    fn having_with_fresh_aggregate_not_in_select() {
+        let mut db = setup();
+        let rows = db
+            .query(
+                "select b1 from olap.t1 group by b1 \
+                 having max(a1) >= 199 order by b1 limit 3",
+            )
+            .unwrap();
+        // max(a1) per b1 group: values b1 and b1+100 and ... a1 = i % 200;
+        // groups with i%100==b1: a1 ∈ {b1, b1+100} → max = b1 + 100.
+        // max >= 199 → b1 >= 99 → only b1 = 99.
+        assert_eq!(rows, vec![row![99]]);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let mut db = Database::new();
+        assert!(db.execute("select * from missing").is_err());
+        db.execute("create table t (a int)").unwrap();
+        assert!(db.execute("select b from t").is_err());
+        assert!(db.execute("insert into t values (1, 2)").is_err());
+        assert!(db.execute("select a, count(*) from t").is_err(), "a not grouped");
+    }
+}

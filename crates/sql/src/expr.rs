@@ -1,0 +1,501 @@
+//! Name resolution and bound (executable) expressions.
+
+use crate::ast::{BinOp, Expr, Literal, UnOp};
+use hdm_common::{DataType, Datum, HdmError, Result};
+
+/// One output column of a bound relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundColumn {
+    /// Qualifier used for *resolution* (table alias if given).
+    pub refq: String,
+    /// Qualifier used for *canonical step text* (the real table name, so the
+    /// same query matches the plan store regardless of aliasing).
+    pub canonq: String,
+    pub name: String,
+    pub ty: DataType,
+}
+
+impl BoundColumn {
+    /// `CANONQ.NAME` in upper case — the paper's step-text column notation.
+    pub fn canonical(&self) -> String {
+        if self.canonq.is_empty() {
+            self.name.to_ascii_uppercase()
+        } else {
+            format!(
+                "{}.{}",
+                self.canonq.to_ascii_uppercase(),
+                self.name.to_ascii_uppercase()
+            )
+        }
+    }
+}
+
+/// The bound output schema of a relation or plan node.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BoundSchema {
+    pub cols: Vec<BoundColumn>,
+}
+
+impl BoundSchema {
+    /// Bind a base table's schema under `canon_name` (real name) and
+    /// `refq` (alias, or the real name when unaliased).
+    pub fn from_table(canon_name: &str, refq: &str, schema: &hdm_common::Schema) -> Self {
+        Self {
+            cols: schema
+                .columns()
+                .iter()
+                .map(|c| BoundColumn {
+                    refq: refq.to_string(),
+                    canonq: canon_name.to_string(),
+                    name: c.name.clone(),
+                    ty: c.data_type,
+                })
+                .collect(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+
+    /// Concatenate (join output).
+    pub fn join(&self, other: &BoundSchema) -> BoundSchema {
+        let mut cols = self.cols.clone();
+        cols.extend(other.cols.iter().cloned());
+        BoundSchema { cols }
+    }
+
+    /// Resolve `qualifier.name`; errors on unknown or ambiguous references.
+    pub fn resolve(&self, qualifier: Option<&str>, name: &str) -> Result<usize> {
+        let matches: Vec<usize> = self
+            .cols
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| {
+                c.name.eq_ignore_ascii_case(name)
+                    && match qualifier {
+                        None => true,
+                        Some(q) => {
+                            c.refq.eq_ignore_ascii_case(q) || c.canonq.eq_ignore_ascii_case(q)
+                        }
+                    }
+            })
+            .map(|(i, _)| i)
+            .collect();
+        match matches.len() {
+            0 => Err(HdmError::Plan(format!(
+                "unknown column {}{name}",
+                qualifier.map(|q| format!("{q}.")).unwrap_or_default()
+            ))),
+            1 => Ok(matches[0]),
+            _ => Err(HdmError::Plan(format!("ambiguous column {name}"))),
+        }
+    }
+
+    /// Convert to a storage-layer schema.
+    pub fn to_schema(&self) -> hdm_common::Schema {
+        hdm_common::Schema::new(
+            self.cols
+                .iter()
+                .map(|c| hdm_common::Column::new(c.name.clone(), c.ty))
+                .collect(),
+        )
+    }
+}
+
+/// A bound scalar expression over row offsets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SExpr {
+    Col(usize),
+    Lit(Datum),
+    Binary(BinOp, Box<SExpr>, Box<SExpr>),
+    Unary(UnOp, Box<SExpr>),
+    /// Scalar built-ins: abs, length, upper, lower.
+    Func(String, Vec<SExpr>),
+}
+
+impl SExpr {
+    /// Evaluate against a row (SQL three-valued logic: NULL propagates).
+    pub fn eval(&self, row: &[Datum]) -> Result<Datum> {
+        match self {
+            SExpr::Col(i) => row
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| HdmError::Execution(format!("row too short for column {i}"))),
+            SExpr::Lit(d) => Ok(d.clone()),
+            SExpr::Unary(op, e) => {
+                let v = e.eval(row)?;
+                match op {
+                    UnOp::Not => Ok(match v.as_bool() {
+                        Some(b) => Datum::Bool(!b),
+                        None => Datum::Null,
+                    }),
+                    UnOp::Neg => Ok(match v {
+                        Datum::Int(x) => Datum::Int(-x),
+                        Datum::Float(x) => Datum::Float(-x),
+                        _ => Datum::Null,
+                    }),
+                }
+            }
+            SExpr::Binary(op, l, r) => {
+                let lv = l.eval(row)?;
+                // Short-circuit AND/OR with three-valued logic.
+                match op {
+                    BinOp::And => {
+                        if lv.as_bool() == Some(false) {
+                            return Ok(Datum::Bool(false));
+                        }
+                        let rv = r.eval(row)?;
+                        return Ok(match (lv.as_bool(), rv.as_bool()) {
+                            (Some(true), Some(true)) => Datum::Bool(true),
+                            (_, Some(false)) => Datum::Bool(false),
+                            _ => Datum::Null,
+                        });
+                    }
+                    BinOp::Or => {
+                        if lv.as_bool() == Some(true) {
+                            return Ok(Datum::Bool(true));
+                        }
+                        let rv = r.eval(row)?;
+                        return Ok(match (lv.as_bool(), rv.as_bool()) {
+                            (Some(false), Some(false)) => Datum::Bool(false),
+                            (_, Some(true)) => Datum::Bool(true),
+                            _ => Datum::Null,
+                        });
+                    }
+                    _ => {}
+                }
+                let rv = r.eval(row)?;
+                if lv.is_null() || rv.is_null() {
+                    return Ok(Datum::Null);
+                }
+                match op {
+                    BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                        match lv.sql_cmp(&rv) {
+                            None => Ok(Datum::Null),
+                            Some(ord) => {
+                                let b = match op {
+                                    BinOp::Eq => ord.is_eq(),
+                                    BinOp::Ne => !ord.is_eq(),
+                                    BinOp::Lt => ord.is_lt(),
+                                    BinOp::Le => ord.is_le(),
+                                    BinOp::Gt => ord.is_gt(),
+                                    BinOp::Ge => ord.is_ge(),
+                                    _ => unreachable!(),
+                                };
+                                Ok(Datum::Bool(b))
+                            }
+                        }
+                    }
+                    BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+                        arith(*op, &lv, &rv)
+                    }
+                    BinOp::And | BinOp::Or => unreachable!("handled above"),
+                }
+            }
+            SExpr::Func(name, args) => {
+                let vals: Vec<Datum> =
+                    args.iter().map(|a| a.eval(row)).collect::<Result<_>>()?;
+                scalar_func(name, &vals)
+            }
+        }
+    }
+
+    /// Evaluate as a filter predicate: only TRUE keeps the row.
+    pub fn eval_filter(&self, row: &[Datum]) -> Result<bool> {
+        Ok(self.eval(row)?.as_bool() == Some(true))
+    }
+
+    /// Canonical rendering for step text: commutative operands are ordered
+    /// lexicographically so `a=b` and `b=a` hash identically.
+    pub fn canonical(&self, schema: &BoundSchema) -> String {
+        match self {
+            SExpr::Col(i) => schema.cols[*i].canonical(),
+            SExpr::Lit(d) => format!("{d}"),
+            SExpr::Unary(op, e) => match op {
+                UnOp::Not => format!("NOT({})", e.canonical(schema)),
+                UnOp::Neg => format!("-({})", e.canonical(schema)),
+            },
+            SExpr::Binary(op, l, r) => {
+                let mut a = l.canonical(schema);
+                let mut b = r.canonical(schema);
+                if op.is_commutative() && a > b {
+                    std::mem::swap(&mut a, &mut b);
+                }
+                match op {
+                    BinOp::And | BinOp::Or => format!("({a} {} {b})", op.symbol()),
+                    _ => format!("{a}{}{b}", op.symbol()),
+                }
+            }
+            SExpr::Func(name, args) => {
+                let inner: Vec<String> = args.iter().map(|a| a.canonical(schema)).collect();
+                format!("{}({})", name.to_ascii_uppercase(), inner.join(","))
+            }
+        }
+    }
+}
+
+fn arith(op: BinOp, l: &Datum, r: &Datum) -> Result<Datum> {
+    // Integer arithmetic when both sides are integral, else float.
+    if let (Some(a), Some(b)) = (l.as_int(), r.as_int()) {
+        let v = match op {
+            BinOp::Add => a.checked_add(b),
+            BinOp::Sub => a.checked_sub(b),
+            BinOp::Mul => a.checked_mul(b),
+            BinOp::Div => {
+                if b == 0 {
+                    return Err(HdmError::Execution("division by zero".into()));
+                }
+                a.checked_div(b)
+            }
+            BinOp::Mod => {
+                if b == 0 {
+                    return Err(HdmError::Execution("division by zero".into()));
+                }
+                a.checked_rem(b)
+            }
+            _ => unreachable!(),
+        };
+        return v
+            .map(Datum::Int)
+            .ok_or_else(|| HdmError::Execution("integer overflow".into()));
+    }
+    let (a, b) = match (l.as_float(), r.as_float()) {
+        (Some(a), Some(b)) => (a, b),
+        _ => {
+            return Err(HdmError::Execution(format!(
+                "cannot apply {} to {l} and {r}",
+                op.symbol()
+            )))
+        }
+    };
+    let v = match op {
+        BinOp::Add => a + b,
+        BinOp::Sub => a - b,
+        BinOp::Mul => a * b,
+        BinOp::Div => {
+            if b == 0.0 {
+                return Err(HdmError::Execution("division by zero".into()));
+            }
+            a / b
+        }
+        BinOp::Mod => a % b,
+        _ => unreachable!(),
+    };
+    Ok(Datum::Float(v))
+}
+
+fn scalar_func(name: &str, args: &[Datum]) -> Result<Datum> {
+    match (name, args) {
+        ("abs", [Datum::Int(v)]) => Ok(Datum::Int(v.abs())),
+        ("abs", [Datum::Float(v)]) => Ok(Datum::Float(v.abs())),
+        ("abs", [Datum::Null]) => Ok(Datum::Null),
+        ("length", [Datum::Text(s)]) => Ok(Datum::Int(s.len() as i64)),
+        ("length", [Datum::Null]) => Ok(Datum::Null),
+        ("upper", [Datum::Text(s)]) => Ok(Datum::Text(s.to_ascii_uppercase())),
+        ("lower", [Datum::Text(s)]) => Ok(Datum::Text(s.to_ascii_lowercase())),
+        _ => Err(HdmError::Unsupported(format!(
+            "scalar function {name}/{}",
+            args.len()
+        ))),
+    }
+}
+
+/// Bind an AST expression against a schema (aggregates are NOT allowed here;
+/// the planner splits them out first).
+pub fn bind(e: &Expr, schema: &BoundSchema) -> Result<SExpr> {
+    match e {
+        Expr::Column(q, n) => Ok(SExpr::Col(schema.resolve(q.as_deref(), n)?)),
+        Expr::Literal(l) => Ok(SExpr::Lit(lit_to_datum(l))),
+        Expr::Binary { op, left, right } => Ok(SExpr::Binary(
+            *op,
+            Box::new(bind(left, schema)?),
+            Box::new(bind(right, schema)?),
+        )),
+        Expr::Unary { op, expr } => Ok(SExpr::Unary(*op, Box::new(bind(expr, schema)?))),
+        Expr::Func { name, args, star } => {
+            if *star || e.has_aggregate() {
+                return Err(HdmError::Plan(format!(
+                    "aggregate {name} not allowed in this context"
+                )));
+            }
+            Ok(SExpr::Func(
+                name.clone(),
+                args.iter().map(|a| bind(a, schema)).collect::<Result<_>>()?,
+            ))
+        }
+    }
+}
+
+/// Convert an AST literal to a datum.
+pub fn lit_to_datum(l: &Literal) -> Datum {
+    match l {
+        Literal::Int(v) => Datum::Int(*v),
+        Literal::Float(v) => Datum::Float(*v),
+        Literal::Str(s) => Datum::Text(s.clone()),
+        Literal::Bool(b) => Datum::Bool(*b),
+        Literal::Null => Datum::Null,
+    }
+}
+
+/// Infer the output type of a bound expression (best effort; NULL-typed
+/// expressions report Int).
+pub fn infer_type(e: &SExpr, schema: &BoundSchema) -> DataType {
+    match e {
+        SExpr::Col(i) => schema.cols[*i].ty,
+        SExpr::Lit(d) => d.data_type().unwrap_or(DataType::Int),
+        SExpr::Unary(UnOp::Not, _) => DataType::Bool,
+        SExpr::Unary(UnOp::Neg, x) => infer_type(x, schema),
+        SExpr::Binary(op, l, r) => match op {
+            BinOp::Eq
+            | BinOp::Ne
+            | BinOp::Lt
+            | BinOp::Le
+            | BinOp::Gt
+            | BinOp::Ge
+            | BinOp::And
+            | BinOp::Or => DataType::Bool,
+            _ => {
+                if infer_type(l, schema) == DataType::Float
+                    || infer_type(r, schema) == DataType::Float
+                {
+                    DataType::Float
+                } else {
+                    DataType::Int
+                }
+            }
+        },
+        SExpr::Func(name, _) => match name.as_str() {
+            "length" => DataType::Int,
+            "upper" | "lower" => DataType::Text,
+            _ => DataType::Int,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdm_common::Schema;
+
+    fn schema() -> BoundSchema {
+        BoundSchema::from_table(
+            "olap.t1",
+            "t1",
+            &Schema::from_pairs(&[("a1", DataType::Int), ("b1", DataType::Int)]),
+        )
+    }
+
+    #[test]
+    fn resolve_by_alias_real_name_or_bare() {
+        let s = schema();
+        assert_eq!(s.resolve(Some("t1"), "a1").unwrap(), 0);
+        assert_eq!(s.resolve(Some("olap.t1"), "b1").unwrap(), 1);
+        assert_eq!(s.resolve(None, "b1").unwrap(), 1);
+        assert!(s.resolve(Some("t2"), "a1").is_err());
+        assert!(s.resolve(None, "zz").is_err());
+    }
+
+    #[test]
+    fn ambiguity_detected_after_join() {
+        let s = schema().join(&BoundSchema::from_table(
+            "olap.t2",
+            "t2",
+            &Schema::from_pairs(&[("a1", DataType::Int)]),
+        ));
+        assert!(s.resolve(None, "a1").is_err(), "a1 exists on both sides");
+        assert_eq!(s.resolve(Some("t2"), "a1").unwrap(), 2);
+    }
+
+    #[test]
+    fn eval_arithmetic_and_comparison() {
+        let s = schema();
+        let e = bind(
+            &crate::parser_test_expr("a1 + 2 * b1 > 10"),
+            &s,
+        )
+        .unwrap();
+        let row = [Datum::Int(4), Datum::Int(3)];
+        assert_eq!(e.eval(&row).unwrap(), Datum::Bool(false));
+        let row = [Datum::Int(5), Datum::Int(3)];
+        assert_eq!(e.eval(&row).unwrap(), Datum::Bool(true));
+    }
+
+    #[test]
+    fn null_propagates_and_filters_reject_unknown() {
+        let s = schema();
+        let e = bind(&crate::parser_test_expr("a1 > 10"), &s).unwrap();
+        let row = [Datum::Null, Datum::Int(0)];
+        assert_eq!(e.eval(&row).unwrap(), Datum::Null);
+        assert!(!e.eval_filter(&row).unwrap());
+    }
+
+    #[test]
+    fn three_valued_and_or() {
+        let s = schema();
+        let e = bind(&crate::parser_test_expr("a1 > 0 or b1 > 0"), &s).unwrap();
+        // NULL OR TRUE = TRUE
+        assert_eq!(
+            e.eval(&[Datum::Null, Datum::Int(5)]).unwrap(),
+            Datum::Bool(true)
+        );
+        let e = bind(&crate::parser_test_expr("a1 > 0 and b1 > 0"), &s).unwrap();
+        // NULL AND FALSE = FALSE
+        assert_eq!(
+            e.eval(&[Datum::Null, Datum::Int(-5)]).unwrap(),
+            Datum::Bool(false)
+        );
+        // NULL AND TRUE = NULL
+        assert_eq!(
+            e.eval(&[Datum::Null, Datum::Int(5)]).unwrap(),
+            Datum::Null
+        );
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        let s = schema();
+        let e = bind(&crate::parser_test_expr("a1 / b1"), &s).unwrap();
+        assert!(e.eval(&[Datum::Int(1), Datum::Int(0)]).is_err());
+    }
+
+    #[test]
+    fn canonical_orders_commutative_operands() {
+        let s = schema().join(&BoundSchema::from_table(
+            "olap.t2",
+            "t2",
+            &Schema::from_pairs(&[("a2", DataType::Int)]),
+        ));
+        let e1 = bind(&crate::parser_test_expr("t1.a1 = t2.a2"), &s).unwrap();
+        let e2 = bind(&crate::parser_test_expr("t2.a2 = t1.a1"), &s).unwrap();
+        assert_eq!(e1.canonical(&s), e2.canonical(&s));
+        assert_eq!(e1.canonical(&s), "OLAP.T1.A1=OLAP.T2.A2");
+    }
+
+    #[test]
+    fn canonical_keeps_noncommutative_order() {
+        let s = schema();
+        let e = bind(&crate::parser_test_expr("b1 > 10"), &s).unwrap();
+        assert_eq!(e.canonical(&s), "OLAP.T1.B1>10");
+    }
+
+    #[test]
+    fn scalar_funcs() {
+        let s = BoundSchema::from_table(
+            "t",
+            "t",
+            &Schema::from_pairs(&[("x", DataType::Text)]),
+        );
+        let e = bind(&crate::parser_test_expr("upper(x)"), &s).unwrap();
+        assert_eq!(
+            e.eval(&[Datum::Text("ab".into())]).unwrap(),
+            Datum::Text("AB".into())
+        );
+        let e = bind(&crate::parser_test_expr("length(x)"), &s).unwrap();
+        assert_eq!(e.eval(&[Datum::Text("abc".into())]).unwrap(), Datum::Int(3));
+    }
+}

@@ -1,0 +1,574 @@
+//! Physical plans with canonical logical step text.
+//!
+//! Each cardinality-bearing node renders a **canonical step definition**:
+//! "a prefix expression representing the logical operator and its
+//! operand(s). Only the logical operator (join instead of hash join or scan
+//! instead of index scan) is needed … The step definition for an execution
+//! operator captures the whole query tree underneath the operator"
+//! (paper §II-C, Table I). Operand and predicate ordering is normalized so
+//! equivalent queries produce byte-identical step text.
+
+use crate::ast::SetOpKind;
+use crate::expr::{BoundSchema, SExpr};
+use hdm_common::Row;
+
+/// Which logical operator class a step belongs to. The paper captures
+/// exactly the cardinality-affecting classes: "scans, joins, aggregation
+/// steps, set operations and limit operator steps".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StepKind {
+    Scan,
+    Join,
+    Agg,
+    SetOp,
+    Limit,
+    /// Non-cardinality-bearing plumbing (project, sort, filter-on-top).
+    Other,
+}
+
+/// One `(step, estimated, actual)` record produced by executing a plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepObservation {
+    pub kind: StepKind,
+    /// Canonical step text (the plan-store key material).
+    pub text: String,
+    pub estimated: f64,
+    pub actual: u64,
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    CountStar,
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl AggFunc {
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::CountStar => "COUNT(*)",
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        }
+    }
+}
+
+/// One aggregate call in a HashAgg node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggCall {
+    pub func: AggFunc,
+    /// Argument expression over the input schema (None for COUNT(*)).
+    pub arg: Option<SExpr>,
+}
+
+/// Physical operators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanOp {
+    /// Full scan with an optional pushed-down predicate.
+    SeqScan {
+        table: String,
+        predicate: Option<SExpr>,
+    },
+    /// Equality index probe plus residual predicate. Logically still a SCAN.
+    IndexScan {
+        table: String,
+        index_id: usize,
+        /// The full equality conjuncts consumed by the probe (for canonical
+        /// text, so index and sequential plans render identically).
+        key_exprs: Vec<SExpr>,
+        /// The literal probe values, in index column order.
+        key_values: Vec<hdm_common::Datum>,
+        residual: Option<SExpr>,
+    },
+    /// Materialized rows (CTE results, table functions, VALUES).
+    Values {
+        label: String,
+        rows: Vec<Row>,
+    },
+    Filter {
+        predicate: SExpr,
+    },
+    NestedLoopJoin {
+        on: Option<SExpr>,
+    },
+    HashJoin {
+        left_keys: Vec<usize>,
+        right_keys: Vec<usize>,
+        residual: Option<SExpr>,
+    },
+    Project {
+        exprs: Vec<SExpr>,
+    },
+    HashAgg {
+        group: Vec<SExpr>,
+        aggs: Vec<AggCall>,
+    },
+    Sort {
+        keys: Vec<(SExpr, bool)>,
+    },
+    Limit {
+        n: u64,
+    },
+    SetOp {
+        kind: SetOpKind,
+        all: bool,
+    },
+    /// SELECT DISTINCT deduplication.
+    Distinct,
+}
+
+/// A plan tree node annotated with its estimated output cardinality and
+/// bound output schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanNode {
+    pub op: PlanOp,
+    pub children: Vec<PlanNode>,
+    pub est_rows: f64,
+    pub schema: BoundSchema,
+}
+
+impl PlanNode {
+    /// The logical step class of this operator.
+    pub fn step_kind(&self) -> StepKind {
+        match &self.op {
+            PlanOp::SeqScan { .. } | PlanOp::IndexScan { .. } => StepKind::Scan,
+            PlanOp::NestedLoopJoin { .. } | PlanOp::HashJoin { .. } => StepKind::Join,
+            PlanOp::HashAgg { .. } => StepKind::Agg,
+            PlanOp::SetOp { .. } => StepKind::SetOp,
+            PlanOp::Limit { .. } => StepKind::Limit,
+            _ => StepKind::Other,
+        }
+    }
+
+    /// Canonical logical step text for this subtree (Table I's notation), or
+    /// `None` for operators the plan store does not capture.
+    pub fn canonical(&self) -> Option<String> {
+        match self.step_kind() {
+            StepKind::Other => None,
+            _ => Some(self.canonical_inner()),
+        }
+    }
+
+    fn canonical_inner(&self) -> String {
+        match &self.op {
+            PlanOp::SeqScan { table, predicate } => {
+                canon_scan(table, predicate.as_ref(), &self.schema)
+            }
+            PlanOp::IndexScan {
+                table,
+                key_exprs,
+                residual,
+                ..
+            } => {
+                // Logically a SCAN: merge the probe's equality conjuncts and
+                // the residual into one ordered predicate list so index and
+                // sequential plans for the same query render identically.
+                let mut preds: Vec<String> = key_exprs
+                    .iter()
+                    .map(|k| k.canonical(&self.schema))
+                    .collect();
+                if let Some(r) = residual {
+                    preds.extend(conjunct_texts(r, &self.schema));
+                }
+                preds.sort();
+                render_scan(table, &preds)
+            }
+            PlanOp::Values { label, rows } => {
+                format!("VALUES({},{})", label.to_ascii_uppercase(), rows.len())
+            }
+            PlanOp::Filter { predicate } => {
+                // A filter directly above X is canonicalized as part of X's
+                // enclosing step only when X is a scan; standalone it wraps.
+                format!(
+                    "FILTER({}, PREDICATE({}))",
+                    self.children[0].canonical_inner(),
+                    ordered_predicate(predicate, &self.children[0].schema)
+                )
+            }
+            PlanOp::NestedLoopJoin { on } => {
+                canon_join(&self.children, on.as_ref(), &self.schema)
+            }
+            PlanOp::HashJoin {
+                left_keys,
+                right_keys,
+                residual,
+            } => {
+                // Reconstruct the equi-join predicate text from key columns.
+                let l = &self.children[0].schema;
+                let r = &self.children[1].schema;
+                let mut preds: Vec<String> = left_keys
+                    .iter()
+                    .zip(right_keys)
+                    .map(|(&lk, &rk)| {
+                        let mut a = l.cols[lk].canonical();
+                        let mut b = r.cols[rk].canonical();
+                        if a > b {
+                            std::mem::swap(&mut a, &mut b);
+                        }
+                        format!("{a}={b}")
+                    })
+                    .collect();
+                if let Some(res) = residual {
+                    preds.extend(conjunct_texts(res, &self.schema));
+                }
+                preds.sort();
+                let mut kids: Vec<String> = self
+                    .children
+                    .iter()
+                    .map(|c| c.canonical_inner())
+                    .collect();
+                kids.sort();
+                format!(
+                    "JOIN({}, PREDICATE({}))",
+                    kids.join(", "),
+                    preds.join(" AND ")
+                )
+            }
+            PlanOp::Project { .. } | PlanOp::Sort { .. } => self.children[0].canonical_inner(),
+            PlanOp::Distinct => format!("DISTINCT({})", self.children[0].canonical_inner()),
+            PlanOp::HashAgg { group, aggs } => {
+                let input = self.children[0].canonical_inner();
+                let ischema = &self.children[0].schema;
+                let mut groups: Vec<String> =
+                    group.iter().map(|g| g.canonical(ischema)).collect();
+                groups.sort();
+                let mut fns: Vec<String> = aggs
+                    .iter()
+                    .map(|a| match (&a.func, &a.arg) {
+                        (AggFunc::CountStar, _) => "COUNT(*)".to_string(),
+                        (f, Some(e)) => format!("{}({})", f.name(), e.canonical(ischema)),
+                        (f, None) => format!("{}()", f.name()),
+                    })
+                    .collect();
+                fns.sort();
+                format!(
+                    "AGG({input}, GROUP({}), FUNCS({}))",
+                    groups.join(","),
+                    fns.join(",")
+                )
+            }
+            PlanOp::Limit { n } => {
+                format!("LIMIT({}, {n})", self.children[0].canonical_inner())
+            }
+            PlanOp::SetOp { kind, all } => {
+                let mut kids: Vec<String> = self
+                    .children
+                    .iter()
+                    .map(|c| c.canonical_inner())
+                    .collect();
+                // UNION and INTERSECT are commutative; EXCEPT is not.
+                if !matches!(kind, SetOpKind::Except) {
+                    kids.sort();
+                }
+                let tag = if *all {
+                    format!("{} ALL", kind.name())
+                } else {
+                    kind.name().to_string()
+                };
+                format!("{}({})", tag, kids.join(", "))
+            }
+        }
+    }
+
+    /// Pretty tree rendering (EXPLAIN output, paper Fig 6).
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0);
+        out
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        let label = match &self.op {
+            PlanOp::SeqScan { table, predicate } => match predicate {
+                Some(p) => format!("Seq Scan on {table} (filter: {})", p.canonical(&self.schema)),
+                None => format!("Seq Scan on {table}"),
+            },
+            PlanOp::IndexScan { table, .. } => format!("Index Scan on {table}"),
+            PlanOp::Values { label, rows } => format!("Values {label} ({} rows)", rows.len()),
+            PlanOp::Filter { predicate } => format!(
+                "Filter ({})",
+                predicate.canonical(&self.children[0].schema)
+            ),
+            PlanOp::NestedLoopJoin { .. } => "Nested Loop Join".to_string(),
+            PlanOp::HashJoin { .. } => "Hash Join".to_string(),
+            PlanOp::Project { .. } => "Project".to_string(),
+            PlanOp::HashAgg { group, .. } => format!("HashAggregate (groups: {})", group.len()),
+            PlanOp::Sort { .. } => "Sort".to_string(),
+            PlanOp::Limit { n } => format!("Limit {n}"),
+            PlanOp::SetOp { kind, all } => {
+                format!("{}{}", kind.name(), if *all { " ALL" } else { "" })
+            }
+            PlanOp::Distinct => "Distinct".to_string(),
+        };
+        out.push_str(&format!("{pad}{label}  (rows={:.0})\n", self.est_rows));
+        for c in &self.children {
+            c.explain_into(out, depth + 1);
+        }
+    }
+}
+
+fn conjunct_texts(e: &SExpr, schema: &BoundSchema) -> Vec<String> {
+    // Split bound AND chains into canonical conjunct strings.
+    match e {
+        SExpr::Binary(crate::ast::BinOp::And, l, r) => {
+            let mut v = conjunct_texts(l, schema);
+            v.extend(conjunct_texts(r, schema));
+            v
+        }
+        other => vec![other.canonical(schema)],
+    }
+}
+
+fn ordered_predicate(e: &SExpr, schema: &BoundSchema) -> String {
+    let mut parts = conjunct_texts(e, schema);
+    parts.sort();
+    parts.join(" AND ")
+}
+
+fn canon_scan(table: &str, predicate: Option<&SExpr>, schema: &BoundSchema) -> String {
+    let preds = match predicate {
+        None => vec![],
+        Some(p) => {
+            let mut v = conjunct_texts(p, schema);
+            v.sort();
+            v
+        }
+    };
+    render_scan(table, &preds)
+}
+
+fn render_scan(table: &str, preds: &[String]) -> String {
+    if preds.is_empty() {
+        format!("SCAN({})", table.to_ascii_uppercase())
+    } else {
+        format!(
+            "SCAN({}, PREDICATE({}))",
+            table.to_ascii_uppercase(),
+            preds.join(" AND ")
+        )
+    }
+}
+
+fn canon_join(children: &[PlanNode], on: Option<&SExpr>, schema: &BoundSchema) -> String {
+    let mut kids: Vec<String> = children.iter().map(|c| c.canonical_inner()).collect();
+    kids.sort();
+    match on {
+        Some(p) => format!(
+            "JOIN({}, PREDICATE({}))",
+            kids.join(", "),
+            ordered_predicate(p, schema)
+        ),
+        None => format!("JOIN({})", kids.join(", ")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{bind, BoundSchema};
+    use hdm_common::{DataType, Schema};
+
+    fn t1_schema() -> BoundSchema {
+        BoundSchema::from_table(
+            "olap.t1",
+            "olap.t1",
+            &Schema::from_pairs(&[("a1", DataType::Int), ("b1", DataType::Int)]),
+        )
+    }
+
+    fn t2_schema() -> BoundSchema {
+        BoundSchema::from_table(
+            "olap.t2",
+            "olap.t2",
+            &Schema::from_pairs(&[("a2", DataType::Int)]),
+        )
+    }
+
+    fn scan_t1() -> PlanNode {
+        let schema = t1_schema();
+        let pred = bind(&crate::parser_test_expr("b1 > 10"), &schema).unwrap();
+        PlanNode {
+            op: PlanOp::SeqScan {
+                table: "olap.t1".into(),
+                predicate: Some(pred),
+            },
+            children: vec![],
+            est_rows: 50.0,
+            schema,
+        }
+    }
+
+    fn scan_t2() -> PlanNode {
+        PlanNode {
+            op: PlanOp::SeqScan {
+                table: "olap.t2".into(),
+                predicate: None,
+            },
+            children: vec![],
+            est_rows: 100.0,
+            schema: t2_schema(),
+        }
+    }
+
+    /// Table I row 1, byte for byte.
+    #[test]
+    fn scan_step_matches_table1() {
+        assert_eq!(
+            scan_t1().canonical().unwrap(),
+            "SCAN(OLAP.T1, PREDICATE(OLAP.T1.B1>10))"
+        );
+    }
+
+    /// Table I row 2: the join step embeds the full child definitions.
+    #[test]
+    fn join_step_matches_table1() {
+        let left = scan_t1();
+        let right = scan_t2();
+        let schema = left.schema.join(&right.schema);
+        let on = bind(
+            &crate::parser_test_expr("olap.t1.a1 = olap.t2.a2"),
+            &schema,
+        )
+        .unwrap();
+        let join = PlanNode {
+            op: PlanOp::NestedLoopJoin { on: Some(on) },
+            children: vec![left, right],
+            est_rows: 50.0,
+            schema,
+        };
+        assert_eq!(
+            join.canonical().unwrap(),
+            "JOIN(SCAN(OLAP.T1, PREDICATE(OLAP.T1.B1>10)), SCAN(OLAP.T2), \
+             PREDICATE(OLAP.T1.A1=OLAP.T2.A2))"
+        );
+    }
+
+    /// Join children and commutative predicates are order-normalized: the
+    /// same join written both ways produces identical text.
+    #[test]
+    fn join_children_order_insensitive() {
+        let mk = |flip: bool| {
+            let (l, r) = if flip {
+                (scan_t2(), scan_t1())
+            } else {
+                (scan_t1(), scan_t2())
+            };
+            let schema = l.schema.join(&r.schema);
+            let on_text = if flip {
+                "olap.t2.a2 = olap.t1.a1"
+            } else {
+                "olap.t1.a1 = olap.t2.a2"
+            };
+            let on = bind(&crate::parser_test_expr(on_text), &schema).unwrap();
+            PlanNode {
+                op: PlanOp::NestedLoopJoin { on: Some(on) },
+                children: vec![l, r],
+                est_rows: 1.0,
+                schema,
+            }
+            .canonical()
+            .unwrap()
+        };
+        assert_eq!(mk(false), mk(true));
+    }
+
+    /// Hash join and nested loop render the same logical JOIN text.
+    #[test]
+    fn physical_operator_does_not_leak_into_step_text() {
+        let left = scan_t1();
+        let right = scan_t2();
+        let schema = left.schema.join(&right.schema);
+        let nl_on = bind(
+            &crate::parser_test_expr("olap.t1.a1 = olap.t2.a2"),
+            &schema,
+        )
+        .unwrap();
+        let nl = PlanNode {
+            op: PlanOp::NestedLoopJoin { on: Some(nl_on) },
+            children: vec![left.clone(), right.clone()],
+            est_rows: 1.0,
+            schema: schema.clone(),
+        };
+        let hj = PlanNode {
+            op: PlanOp::HashJoin {
+                left_keys: vec![0],
+                right_keys: vec![0],
+                residual: None,
+            },
+            children: vec![left, right],
+            est_rows: 1.0,
+            schema,
+        };
+        assert_eq!(nl.canonical(), hj.canonical());
+    }
+
+    #[test]
+    fn limit_and_agg_steps() {
+        let scan = scan_t2();
+        let ischema = scan.schema.clone();
+        let g = bind(&crate::parser_test_expr("a2"), &ischema).unwrap();
+        let agg = PlanNode {
+            op: PlanOp::HashAgg {
+                group: vec![g],
+                aggs: vec![AggCall {
+                    func: AggFunc::CountStar,
+                    arg: None,
+                }],
+            },
+            children: vec![scan],
+            est_rows: 10.0,
+            schema: ischema,
+        };
+        assert_eq!(
+            agg.canonical().unwrap(),
+            "AGG(SCAN(OLAP.T2), GROUP(OLAP.T2.A2), FUNCS(COUNT(*)))"
+        );
+        let limit = PlanNode {
+            op: PlanOp::Limit { n: 5 },
+            children: vec![agg],
+            est_rows: 5.0,
+            schema: BoundSchema::default(),
+        };
+        assert!(limit.canonical().unwrap().starts_with("LIMIT(AGG("));
+    }
+
+    #[test]
+    fn project_and_sort_are_transparent() {
+        let scan = scan_t1();
+        let text = scan.canonical().unwrap();
+        let sorted = PlanNode {
+            op: PlanOp::Sort { keys: vec![] },
+            children: vec![scan],
+            est_rows: 50.0,
+            schema: t1_schema(),
+        };
+        // Sort itself isn't captured, but its canonical_inner passes through.
+        assert_eq!(sorted.canonical(), None);
+        assert_eq!(sorted.canonical_inner(), text);
+    }
+
+    #[test]
+    fn explain_renders_a_tree() {
+        let left = scan_t1();
+        let right = scan_t2();
+        let schema = left.schema.join(&right.schema);
+        let join = PlanNode {
+            op: PlanOp::NestedLoopJoin { on: None },
+            children: vec![left, right],
+            est_rows: 5000.0,
+            schema,
+        };
+        let text = join.explain();
+        assert!(text.contains("Nested Loop Join"));
+        assert!(text.contains("Seq Scan on olap.t1"));
+        assert!(text.lines().count() >= 3);
+    }
+}

@@ -1,0 +1,350 @@
+//! Column-chunk compression codecs.
+//!
+//! FI-MPPDB ships "hybrid row-column storage, data compression" (§I). We
+//! implement the three classic lightweight column codecs — run-length,
+//! dictionary, and delta (frame-of-reference for integers) — with a
+//! heuristic chooser. These codecs preserve `Datum` values exactly
+//! (round-trip property-tested) and report their encoded size so the
+//! storage bench can show compression ratios per data shape.
+
+use hdm_common::{Datum, HdmError, Result};
+
+/// The encoding chosen for a chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Encoding {
+    Plain,
+    /// Run-length: (value, run) pairs. Wins on sorted/low-churn columns.
+    Rle,
+    /// Dictionary: distinct values + u32 codes. Wins on low cardinality.
+    Dict,
+    /// Delta/frame-of-reference for Int/Timestamp: base + i64 deltas stored
+    /// compactly. Wins on near-sequential ids and timestamps.
+    DeltaI64,
+}
+
+/// A compressed column chunk.
+#[derive(Debug, Clone)]
+pub enum Chunk {
+    Plain(Vec<Datum>),
+    Rle(Vec<(Datum, u32)>),
+    Dict {
+        dict: Vec<Datum>,
+        codes: Vec<u32>,
+    },
+    DeltaI64 {
+        base: i64,
+        deltas: Vec<i64>,
+        /// True where the value is NULL (delta slot holds 0).
+        nulls: Vec<bool>,
+        /// Whether values were timestamps (to restore the datum type).
+        timestamp: bool,
+    },
+}
+
+impl Chunk {
+    pub fn encoding(&self) -> Encoding {
+        match self {
+            Chunk::Plain(_) => Encoding::Plain,
+            Chunk::Rle(_) => Encoding::Rle,
+            Chunk::Dict { .. } => Encoding::Dict,
+            Chunk::DeltaI64 { .. } => Encoding::DeltaI64,
+        }
+    }
+
+    /// Number of logical values.
+    pub fn len(&self) -> usize {
+        match self {
+            Chunk::Plain(v) => v.len(),
+            Chunk::Rle(runs) => runs.iter().map(|(_, n)| *n as usize).sum(),
+            Chunk::Dict { codes, .. } => codes.len(),
+            Chunk::DeltaI64 { deltas, .. } => deltas.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate encoded byte size (for compression-ratio reporting).
+    pub fn encoded_bytes(&self) -> usize {
+        match self {
+            Chunk::Plain(v) => v.iter().map(Datum::width).sum(),
+            Chunk::Rle(runs) => runs.iter().map(|(d, _)| d.width() + 4).sum(),
+            Chunk::Dict { dict, codes } => {
+                dict.iter().map(Datum::width).sum::<usize>() + codes.len() * 4
+            }
+            Chunk::DeltaI64 { deltas, nulls, .. } => {
+                // Assume byte-packable small deltas when they fit, else 8B.
+                let delta_bytes: usize = deltas
+                    .iter()
+                    .map(|d| {
+                        if *d >= i8::MIN as i64 && *d <= i8::MAX as i64 {
+                            1
+                        } else if *d >= i16::MIN as i64 && *d <= i16::MAX as i64 {
+                            2
+                        } else if *d >= i32::MIN as i64 && *d <= i32::MAX as i64 {
+                            4
+                        } else {
+                            8
+                        }
+                    })
+                    .sum();
+                8 + delta_bytes + nulls.len() / 8 + 1
+            }
+        }
+    }
+
+    /// Decode back to the full datum vector.
+    pub fn decode(&self) -> Vec<Datum> {
+        match self {
+            Chunk::Plain(v) => v.clone(),
+            Chunk::Rle(runs) => {
+                let mut out = Vec::with_capacity(self.len());
+                for (d, n) in runs {
+                    for _ in 0..*n {
+                        out.push(d.clone());
+                    }
+                }
+                out
+            }
+            Chunk::Dict { dict, codes } => codes
+                .iter()
+                .map(|&c| dict[c as usize].clone())
+                .collect(),
+            Chunk::DeltaI64 {
+                base,
+                deltas,
+                nulls,
+                timestamp,
+            } => {
+                let mut acc = *base;
+                deltas
+                    .iter()
+                    .zip(nulls)
+                    .map(|(d, is_null)| {
+                        if *is_null {
+                            Datum::Null
+                        } else {
+                            acc = acc.wrapping_add(*d);
+                            if *timestamp {
+                                Datum::Timestamp(acc)
+                            } else {
+                                Datum::Int(acc)
+                            }
+                        }
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Random access to one value without full decode.
+    pub fn get(&self, idx: usize) -> Result<Datum> {
+        if idx >= self.len() {
+            return Err(HdmError::Storage(format!(
+                "chunk index {idx} out of bounds (len {})",
+                self.len()
+            )));
+        }
+        Ok(match self {
+            Chunk::Plain(v) => v[idx].clone(),
+            Chunk::Rle(runs) => {
+                let mut remaining = idx;
+                for (d, n) in runs {
+                    if remaining < *n as usize {
+                        return Ok(d.clone());
+                    }
+                    remaining -= *n as usize;
+                }
+                unreachable!("len checked above")
+            }
+            Chunk::Dict { dict, codes } => dict[codes[idx] as usize].clone(),
+            Chunk::DeltaI64 { .. } => self.decode()[idx].clone(),
+        })
+    }
+}
+
+/// Encode with a specific codec. Returns `None` if the codec cannot
+/// represent the data (e.g. delta over non-integers).
+pub fn encode_as(values: &[Datum], enc: Encoding) -> Option<Chunk> {
+    match enc {
+        Encoding::Plain => Some(Chunk::Plain(values.to_vec())),
+        Encoding::Rle => {
+            let mut runs: Vec<(Datum, u32)> = Vec::new();
+            for v in values {
+                match runs.last_mut() {
+                    Some((d, n)) if d == v && *n < u32::MAX => *n += 1,
+                    _ => runs.push((v.clone(), 1)),
+                }
+            }
+            Some(Chunk::Rle(runs))
+        }
+        Encoding::Dict => {
+            let mut dict: Vec<Datum> = Vec::new();
+            let mut lookup: std::collections::HashMap<Datum, u32> =
+                std::collections::HashMap::new();
+            let mut codes = Vec::with_capacity(values.len());
+            for v in values {
+                let code = *lookup.entry(v.clone()).or_insert_with(|| {
+                    dict.push(v.clone());
+                    (dict.len() - 1) as u32
+                });
+                codes.push(code);
+            }
+            Some(Chunk::Dict { dict, codes })
+        }
+        Encoding::DeltaI64 => {
+            let mut timestamp = false;
+            for v in values {
+                match v {
+                    Datum::Int(_) | Datum::Null => {}
+                    Datum::Timestamp(_) => timestamp = true,
+                    _ => return None,
+                }
+            }
+            let mut deltas = Vec::with_capacity(values.len());
+            let mut nulls = Vec::with_capacity(values.len());
+            let mut prev: Option<i64> = None;
+            let mut base = 0;
+            for v in values {
+                match v.as_int() {
+                    None => {
+                        deltas.push(0);
+                        nulls.push(true);
+                    }
+                    Some(x) => {
+                        match prev {
+                            None => {
+                                base = x;
+                                deltas.push(0);
+                            }
+                            // Wrapping: differences of extreme i64s
+                            // round-trip exactly modulo 2^64.
+                            Some(p) => deltas.push(x.wrapping_sub(p)),
+                        }
+                        nulls.push(false);
+                        prev = Some(x);
+                    }
+                }
+            }
+            Some(Chunk::DeltaI64 {
+                base,
+                deltas,
+                nulls,
+                timestamp,
+            })
+        }
+    }
+}
+
+/// Choose the smallest encoding for the data (the storage engine's default).
+pub fn encode_auto(values: &[Datum]) -> Chunk {
+    let candidates = [
+        Encoding::Rle,
+        Encoding::Dict,
+        Encoding::DeltaI64,
+        Encoding::Plain,
+    ];
+    let mut best: Option<Chunk> = None;
+    for enc in candidates {
+        if let Some(chunk) = encode_as(values, enc) {
+            let better = match &best {
+                None => true,
+                Some(b) => chunk.encoded_bytes() < b.encoded_bytes(),
+            };
+            if better {
+                best = Some(chunk);
+            }
+        }
+    }
+    best.expect("Plain always succeeds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ints(v: impl IntoIterator<Item = i64>) -> Vec<Datum> {
+        v.into_iter().map(Datum::Int).collect()
+    }
+
+    #[test]
+    fn rle_round_trip_and_compresses_runs() {
+        let data: Vec<Datum> = std::iter::repeat(Datum::Text("cn".into()))
+            .take(1000)
+            .chain(std::iter::repeat(Datum::Text("us".into())).take(1000))
+            .collect();
+        let c = encode_as(&data, Encoding::Rle).unwrap();
+        assert_eq!(c.decode(), data);
+        assert!(c.encoded_bytes() < 100, "2 runs should be tiny");
+    }
+
+    #[test]
+    fn dict_round_trip_and_compresses_low_cardinality() {
+        let data: Vec<Datum> = (0..1000)
+            .map(|i| Datum::Text(format!("status-{}", i % 4)))
+            .collect();
+        let c = encode_as(&data, Encoding::Dict).unwrap();
+        assert_eq!(c.decode(), data);
+        let plain = encode_as(&data, Encoding::Plain).unwrap();
+        assert!(c.encoded_bytes() < plain.encoded_bytes() / 2);
+    }
+
+    #[test]
+    fn delta_round_trip_on_sequential_ids() {
+        let data = ints(1_000_000..1_001_000);
+        let c = encode_as(&data, Encoding::DeltaI64).unwrap();
+        assert_eq!(c.decode(), data);
+        assert!(c.encoded_bytes() < 2_000, "deltas of 1 pack to a byte");
+    }
+
+    #[test]
+    fn delta_handles_nulls_and_timestamps() {
+        let data = vec![
+            Datum::Timestamp(1_000),
+            Datum::Null,
+            Datum::Timestamp(1_050),
+        ];
+        let c = encode_as(&data, Encoding::DeltaI64).unwrap();
+        assert_eq!(c.decode(), data);
+    }
+
+    #[test]
+    fn delta_rejects_text() {
+        assert!(encode_as(&[Datum::Text("x".into())], Encoding::DeltaI64).is_none());
+    }
+
+    #[test]
+    fn auto_picks_reasonable_codecs() {
+        let sorted_flags: Vec<Datum> =
+            std::iter::repeat(Datum::Bool(true)).take(500).collect();
+        assert_eq!(encode_auto(&sorted_flags).encoding(), Encoding::Rle);
+
+        let seq = ints(0..500);
+        let c = encode_auto(&seq);
+        assert_eq!(c.encoding(), Encoding::DeltaI64);
+        assert_eq!(c.decode(), seq);
+    }
+
+    #[test]
+    fn random_access_matches_decode() {
+        let data: Vec<Datum> = (0..100).map(|i| Datum::Int(i * 7 % 13)).collect();
+        for enc in [Encoding::Plain, Encoding::Rle, Encoding::Dict, Encoding::DeltaI64] {
+            let c = encode_as(&data, enc).unwrap();
+            let full = c.decode();
+            for idx in [0usize, 1, 50, 99] {
+                assert_eq!(c.get(idx).unwrap(), full[idx], "{enc:?}[{idx}]");
+            }
+            assert!(c.get(100).is_err());
+        }
+    }
+
+    #[test]
+    fn empty_input_round_trips() {
+        for enc in [Encoding::Plain, Encoding::Rle, Encoding::Dict, Encoding::DeltaI64] {
+            let c = encode_as(&[], enc).unwrap();
+            assert_eq!(c.len(), 0);
+            assert!(c.decode().is_empty());
+        }
+    }
+}

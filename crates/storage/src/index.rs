@@ -1,0 +1,168 @@
+//! Ordered secondary indexes over heap tuples.
+//!
+//! An index maps a key (one column's datum, or a composite) to the tuple ids
+//! of *all versions* carrying that key; visibility is judged at lookup time
+//! by the caller's snapshot, exactly as PostgreSQL consults the heap for
+//! tuple liveness after an index probe.
+
+use crate::heap::TupleId;
+use hdm_common::Datum;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// Composite index key (single-column keys are one-element vectors).
+pub type IndexKey = Vec<Datum>;
+
+/// An ordered (BTree) secondary index.
+#[derive(Debug, Default, Clone)]
+pub struct OrderedIndex {
+    /// Column positions (in the table schema) forming the key.
+    key_columns: Vec<usize>,
+    map: BTreeMap<IndexKey, Vec<TupleId>>,
+    entries: usize,
+}
+
+impl OrderedIndex {
+    pub fn new(key_columns: Vec<usize>) -> Self {
+        Self {
+            key_columns,
+            map: BTreeMap::new(),
+            entries: 0,
+        }
+    }
+
+    pub fn key_columns(&self) -> &[usize] {
+        &self.key_columns
+    }
+
+    /// Extract this index's key from a full row.
+    pub fn key_of(&self, row: &hdm_common::Row) -> IndexKey {
+        self.key_columns
+            .iter()
+            .map(|&c| row.values()[c].clone())
+            .collect()
+    }
+
+    /// Register a tuple version under its key.
+    pub fn insert(&mut self, key: IndexKey, tid: TupleId) {
+        self.map.entry(key).or_default().push(tid);
+        self.entries += 1;
+    }
+
+    /// Remove one version registration (abort cleanup).
+    pub fn remove(&mut self, key: &IndexKey, tid: TupleId) -> bool {
+        if let Some(v) = self.map.get_mut(key) {
+            if let Some(pos) = v.iter().position(|&t| t == tid) {
+                v.swap_remove(pos);
+                self.entries -= 1;
+                if v.is_empty() {
+                    self.map.remove(key);
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// All versions with exactly `key`.
+    pub fn probe(&self, key: &IndexKey) -> &[TupleId] {
+        self.map.get(key).map_or(&[], Vec::as_slice)
+    }
+
+    /// All versions whose key lies in `[lo, hi]` bounds (inclusive /
+    /// exclusive per `Bound`), in key order.
+    pub fn range<'a>(
+        &'a self,
+        lo: Bound<&'a IndexKey>,
+        hi: Bound<&'a IndexKey>,
+    ) -> impl Iterator<Item = (&'a IndexKey, TupleId)> + 'a {
+        self.map
+            .range::<IndexKey, _>((lo, hi))
+            .flat_map(|(k, tids)| tids.iter().map(move |&t| (k, t)))
+    }
+
+    /// Number of (key, version) registrations.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Number of distinct keys (drives optimizer NDV estimates).
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdm_common::row;
+
+    fn key(v: i64) -> IndexKey {
+        vec![Datum::Int(v)]
+    }
+
+    #[test]
+    fn probe_finds_all_versions() {
+        let mut ix = OrderedIndex::new(vec![0]);
+        ix.insert(key(5), TupleId(1));
+        ix.insert(key(5), TupleId(9));
+        ix.insert(key(6), TupleId(2));
+        assert_eq!(ix.probe(&key(5)), &[TupleId(1), TupleId(9)]);
+        assert_eq!(ix.probe(&key(7)), &[] as &[TupleId]);
+        assert_eq!(ix.len(), 3);
+        assert_eq!(ix.distinct_keys(), 2);
+    }
+
+    #[test]
+    fn range_scans_in_key_order() {
+        let mut ix = OrderedIndex::new(vec![0]);
+        for v in [30i64, 10, 20, 40] {
+            ix.insert(key(v), TupleId(v as u64));
+        }
+        let lo = key(15);
+        let hi = key(35);
+        let hits: Vec<u64> = ix
+            .range(Bound::Included(&lo), Bound::Included(&hi))
+            .map(|(_, t)| t.0)
+            .collect();
+        assert_eq!(hits, vec![20, 30]);
+    }
+
+    #[test]
+    fn unbounded_range_is_full_scan_in_order() {
+        let mut ix = OrderedIndex::new(vec![0]);
+        for v in [3i64, 1, 2] {
+            ix.insert(key(v), TupleId(v as u64));
+        }
+        let all: Vec<u64> = ix
+            .range(Bound::Unbounded, Bound::Unbounded)
+            .map(|(_, t)| t.0)
+            .collect();
+        assert_eq!(all, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn remove_unregisters_one_version() {
+        let mut ix = OrderedIndex::new(vec![0]);
+        ix.insert(key(5), TupleId(1));
+        ix.insert(key(5), TupleId(2));
+        assert!(ix.remove(&key(5), TupleId(1)));
+        assert!(!ix.remove(&key(5), TupleId(1)), "already gone");
+        assert_eq!(ix.probe(&key(5)), &[TupleId(2)]);
+        assert!(ix.remove(&key(5), TupleId(2)));
+        assert_eq!(ix.distinct_keys(), 0);
+    }
+
+    #[test]
+    fn composite_keys_extract_and_order() {
+        let mut ix = OrderedIndex::new(vec![1, 0]);
+        let k = ix.key_of(&row![7, "beta"]);
+        assert_eq!(k, vec![Datum::Text("beta".into()), Datum::Int(7)]);
+        ix.insert(k.clone(), TupleId(0));
+        assert_eq!(ix.probe(&k), &[TupleId(0)]);
+    }
+}

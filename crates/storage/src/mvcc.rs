@@ -1,0 +1,198 @@
+//! MVCC tuple headers and the visibility abstraction.
+//!
+//! FI-MPPDB inherits PostgreSQL's multiversioning: every tuple version
+//! carries the id of the transaction that created it (`xmin`) and, once
+//! deleted or superseded, the id of the transaction that removed it
+//! (`xmax`). Whether a given snapshot can see a version is decided by a
+//! *visibility judge* supplied by the transaction layer — for GTM-lite this
+//! is exactly where the merged global/local snapshot of Algorithm 1 plugs in.
+
+use hdm_common::ids::INVALID_XID;
+use hdm_common::Xid;
+
+/// Per-tuple-version MVCC header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TupleHeader {
+    /// Transaction that created this version.
+    pub xmin: Xid,
+    /// Transaction that deleted/superseded this version
+    /// ([`INVALID_XID`] while live).
+    pub xmax: Xid,
+}
+
+impl TupleHeader {
+    pub fn new(xmin: Xid) -> Self {
+        Self {
+            xmin,
+            xmax: INVALID_XID,
+        }
+    }
+
+    /// Whether a deleting transaction has been recorded.
+    pub fn has_xmax(&self) -> bool {
+        self.xmax != INVALID_XID
+    }
+}
+
+/// Judges tuple visibility for one reader.
+///
+/// Implemented by the transaction layer over (snapshot, commit log, own-xid)
+/// state. The contract is the PostgreSQL rule:
+///
+/// > a version is visible iff its inserter is *seen as committed* and its
+/// > deleter (if any) is *not seen as committed*.
+pub trait Visibility {
+    /// Is the transaction `xid` seen as committed by this reader?
+    fn sees_committed(&self, xid: Xid) -> bool;
+
+    /// Is `xid` this reader's own transaction? Own uncommitted writes are
+    /// visible to self (and own deletes hide tuples from self).
+    fn is_own(&self, xid: Xid) -> bool;
+
+    /// Full tuple visibility check.
+    fn tuple_visible(&self, header: &TupleHeader) -> bool {
+        let insert_visible = self.is_own(header.xmin) || self.sees_committed(header.xmin);
+        if !insert_visible {
+            return false;
+        }
+        if !header.has_xmax() {
+            return true;
+        }
+        let delete_visible = self.is_own(header.xmax) || self.sees_committed(header.xmax);
+        !delete_visible
+    }
+}
+
+/// A visibility judge that sees every committed-by-anyone tuple: used by
+/// utilities (VACUUM-style sweeps, debug dumps) and tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SeeEverything;
+
+impl Visibility for SeeEverything {
+    fn sees_committed(&self, _xid: Xid) -> bool {
+        true
+    }
+    fn is_own(&self, _xid: Xid) -> bool {
+        false
+    }
+}
+
+/// A visibility judge from explicit sets, for tests and scripted scenarios
+/// (the paper's Fig 2 anomaly table is checked with one of these).
+#[derive(Debug, Clone, Default)]
+pub struct FixedVisibility {
+    committed: std::collections::HashSet<u64>,
+    own: Option<Xid>,
+}
+
+impl FixedVisibility {
+    pub fn new(committed: impl IntoIterator<Item = Xid>, own: Option<Xid>) -> Self {
+        Self {
+            committed: committed.into_iter().map(|x| x.raw()).collect(),
+            own,
+        }
+    }
+}
+
+impl Visibility for FixedVisibility {
+    fn sees_committed(&self, xid: Xid) -> bool {
+        self.committed.contains(&xid.raw())
+    }
+    fn is_own(&self, xid: Xid) -> bool {
+        self.own == Some(xid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T1: Xid = Xid(10);
+    const T3: Xid = Xid(30);
+
+    /// The tuple table from the paper's Anomaly-2 walkthrough (§II-A):
+    ///
+    /// |        | xmin | xmax | visibility under {T1,T3 committed} |
+    /// | tuple1 |  -   | T1   | no  (deleted by T1)                |
+    /// | tuple2 | T1   | T3   | no  (superseded by T3)             |
+    /// | tuple3 | T3   | -    | yes                                |
+    fn paper_tuples() -> [TupleHeader; 3] {
+        [
+            TupleHeader {
+                xmin: Xid(1),
+                xmax: T1,
+            },
+            TupleHeader { xmin: T1, xmax: T3 },
+            TupleHeader::new(T3),
+        ]
+    }
+
+    #[test]
+    fn all_committed_view_sees_only_tuple3() {
+        let v = FixedVisibility::new([Xid(1), T1, T3], None);
+        let t = paper_tuples();
+        assert!(!v.tuple_visible(&t[0]));
+        assert!(!v.tuple_visible(&t[1]));
+        assert!(v.tuple_visible(&t[2]));
+    }
+
+    /// The anomalous merged view from the paper: T1 "active" (not seen as
+    /// committed) but T3 seen as committed — the reader would see tuple1
+    /// *and* tuple3, i.e. T3's update without T1's. This test pins down the
+    /// anomaly that DOWNGRADE exists to prevent.
+    #[test]
+    fn anomaly2_inconsistent_view_sees_tuple1_and_tuple3() {
+        let v = FixedVisibility::new([Xid(1), T3], None); // T1 missing!
+        let t = paper_tuples();
+        assert!(v.tuple_visible(&t[0]), "tuple1 leaks back in");
+        assert!(!v.tuple_visible(&t[1]), "tuple2 xmin=T1 not committed");
+        assert!(v.tuple_visible(&t[2]), "tuple3 visible");
+    }
+
+    /// The DOWNGRADE-repaired view: T3's local commit is reverted to
+    /// "active" in the reader's snapshot, so the reader sees the consistent
+    /// pre-T1 state (tuple1 only).
+    #[test]
+    fn downgraded_view_is_consistent() {
+        let v = FixedVisibility::new([Xid(1)], None); // neither T1 nor T3
+        let t = paper_tuples();
+        assert!(v.tuple_visible(&t[0]));
+        assert!(!v.tuple_visible(&t[1]));
+        assert!(!v.tuple_visible(&t[2]));
+    }
+
+    #[test]
+    fn own_writes_are_visible_and_own_deletes_hide() {
+        let own = Xid(99);
+        let v = FixedVisibility::new([], Some(own));
+        assert!(v.tuple_visible(&TupleHeader::new(own)));
+        let deleted = TupleHeader {
+            xmin: own,
+            xmax: own,
+        };
+        assert!(!v.tuple_visible(&deleted));
+    }
+
+    #[test]
+    fn uncommitted_insert_invisible_to_others() {
+        let v = FixedVisibility::new([], None);
+        assert!(!v.tuple_visible(&TupleHeader::new(Xid(5))));
+    }
+
+    #[test]
+    fn uncommitted_delete_leaves_tuple_visible() {
+        let v = FixedVisibility::new([Xid(5)], None);
+        let h = TupleHeader {
+            xmin: Xid(5),
+            xmax: Xid(6), // deleter not committed
+        };
+        assert!(v.tuple_visible(&h));
+    }
+
+    #[test]
+    fn see_everything_sees_live_not_deleted() {
+        let t = paper_tuples();
+        assert!(!SeeEverything.tuple_visible(&t[0]));
+        assert!(SeeEverything.tuple_visible(&t[2]));
+    }
+}

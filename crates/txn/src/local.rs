@@ -1,0 +1,244 @@
+//! A data node's local transaction manager.
+//!
+//! Under GTM-lite every transaction that touches a DN gets a *local* XID
+//! from that DN ("DN uses local XID and local snapshot to execute and commit
+//! transaction locally", §II-A). Multi-shard transactions additionally carry
+//! a global XID; the DN records the association in the **xidMap**. Each DN
+//! also maintains the **local commit order (LCO)** — the sequence in which
+//! local transactions committed — which Algorithm 1's DOWNGRADE traverses.
+
+use crate::commitlog::{CommitLog, TxnStatus};
+use crate::snapshot::Snapshot;
+use hdm_common::ids::FIRST_XID;
+use hdm_common::{Result, Xid};
+use std::collections::{BTreeSet, HashMap};
+
+/// Local transaction state for one data node.
+#[derive(Debug, Clone)]
+pub struct LocalTxnManager {
+    next_xid: u64,
+    active: BTreeSet<Xid>,
+    clog: CommitLog,
+    /// Local commit order: local XIDs in the order their commits landed.
+    lco: Vec<Xid>,
+    /// Global XID -> local XID for multi-shard transactions on this DN.
+    xid_map: HashMap<Xid, Xid>,
+    /// Reverse of `xid_map`.
+    gxid_of: HashMap<Xid, Xid>,
+}
+
+impl Default for LocalTxnManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LocalTxnManager {
+    pub fn new() -> Self {
+        Self {
+            next_xid: FIRST_XID,
+            active: BTreeSet::new(),
+            clog: CommitLog::new(),
+            lco: Vec::new(),
+            xid_map: HashMap::new(),
+            gxid_of: HashMap::new(),
+        }
+    }
+
+    /// Begin a purely local (single-shard) transaction.
+    pub fn begin_local(&mut self) -> Xid {
+        let xid = Xid(self.next_xid);
+        self.next_xid += 1;
+        self.active.insert(xid);
+        self.clog.begin(xid);
+        xid
+    }
+
+    /// Begin the local leg of a multi-shard transaction with global id
+    /// `gxid`; records the xidMap entry.
+    pub fn begin_global(&mut self, gxid: Xid) -> Xid {
+        let xid = self.begin_local();
+        self.xid_map.insert(gxid, xid);
+        self.gxid_of.insert(xid, gxid);
+        xid
+    }
+
+    /// Take a local snapshot.
+    pub fn local_snapshot(&self) -> Snapshot {
+        Snapshot::capture(Xid(self.next_xid), self.active.iter().copied())
+    }
+
+    /// 2PC phase one on this DN: vote yes, hold locks, stay invisible.
+    pub fn prepare(&mut self, xid: Xid) -> Result<()> {
+        self.clog.prepare(xid)
+    }
+
+    /// Commit a local transaction: mark committed, leave the active set,
+    /// append to the LCO.
+    pub fn commit(&mut self, xid: Xid) -> Result<()> {
+        self.clog.commit(xid)?;
+        self.active.remove(&xid);
+        self.lco.push(xid);
+        Ok(())
+    }
+
+    /// Abort a local transaction.
+    pub fn abort(&mut self, xid: Xid) -> Result<()> {
+        self.clog.abort(xid)?;
+        self.active.remove(&xid);
+        self.xid_map.retain(|_, v| *v != xid);
+        self.gxid_of.remove(&xid);
+        Ok(())
+    }
+
+    pub fn status(&self, xid: Xid) -> TxnStatus {
+        self.clog.status(xid)
+    }
+
+    pub fn clog(&self) -> &CommitLog {
+        &self.clog
+    }
+
+    /// The local commit order (oldest first).
+    pub fn lco(&self) -> &[Xid] {
+        &self.lco
+    }
+
+    /// Global→local XID associations on this DN.
+    pub fn xid_map(&self) -> &HashMap<Xid, Xid> {
+        &self.xid_map
+    }
+
+    /// The global XID of a local XID, if this was a multi-shard leg.
+    pub fn gxid_of(&self, local: Xid) -> Option<Xid> {
+        self.gxid_of.get(&local).copied()
+    }
+
+    /// The local XID assigned to global transaction `gxid`, if it ran here.
+    pub fn local_of(&self, gxid: Xid) -> Option<Xid> {
+        self.xid_map.get(&gxid).copied()
+    }
+
+    /// Local XIDs currently prepared (vote-yes, awaiting decision). UPGRADE
+    /// waits on exactly these.
+    pub fn prepared_xids(&self) -> Vec<Xid> {
+        self.active
+            .iter()
+            .copied()
+            .filter(|x| self.clog.is_prepared(*x))
+            .collect()
+    }
+
+    /// Trim the LCO to its most recent `keep_last` entries.
+    ///
+    /// DOWNGRADE only needs LCO entries that could be invisible in *some
+    /// currently-held* global snapshot. Global snapshots in this system are
+    /// statement-lived, so commits older than a generous horizon can never
+    /// be tainted again; the long-running cluster simulation prunes with a
+    /// horizon of thousands of commits to keep merges O(horizon) instead of
+    /// O(total history). Scripted anomaly scenarios never prune.
+    pub fn prune_lco(&mut self, keep_last: usize) {
+        if self.lco.len() > keep_last {
+            let cut = self.lco.len() - keep_last;
+            self.lco.drain(..cut);
+        }
+    }
+
+    /// Number of in-flight local transactions.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    pub fn is_active(&self, xid: Xid) -> bool {
+        self.active.contains(&xid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_xids_ascend_and_snapshot_tracks_active() {
+        let mut m = LocalTxnManager::new();
+        let a = m.begin_local();
+        let b = m.begin_local();
+        assert!(b > a);
+        let s = m.local_snapshot();
+        assert!(!s.sees(a) && !s.sees(b));
+        m.commit(a).unwrap();
+        let s = m.local_snapshot();
+        assert!(s.sees(a));
+        assert!(!s.sees(b));
+    }
+
+    #[test]
+    fn lco_records_commit_order_not_begin_order() {
+        let mut m = LocalTxnManager::new();
+        let a = m.begin_local();
+        let b = m.begin_local();
+        m.commit(b).unwrap();
+        m.commit(a).unwrap();
+        assert_eq!(m.lco(), &[b, a]);
+    }
+
+    #[test]
+    fn xid_map_round_trips() {
+        let mut m = LocalTxnManager::new();
+        let gxid = Xid(1000);
+        let local = m.begin_global(gxid);
+        assert_eq!(m.local_of(gxid), Some(local));
+        assert_eq!(m.gxid_of(local), Some(gxid));
+        assert_eq!(m.local_of(Xid(999)), None);
+    }
+
+    #[test]
+    fn abort_clears_xid_map() {
+        let mut m = LocalTxnManager::new();
+        let gxid = Xid(1000);
+        let local = m.begin_global(gxid);
+        m.abort(local).unwrap();
+        assert_eq!(m.local_of(gxid), None);
+        assert!(!m.is_active(local));
+        assert!(m.lco().is_empty(), "aborts never enter the LCO");
+    }
+
+    #[test]
+    fn prepared_xids_lists_only_prepared() {
+        let mut m = LocalTxnManager::new();
+        let a = m.begin_local();
+        let b = m.begin_local();
+        m.prepare(a).unwrap();
+        assert_eq!(m.prepared_xids(), vec![a]);
+        assert!(m.is_active(a), "prepared stays active/invisible");
+        let _ = b;
+    }
+
+    #[test]
+    fn prune_lco_keeps_recent_suffix() {
+        let mut m = LocalTxnManager::new();
+        let xids: Vec<Xid> = (0..10)
+            .map(|_| {
+                let x = m.begin_local();
+                m.commit(x).unwrap();
+                x
+            })
+            .collect();
+        m.prune_lco(3);
+        assert_eq!(m.lco(), &xids[7..]);
+        m.prune_lco(100); // no-op when shorter
+        assert_eq!(m.lco().len(), 3);
+    }
+
+    #[test]
+    fn prepared_then_committed_enters_lco() {
+        let mut m = LocalTxnManager::new();
+        let a = m.begin_global(Xid(500));
+        m.prepare(a).unwrap();
+        m.commit(a).unwrap();
+        assert_eq!(m.lco(), &[a]);
+        assert_eq!(m.status(a), TxnStatus::Committed);
+        // xidMap survives commit: DOWNGRADE must map historical commits.
+        assert_eq!(m.local_of(Xid(500)), Some(a));
+    }
+}

@@ -1,0 +1,193 @@
+//! The two-phase-commit coordinator state machine.
+//!
+//! "Two-phase commit (2PC) is used to support atomic write operation across
+//! nodes" (§II-A). The CN acts as coordinator for multi-shard writes: it
+//! collects PREPARE votes from every participant DN, decides, reports the
+//! decision to the GTM (committed-at-GTM-first — Anomaly 1's ordering), and
+//! then confirms to the participants. This module is the pure state machine;
+//! the cluster crate supplies timing and message delivery.
+
+use hdm_common::{HdmError, Result, ShardId};
+use std::collections::HashMap;
+
+/// Coordinator lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TwoPcState {
+    /// Phase 1: waiting for votes.
+    Collecting,
+    /// Decision made: commit; waiting for participant acks.
+    Committing,
+    /// Decision made: abort; waiting for participant acks.
+    Aborting,
+    /// All participants acknowledged commit.
+    Committed,
+    /// All participants acknowledged abort.
+    Aborted,
+}
+
+/// The coordinator's decision after phase 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    Commit,
+    Abort,
+}
+
+/// A 2PC coordinator for one multi-shard transaction.
+#[derive(Debug, Clone)]
+pub struct TwoPcCoordinator {
+    participants: Vec<ShardId>,
+    votes: HashMap<u64, bool>,
+    acks: HashMap<u64, ()>,
+    state: TwoPcState,
+}
+
+impl TwoPcCoordinator {
+    /// Start phase 1 for the given participants.
+    ///
+    /// # Panics
+    /// If `participants` is empty (a zero-participant write is not a
+    /// distributed transaction).
+    pub fn new(participants: Vec<ShardId>) -> Self {
+        assert!(!participants.is_empty(), "2PC needs participants");
+        Self {
+            participants,
+            votes: HashMap::new(),
+            acks: HashMap::new(),
+            state: TwoPcState::Collecting,
+        }
+    }
+
+    pub fn state(&self) -> TwoPcState {
+        self.state
+    }
+
+    pub fn participants(&self) -> &[ShardId] {
+        &self.participants
+    }
+
+    /// Record a participant's phase-1 vote. Returns the decision once it is
+    /// determined: `Abort` as soon as any participant votes no, `Commit`
+    /// once every participant voted yes.
+    pub fn vote(&mut self, shard: ShardId, yes: bool) -> Result<Option<Decision>> {
+        if self.state != TwoPcState::Collecting {
+            return Err(HdmError::TxnState(format!(
+                "vote from {shard} after decision ({:?})",
+                self.state
+            )));
+        }
+        if !self.participants.contains(&shard) {
+            return Err(HdmError::TxnState(format!("{shard} is not a participant")));
+        }
+        if self.votes.insert(shard.raw(), yes).is_some() {
+            return Err(HdmError::TxnState(format!("{shard} voted twice")));
+        }
+        if !yes {
+            self.state = TwoPcState::Aborting;
+            return Ok(Some(Decision::Abort));
+        }
+        if self.votes.len() == self.participants.len() {
+            self.state = TwoPcState::Committing;
+            return Ok(Some(Decision::Commit));
+        }
+        Ok(None)
+    }
+
+    /// Record a participant's phase-2 acknowledgement. Returns `true` when
+    /// the protocol completed (all acks in).
+    pub fn ack(&mut self, shard: ShardId) -> Result<bool> {
+        match self.state {
+            TwoPcState::Committing | TwoPcState::Aborting => {}
+            s => {
+                return Err(HdmError::TxnState(format!(
+                    "ack from {shard} in state {s:?}"
+                )))
+            }
+        }
+        if !self.participants.contains(&shard) {
+            return Err(HdmError::TxnState(format!("{shard} is not a participant")));
+        }
+        self.acks.insert(shard.raw(), ());
+        if self.acks.len() == self.participants.len() {
+            self.state = match self.state {
+                TwoPcState::Committing => TwoPcState::Committed,
+                _ => TwoPcState::Aborted,
+            };
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    pub fn is_done(&self) -> bool {
+        matches!(self.state, TwoPcState::Committed | TwoPcState::Aborted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shards(n: u64) -> Vec<ShardId> {
+        (0..n).map(ShardId::new).collect()
+    }
+
+    #[test]
+    fn unanimous_yes_commits() {
+        let mut c = TwoPcCoordinator::new(shards(3));
+        assert_eq!(c.vote(ShardId(0), true).unwrap(), None);
+        assert_eq!(c.vote(ShardId(1), true).unwrap(), None);
+        assert_eq!(c.vote(ShardId(2), true).unwrap(), Some(Decision::Commit));
+        assert_eq!(c.state(), TwoPcState::Committing);
+        assert!(!c.ack(ShardId(0)).unwrap());
+        assert!(!c.ack(ShardId(1)).unwrap());
+        assert!(c.ack(ShardId(2)).unwrap());
+        assert_eq!(c.state(), TwoPcState::Committed);
+        assert!(c.is_done());
+    }
+
+    #[test]
+    fn any_no_aborts_immediately() {
+        let mut c = TwoPcCoordinator::new(shards(3));
+        assert_eq!(c.vote(ShardId(0), true).unwrap(), None);
+        assert_eq!(c.vote(ShardId(1), false).unwrap(), Some(Decision::Abort));
+        assert_eq!(c.state(), TwoPcState::Aborting);
+        // Remaining vote is an error (decision already made).
+        assert!(c.vote(ShardId(2), true).is_err());
+    }
+
+    #[test]
+    fn abort_path_completes_with_acks() {
+        let mut c = TwoPcCoordinator::new(shards(2));
+        c.vote(ShardId(0), false).unwrap();
+        c.ack(ShardId(0)).unwrap();
+        assert!(c.ack(ShardId(1)).unwrap());
+        assert_eq!(c.state(), TwoPcState::Aborted);
+    }
+
+    #[test]
+    fn double_vote_and_stranger_vote_rejected() {
+        let mut c = TwoPcCoordinator::new(shards(2));
+        c.vote(ShardId(0), true).unwrap();
+        assert!(c.vote(ShardId(0), true).is_err());
+        assert!(c.vote(ShardId(9), true).is_err());
+    }
+
+    #[test]
+    fn ack_before_decision_rejected() {
+        let mut c = TwoPcCoordinator::new(shards(2));
+        assert!(c.ack(ShardId(0)).is_err());
+    }
+
+    #[test]
+    fn single_participant_commits_on_one_vote() {
+        let mut c = TwoPcCoordinator::new(shards(1));
+        assert_eq!(c.vote(ShardId(0), true).unwrap(), Some(Decision::Commit));
+        assert!(c.ack(ShardId(0)).unwrap());
+        assert_eq!(c.state(), TwoPcState::Committed);
+    }
+
+    #[test]
+    #[should_panic(expected = "2PC needs participants")]
+    fn empty_participants_rejected() {
+        let _ = TwoPcCoordinator::new(vec![]);
+    }
+}

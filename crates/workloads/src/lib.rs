@@ -1,0 +1,20 @@
+//! # hdm-workloads
+//!
+//! Workload generators for every experiment in the paper:
+//!
+//! * [`tpcc`] — the modified-TPC-C short-transaction generator of Fig 3
+//!   ("We modified the TPC-C benchmark to issue 100% single-shard (SS) or
+//!   90% single-shard transactions (MS)").
+//! * [`mme`] — MME session objects for Fig 8/Fig 11: 5–10 KB tree-modeled
+//!   JSON sessions and the V3→V5→V6→V7→V8 schema-version chain.
+//! * [`olap`] — a skewed reporting dataset plus canned reporting queries
+//!   ("reporting workloads (canned queries) are the most common in real
+//!   life OLAP workloads", §II-C) for the learning-optimizer experiments.
+
+pub mod mme;
+pub mod olap;
+pub mod tpcc;
+
+pub use mme::{generate_session, mme_schema_chain, MmeConfig};
+pub use olap::OlapWorkload;
+pub use tpcc::{OpSpec, TpccConfig, TpccGenerator, TxnSpec};

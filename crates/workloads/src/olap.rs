@@ -1,0 +1,165 @@
+//! The OLAP reporting workload for the learning-optimizer experiments.
+//!
+//! §II-C's argument is that "reporting workloads (canned queries) are the
+//! most common in real life OLAP workloads" — the same step definitions
+//! recur, so exact-match cardinality reuse pays off. This module builds a
+//! small star-ish schema with *skewed* columns (where the uniform estimator
+//! is reliably wrong) and a set of canned reporting queries covering every
+//! captured step class: scans, joins, aggregations, set operations, limits.
+
+use hdm_common::{Result, SplitMix64};
+use hdm_sql::Database;
+
+/// Builder for the skewed reporting dataset.
+#[derive(Debug, Clone)]
+pub struct OlapWorkload {
+    pub fact_rows: usize,
+    pub dim_rows: usize,
+    pub seed: u64,
+}
+
+impl Default for OlapWorkload {
+    fn default() -> Self {
+        Self {
+            fact_rows: 5_000,
+            dim_rows: 200,
+            seed: 0x01a9,
+        }
+    }
+}
+
+impl OlapWorkload {
+    /// Create tables, load data, ANALYZE.
+    pub fn load(&self, db: &mut Database) -> Result<()> {
+        db.execute(
+            "create table olap.sales (sale_id int, cust_id int, region int, \
+             amount int, status int)",
+        )?;
+        db.execute("create table olap.customers (cust_id int, segment int)")?;
+
+        let mut rng = SplitMix64::new(self.seed);
+        let mut batch: Vec<String> = Vec::new();
+        for i in 0..self.fact_rows {
+            // Skew: 90% of sales sit in region 0 with small amounts; the
+            // tail spreads across regions with large amounts. A uniform
+            // min/max estimator misjudges region & amount predicates badly.
+            let (region, amount) = if rng.chance(0.9) {
+                (0, rng.range_i64(1, 50))
+            } else {
+                (rng.range_i64(1, 9), rng.range_i64(1_000, 10_000))
+            };
+            let status = if rng.chance(0.97) { 1 } else { 0 };
+            batch.push(format!(
+                "({i}, {}, {region}, {amount}, {status})",
+                rng.next_below(self.dim_rows as u64)
+            ));
+            if batch.len() == 500 {
+                db.execute(&format!(
+                    "insert into olap.sales values {}",
+                    batch.join(",")
+                ))?;
+                batch.clear();
+            }
+        }
+        if !batch.is_empty() {
+            db.execute(&format!(
+                "insert into olap.sales values {}",
+                batch.join(",")
+            ))?;
+        }
+        let dims: Vec<String> = (0..self.dim_rows)
+            .map(|i| format!("({i}, {})", i % 5))
+            .collect();
+        db.execute(&format!(
+            "insert into olap.customers values {}",
+            dims.join(",")
+        ))?;
+        db.execute("analyze")?;
+        Ok(())
+    }
+
+    /// The canned reporting queries (each exercises a captured step class).
+    pub fn canned_queries() -> Vec<&'static str> {
+        vec![
+            // Scan with a selective predicate the estimator misjudges.
+            "select * from olap.sales where amount > 500",
+            // Two-way join with a skewed filter (the Table I shape).
+            "select * from olap.sales s, olap.customers c \
+             where s.cust_id = c.cust_id and s.amount > 500",
+            // Aggregation over a skewed group.
+            "select region, count(*), sum(amount) from olap.sales \
+             where status = 1 group by region",
+            // Set operation.
+            "select cust_id from olap.sales where amount > 500 \
+             union select cust_id from olap.sales where status = 0",
+            // Limit over a big scan.
+            "select * from olap.sales where region = 0 limit 100",
+            // Join + aggregation (report query).
+            "select c.segment, count(*) from olap.sales s, olap.customers c \
+             where s.cust_id = c.cust_id and s.amount > 500 group by c.segment",
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdm_learnopt::SharedPlanStore;
+
+    #[test]
+    fn loads_and_all_canned_queries_run() {
+        let mut db = Database::new();
+        OlapWorkload {
+            fact_rows: 2_000,
+            ..Default::default()
+        }
+        .load(&mut db)
+        .unwrap();
+        for q in OlapWorkload::canned_queries() {
+            let r = db.execute(q).unwrap_or_else(|e| panic!("{q}: {e}"));
+            assert!(!r.steps.is_empty(), "{q} produced no steps");
+        }
+    }
+
+    #[test]
+    fn estimates_are_wrong_cold_and_right_warm() {
+        let mut db = Database::new();
+        OlapWorkload::default().load(&mut db).unwrap();
+        let store = SharedPlanStore::default();
+        db.set_plan_store(store.hints(), store.observer());
+
+        let q = "select * from olap.sales where amount > 500";
+        let cold = db.execute(q).unwrap();
+        let scan = &cold.steps[0];
+        let err_cold = (scan.estimated - scan.actual as f64).abs() / scan.actual.max(1) as f64;
+        assert!(err_cold > 1.0, "estimator should be badly off: {err_cold}");
+
+        let warm = db.execute(q).unwrap();
+        let scan = &warm.steps[0];
+        let err_warm = (scan.estimated - scan.actual as f64).abs() / scan.actual.max(1) as f64;
+        assert!(err_warm < 0.01, "warm estimate should match actual: {err_warm}");
+    }
+
+    #[test]
+    fn hit_rate_grows_over_the_canned_set() {
+        let mut db = Database::new();
+        OlapWorkload {
+            fact_rows: 2_000,
+            ..Default::default()
+        }
+        .load(&mut db)
+        .unwrap();
+        let store = SharedPlanStore::default();
+        db.set_plan_store(store.hints(), store.observer());
+        let queries = OlapWorkload::canned_queries();
+        let mut cold_hits = 0;
+        let mut warm_hits = 0;
+        for q in &queries {
+            cold_hits += db.execute(q).unwrap().planning.hint_hits;
+        }
+        for q in &queries {
+            warm_hits += db.execute(q).unwrap().planning.hint_hits;
+        }
+        assert!(warm_hits > cold_hits + 3, "cold={cold_hits} warm={warm_hits}");
+    }
+}

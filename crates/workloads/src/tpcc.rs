@@ -1,0 +1,257 @@
+//! The modified-TPC-C workload of Fig 3.
+//!
+//! TPC-C's defining property for the GTM-lite experiment is that warehouses
+//! shard the database and most transactions touch a single warehouse; the
+//! paper's modification dials the single-shard fraction to exactly 100%
+//! (SS) or 90% (MS). This generator produces short read-write transaction
+//! *specs* against warehouse-prefixed keys; the cluster engine or the
+//! discrete-event simulator executes them.
+
+use hdm_cluster::make_key;
+use hdm_common::SplitMix64;
+
+/// One key operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpSpec {
+    Read(i64),
+    Write(i64, i64),
+}
+
+impl OpSpec {
+    pub fn key(&self) -> i64 {
+        match self {
+            OpSpec::Read(k) | OpSpec::Write(k, _) => *k,
+        }
+    }
+}
+
+/// One transaction spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxnSpec {
+    /// `Some(prefix)`: the application knows this is single-sharded.
+    pub single_prefix: Option<u32>,
+    pub ops: Vec<OpSpec>,
+}
+
+impl TxnSpec {
+    pub fn is_single_shard(&self) -> bool {
+        self.single_prefix.is_some()
+    }
+}
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct TpccConfig {
+    pub warehouses: u32,
+    pub items_per_warehouse: u32,
+    /// 1.0 = the paper's SS workload, 0.9 = MS.
+    pub single_shard_fraction: f64,
+    pub reads_per_txn: u32,
+    pub writes_per_txn: u32,
+    /// Warehouses touched by a multi-shard transaction.
+    pub multi_warehouses: u32,
+    pub seed: u64,
+}
+
+impl Default for TpccConfig {
+    fn default() -> Self {
+        Self {
+            warehouses: 16,
+            items_per_warehouse: 1024,
+            single_shard_fraction: 1.0,
+            reads_per_txn: 2,
+            writes_per_txn: 2,
+            multi_warehouses: 2,
+            seed: 0x7ecc,
+        }
+    }
+}
+
+impl TpccConfig {
+    pub fn ss() -> Self {
+        Self::default()
+    }
+
+    pub fn ms() -> Self {
+        Self {
+            single_shard_fraction: 0.9,
+            ..Self::default()
+        }
+    }
+}
+
+/// An infinite deterministic stream of transaction specs.
+#[derive(Debug, Clone)]
+pub struct TpccGenerator {
+    cfg: TpccConfig,
+    rng: SplitMix64,
+    produced: u64,
+}
+
+impl TpccGenerator {
+    pub fn new(cfg: TpccConfig) -> Self {
+        assert!(cfg.warehouses > 0 && cfg.items_per_warehouse > 0);
+        assert!((0.0..=1.0).contains(&cfg.single_shard_fraction));
+        let seed = cfg.seed;
+        Self {
+            cfg,
+            rng: SplitMix64::new(seed),
+            produced: 0,
+        }
+    }
+
+    pub fn produced(&self) -> u64 {
+        self.produced
+    }
+
+    fn key_in(&mut self, warehouse: u32) -> i64 {
+        let item = self.rng.next_below(self.cfg.items_per_warehouse as u64) as u32;
+        make_key(warehouse, item)
+    }
+
+    /// The next transaction spec.
+    pub fn next_txn(&mut self) -> TxnSpec {
+        self.produced += 1;
+        let home = self.rng.next_below(self.cfg.warehouses as u64) as u32;
+        let single = self.rng.chance(self.cfg.single_shard_fraction);
+        let mut ops = Vec::new();
+        if single {
+            for _ in 0..self.cfg.reads_per_txn {
+                let k = self.key_in(home);
+                ops.push(OpSpec::Read(k));
+            }
+            for _ in 0..self.cfg.writes_per_txn {
+                let k = self.key_in(home);
+                let v = (self.rng.next_u64() & 0xffff) as i64;
+                ops.push(OpSpec::Write(k, v));
+            }
+            TxnSpec {
+                single_prefix: Some(home),
+                ops,
+            }
+        } else {
+            // Reads on the home warehouse, one write per extra warehouse —
+            // the NewOrder-with-remote-stock shape.
+            let mut whs = vec![home];
+            let mut guard = 0;
+            while whs.len() < self.cfg.multi_warehouses as usize && guard < 64 {
+                guard += 1;
+                let w = self.rng.next_below(self.cfg.warehouses as u64) as u32;
+                if !whs.contains(&w) {
+                    whs.push(w);
+                }
+            }
+            for _ in 0..self.cfg.reads_per_txn {
+                let k = self.key_in(home);
+                ops.push(OpSpec::Read(k));
+            }
+            for &w in &whs {
+                let k = self.key_in(w);
+                let v = (self.rng.next_u64() & 0xffff) as i64;
+                ops.push(OpSpec::Write(k, v));
+            }
+            TxnSpec {
+                single_prefix: None,
+                ops,
+            }
+        }
+    }
+
+    /// Generate `n` specs.
+    pub fn take(&mut self, n: usize) -> Vec<TxnSpec> {
+        (0..n).map(|_| self.next_txn()).collect()
+    }
+}
+
+/// Run a batch of specs against a cluster engine; returns
+/// `(committed, aborted)`. The glue used by examples and benches.
+pub fn run_specs(
+    cluster: &mut hdm_cluster::Cluster,
+    specs: &[TxnSpec],
+) -> hdm_common::Result<(u64, u64)> {
+    let mut committed = 0;
+    let mut aborted = 0;
+    'spec: for spec in specs {
+        let mut txn = match spec.single_prefix {
+            Some(p) => cluster.begin_single(p),
+            None => cluster.begin_multi(),
+        };
+        for op in &spec.ops {
+            let result = match op {
+                OpSpec::Read(k) => cluster.get(&mut txn, *k).map(|_| ()),
+                OpSpec::Write(k, v) => cluster.put(&mut txn, *k, *v),
+            };
+            if result.is_err() {
+                cluster.abort(txn)?;
+                aborted += 1;
+                continue 'spec;
+            }
+        }
+        match cluster.commit(txn) {
+            Ok(()) => committed += 1,
+            Err(_) => aborted += 1,
+        }
+    }
+    Ok((committed, aborted))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdm_cluster::{key_prefix, Cluster, ClusterConfig};
+
+    #[test]
+    fn ss_config_yields_only_single_shard() {
+        let mut g = TpccGenerator::new(TpccConfig::ss());
+        for spec in g.take(500) {
+            assert!(spec.is_single_shard());
+            let home = spec.single_prefix.unwrap();
+            assert!(spec.ops.iter().all(|o| key_prefix(o.key()) == home));
+        }
+    }
+
+    #[test]
+    fn ms_config_hits_the_ten_percent_mix() {
+        let mut g = TpccGenerator::new(TpccConfig::ms());
+        let specs = g.take(10_000);
+        let multi = specs.iter().filter(|s| !s.is_single_shard()).count();
+        assert!(
+            (800..=1200).contains(&multi),
+            "expected ~10% multi-shard, got {multi}/10000"
+        );
+    }
+
+    #[test]
+    fn multi_shard_specs_span_warehouses() {
+        let mut g = TpccGenerator::new(TpccConfig {
+            single_shard_fraction: 0.0,
+            ..TpccConfig::default()
+        });
+        for spec in g.take(100) {
+            let mut whs: Vec<u32> = spec.ops.iter().map(|o| key_prefix(o.key())).collect();
+            whs.sort_unstable();
+            whs.dedup();
+            assert!(whs.len() >= 2, "multi txn stayed in one warehouse");
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let mut a = TpccGenerator::new(TpccConfig::ms());
+        let mut b = TpccGenerator::new(TpccConfig::ms());
+        assert_eq!(a.take(100), b.take(100));
+    }
+
+    #[test]
+    fn specs_run_against_a_live_cluster() {
+        let mut cluster = Cluster::new(ClusterConfig::gtm_lite(4));
+        let mut g = TpccGenerator::new(TpccConfig::ms());
+        let specs = g.take(300);
+        let (committed, aborted) = run_specs(&mut cluster, &specs).unwrap();
+        assert_eq!(committed + aborted, 300);
+        assert!(committed > 280, "committed={committed}");
+        // GTM touched only by the multi-shard minority.
+        let multi = specs.iter().filter(|s| !s.is_single_shard()).count() as u64;
+        assert_eq!(cluster.counters().gtm_interactions, multi * 3);
+    }
+}

@@ -1,0 +1,67 @@
+//! The MPP analytics layer (Fig 1): scatter–gather SQL over sharded data
+//! nodes, the way FI-MPPDB actually runs reporting queries.
+//!
+//! Loads a star schema — a hash-distributed fact table and a replicated
+//! dimension — then runs reporting queries and shows the data-exchange
+//! accounting: partial aggregation ships a handful of rows per node where
+//! a naive gather would ship the whole table.
+//!
+//! Run: `cargo run --example mpp_analytics`
+
+use huawei_dm::core::mpp::{compile, Distribution, MppDatabase};
+use hdm_sql::ast::Statement;
+
+fn main() -> hdm_common::Result<()> {
+    let mut mpp = MppDatabase::new(4);
+    println!("MPP cluster: {} data nodes\n", mpp.node_count());
+
+    // Star schema: sales distributed by sale_id, customers replicated.
+    mpp.create_table(
+        "create table sales (sale_id int, cust_id int, region int, amount int)",
+        Distribution::Hash("sale_id".into()),
+    )?;
+    mpp.create_table(
+        "create table customers (cust_id int, segment text)",
+        Distribution::Replicated,
+    )?;
+    let mut rows = Vec::new();
+    for i in 0..20_000i64 {
+        rows.push(format!("({i}, {}, {}, {})", i % 500, i % 8, (i * 13) % 1000));
+        if rows.len() == 1000 {
+            mpp.insert(&format!("insert into sales values {}", rows.join(",")))?;
+            rows.clear();
+        }
+    }
+    let dims: Vec<String> = (0..500)
+        .map(|i| format!("({i}, 'segment-{}')", i % 4))
+        .collect();
+    mpp.insert(&format!("insert into customers values {}", dims.join(",")))?;
+    mpp.analyze()?;
+    println!("loaded 20,000 fact rows (hash-distributed) + 500 dimension rows (replicated)");
+
+    // Show the two-phase compilation for a reporting query.
+    let report = "select c.segment, count(*), sum(s.amount) \
+                  from sales s, customers c \
+                  where s.cust_id = c.cust_id and s.amount > 500 \
+                  group by c.segment order by c.segment";
+    let Statement::Select(sel) = hdm_sql::parser::parse(report)? else {
+        unreachable!()
+    };
+    let plan = compile(&sel)?;
+    println!("\nreporting query:\n  {report}");
+    println!("\nnode query (scattered to every DN, partial aggregation):\n  {}", plan.node_sql);
+    println!("\nfinal query (coordinator, merging partials):\n  {}", plan.final_sql);
+
+    let before = mpp.exchanged_rows();
+    let r = mpp.query(report)?;
+    println!("\nresults:");
+    for row in &r.rows {
+        println!("  {row}");
+    }
+    println!(
+        "\ndata exchange: {} partial rows shipped to the coordinator \
+         (vs 20,000 for a naive gather)",
+        mpp.exchanged_rows() - before
+    );
+    Ok(())
+}

@@ -1,0 +1,38 @@
+//! # huawei-dm
+//!
+//! Umbrella crate for the reproduction of *"Data Management at Huawei:
+//! Recent Accomplishments and Future Challenges"* (ICDE 2019).
+//!
+//! Re-exports every subsystem crate under a stable path so examples and
+//! integration tests can use one dependency:
+//!
+//! * [`common`] — shared datums, schemas, errors, MD5, virtual time.
+//! * [`simnet`] — discrete-event simulation kernel (Fig 3 substrate).
+//! * [`storage`] — MVCC heap, row/column stores, compression, indexes.
+//! * [`txn`] — snapshots, baseline GTM, GTM-lite (Algorithm 1), 2PC.
+//! * [`cluster`] — CN/DN/GTM cluster, sharding, anomaly scenarios.
+//! * [`sql`] — SQL subset: parser, catalog, cost-based planner, executor.
+//! * [`learnopt`] — learning optimizer plan store (Table I, Figs 5–6).
+//! * [`mmdb`] — multi-model engines: graph (Gremlin-lite), time-series,
+//!   spatial, unified cross-model queries (§II-B).
+//! * [`gmdb`] — in-memory tree-object store with online schema evolution
+//!   (§III, Figs 7–11).
+//! * [`autonomous`] — information store, workload/anomaly/change managers,
+//!   in-DB ML (§IV-A).
+//! * [`edgesync`] — device–edge–cloud P2P data sync platform (§IV-B).
+//! * [`workloads`] — TPC-C-style and MME workload generators.
+//! * [`core`] — the composed `FiMppDb` public API.
+
+pub use hdm_autonomous as autonomous;
+pub use hdm_cluster as cluster;
+pub use hdm_common as common;
+pub use hdm_core as core;
+pub use hdm_edgesync as edgesync;
+pub use hdm_gmdb as gmdb;
+pub use hdm_learnopt as learnopt;
+pub use hdm_mmdb as mmdb;
+pub use hdm_simnet as simnet;
+pub use hdm_sql as sql;
+pub use hdm_storage as storage;
+pub use hdm_txn as txn;
+pub use hdm_workloads as workloads;

@@ -1,0 +1,57 @@
+//! Smoke test: the Fig 3 experiment through the umbrella crate, at a small
+//! horizon, asserting the paper's qualitative claims hold wherever this
+//! repository builds (the full harness is `fig3_gtm_lite_scalability`).
+
+use huawei_dm::cluster::{Protocol, SimConfig, WorkloadMix};
+use huawei_dm::common::SimDuration;
+
+fn run(nodes: usize, protocol: Protocol, mix: WorkloadMix) -> huawei_dm::cluster::SimReport {
+    let mut cfg = SimConfig::new(nodes, protocol, mix);
+    cfg.horizon = SimDuration::from_millis(60);
+    huawei_dm::cluster::sim::run_sim(cfg)
+}
+
+#[test]
+fn fig3_shape_holds() {
+    let lite_1 = run(1, Protocol::GtmLite, WorkloadMix::ss());
+    let lite_8 = run(8, Protocol::GtmLite, WorkloadMix::ss());
+    let base_4 = run(4, Protocol::Baseline, WorkloadMix::ss());
+    let base_8 = run(8, Protocol::Baseline, WorkloadMix::ss());
+
+    // GTM-lite scales with nodes.
+    assert!(
+        lite_8.throughput_tps > 6.0 * lite_1.throughput_tps,
+        "lite 1n={:.0} 8n={:.0}",
+        lite_1.throughput_tps,
+        lite_8.throughput_tps
+    );
+    // Baseline flattens: 8 nodes buys almost nothing over 4.
+    assert!(
+        base_8.throughput_tps < 1.15 * base_4.throughput_tps,
+        "baseline 4n={:.0} 8n={:.0}",
+        base_4.throughput_tps,
+        base_8.throughput_tps
+    );
+    // At 8 nodes GTM-lite wins by a factor.
+    assert!(lite_8.throughput_tps > 2.0 * base_8.throughput_tps);
+    // The mechanism is the one the paper names: the GTM is saturated under
+    // the baseline and untouched under GTM-lite SS.
+    assert!(base_8.gtm_utilization > 0.9);
+    assert_eq!(lite_8.gtm_interactions, 0);
+}
+
+#[test]
+fn ms_workload_pays_a_bounded_protocol_tax() {
+    let ss = run(4, Protocol::GtmLite, WorkloadMix::ss());
+    let ms = run(4, Protocol::GtmLite, WorkloadMix::ms());
+    assert!(ms.throughput_tps < ss.throughput_tps);
+    assert!(
+        ms.throughput_tps > 0.75 * ss.throughput_tps,
+        "10% multi-shard should cost well under 25%: ss={:.0} ms={:.0}",
+        ss.throughput_tps,
+        ms.throughput_tps
+    );
+    // Multi-shard traffic produced merges but no repairs were needed in the
+    // orderly full-commit flow.
+    assert!(ms.merges > 0);
+}
