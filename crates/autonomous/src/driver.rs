@@ -130,7 +130,7 @@ impl AutonomousDriver {
 
         // Periodic model refit → configuration change.
         let mut recommended_cap = None;
-        if tick % self.refit_every == 0 {
+        if tick.is_multiple_of(self.refit_every) {
             let pairs = self.info.joined("concurrency", "response_ms");
             if pairs.len() >= 8 {
                 if let Ok(model) = LinearRegression::fit(&pairs) {
@@ -246,7 +246,7 @@ mod tests {
         impl Managed for Noise {
             fn run_tick(&mut self, tick: u64, limit: usize) -> TickMetrics {
                 // Latency unrelated to concurrency: alternating extremes.
-                let resp = if tick % 2 == 0 { 1.0 } else { 500.0 };
+                let resp = if tick.is_multiple_of(2) { 1.0 } else { 500.0 };
                 TickMetrics {
                     responses_ms: vec![resp; limit.min(8)],
                     concurrency: limit.min(8) as f64,

@@ -35,7 +35,8 @@ fn bench_sync_backlog(c: &mut Criterion) {
 /// path (per-message RTT dominated), reported as virtual time.
 fn bench_link_model(c: &mut Criterion) {
     let mut g = c.benchmark_group("link_transfer_model");
-    let links: [(&str, fn(u64) -> NetLink); 2] = [
+    type MkLink = fn(u64) -> NetLink;
+    let links: [(&str, MkLink); 2] = [
         ("bluetooth_direct", NetLink::bluetooth),
         ("internet_via_cloud", NetLink::internet),
     ];

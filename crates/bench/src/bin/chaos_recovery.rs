@@ -1,0 +1,142 @@
+//! Chaos / recovery characterization: transaction outcomes and recovery
+//! traffic under escalating fault rates, plus the retry cost of a lossy
+//! network on the Fig 3 workload.
+//!
+//! Every run is a seeded discrete-event simulation, so the tables reproduce
+//! exactly; EXPERIMENTS.md records the seeds and fault rates used.
+//!
+//! Usage:
+//!   chaos_recovery [--seeds N] [--transfers N]
+
+use hdm_bench::{arg_value, render_table};
+use hdm_cluster::{run_chaos, ChaosConfig, Protocol, SimConfig, WorkloadMix};
+use hdm_common::SimDuration;
+use hdm_simnet::FaultConfig;
+
+fn fault_level(level: &str) -> FaultConfig {
+    match level {
+        "none" => FaultConfig::none(),
+        "lossy" => FaultConfig {
+            dn_crashes_per_node: 0.0,
+            gtm_crashes: 0.0,
+            ..FaultConfig::chaotic()
+        },
+        "crashy" => FaultConfig {
+            dn_crashes_per_node: 1.5,
+            gtm_crashes: 1.5,
+            ..FaultConfig::none()
+        },
+        "chaotic" => FaultConfig::chaotic(),
+        "hostile" => FaultConfig {
+            drop_p: 0.10,
+            duplicate_p: 0.05,
+            delay_p: 0.15,
+            dn_crashes_per_node: 2.0,
+            gtm_crashes: 2.0,
+            ..FaultConfig::chaotic()
+        },
+        other => panic!("unknown fault level {other}"),
+    }
+}
+
+fn main() {
+    let seeds: u64 = arg_value("--seeds")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10);
+    let transfers: usize = arg_value("--transfers")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30);
+
+    println!("=== Chaos harness: 2PC/GTM crash recovery under deterministic faults ===");
+    println!(
+        "bank-transfer workload, 4 shards, 6 clients x {transfers} transfers, \
+         {seeds} seeds per fault level\n"
+    );
+
+    let mut rows = vec![vec![
+        "fault level".to_string(),
+        "committed".to_string(),
+        "txn aborts".to_string(),
+        "retries".to_string(),
+        "in-doubt C/A".to_string(),
+        "crashes dn/gtm".to_string(),
+        "msgs drop/dup/delay".to_string(),
+        "violations".to_string(),
+    ]];
+    for level in ["none", "lossy", "crashy", "chaotic", "hostile"] {
+        let mut sum_committed = 0u64;
+        let mut sum_aborts = 0u64;
+        let mut sum_retries = 0u64;
+        let mut idc = 0u64;
+        let mut ida = 0u64;
+        let mut dnc = 0u64;
+        let mut gtc = 0u64;
+        let mut drops = 0u64;
+        let mut dups = 0u64;
+        let mut delays = 0u64;
+        let mut violations = 0usize;
+        for seed in 0..seeds {
+            let mut cfg = ChaosConfig::standard(0xBE2C_0000 + seed);
+            cfg.transfers_per_client = transfers;
+            cfg.faults = fault_level(level);
+            let r = run_chaos(cfg);
+            sum_committed += r.committed;
+            sum_aborts += r.txn_aborts;
+            sum_retries += r.counters.retries;
+            idc += r.counters.in_doubt_commits;
+            ida += r.counters.in_doubt_aborts;
+            dnc += r.counters.dn_crashes;
+            gtc += r.counters.gtm_crashes;
+            drops += r.message_stats.1;
+            dups += r.message_stats.2;
+            delays += r.message_stats.3;
+            violations += r.violations.len();
+        }
+        rows.push(vec![
+            level.to_string(),
+            sum_committed.to_string(),
+            sum_aborts.to_string(),
+            sum_retries.to_string(),
+            format!("{idc}/{ida}"),
+            format!("{dnc}/{gtc}"),
+            format!("{drops}/{dups}/{delays}"),
+            violations.to_string(),
+        ]);
+    }
+    println!("{}", render_table(&rows));
+    println!(
+        "in-doubt C/A = prepared legs resolved commit/abort from the \
+         coordinator's log after a crash.\n"
+    );
+
+    // The retry cost of a lossy network on the Fig 3 closed-loop workload.
+    println!("=== Fig 3 workload on a lossy network (GTM-lite, 4 nodes, MS mix) ===");
+    let mut rows = vec![vec![
+        "drop_p".to_string(),
+        "tps".to_string(),
+        "p50 us".to_string(),
+        "p99 us".to_string(),
+        "dropped msgs".to_string(),
+    ]];
+    for drop_p in [0.0, 0.01, 0.02, 0.05, 0.10] {
+        let mut cfg = SimConfig::new(4, Protocol::GtmLite, WorkloadMix::ms());
+        cfg.horizon = SimDuration::from_millis(100);
+        cfg.faults = (drop_p > 0.0).then(|| FaultConfig {
+            drop_p,
+            duplicate_p: 0.0,
+            delay_p: 0.0,
+            dn_crashes_per_node: 0.0,
+            gtm_crashes: 0.0,
+            ..FaultConfig::none()
+        });
+        let r = hdm_cluster::sim::run_sim(cfg);
+        rows.push(vec![
+            format!("{drop_p:.2}"),
+            format!("{:.0}", r.throughput_tps),
+            r.p50_latency_us.to_string(),
+            r.p99_latency_us.to_string(),
+            r.net_fault_stats.1.to_string(),
+        ]);
+    }
+    println!("{}", render_table(&rows));
+}

@@ -28,7 +28,7 @@ use crate::node::DataNode;
 use crate::shard::ShardMap;
 use hdm_common::{HdmError, Result, ShardId, Xid};
 use hdm_txn::{
-    merge_with_manager, Decision, Gtm, Snapshot, SnapshotVisibility, TwoPcCoordinator,
+    merge_with_manager, Decision, Gtm, Snapshot, SnapshotVisibility, TwoPcCoordinator, TxnStatus,
 };
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -96,6 +96,17 @@ pub struct ClusterCounters {
     pub upgrade_waits: u64,
     /// Local commits DOWNGRADEd in some reader's merged view.
     pub downgrades: u64,
+    /// CN-side transaction retries after faults (backoff applied per retry).
+    pub retries: u64,
+    /// Data-node crash / restart events injected.
+    pub dn_crashes: u64,
+    pub dn_restarts: u64,
+    /// GTM crash / restart events injected.
+    pub gtm_crashes: u64,
+    pub gtm_restarts: u64,
+    /// In-doubt legs resolved at recovery, by outcome.
+    pub in_doubt_commits: u64,
+    pub in_doubt_aborts: u64,
 }
 
 /// One leg of a multi-shard GTM-lite transaction on a particular DN.
@@ -143,6 +154,19 @@ impl Txn {
     pub fn is_single_shard(&self) -> bool {
         matches!(self.kind, TxnKind::LiteSingle { .. })
     }
+
+    /// The `(shard, local xid)` legs of a GTM-lite multi-shard transaction
+    /// (empty for other kinds). Lets a fault-aware coordinator drive the
+    /// 2PC finish phase per leg, retransmitting to crashed participants.
+    pub fn legs(&self) -> Vec<(ShardId, Xid)> {
+        match &self.kind {
+            TxnKind::LiteMulti { legs, .. } => legs
+                .iter()
+                .map(|(&s, leg)| (ShardId::new(s), leg.xid))
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
 }
 
 /// The sharded OLTP cluster: one GTM, N data nodes.
@@ -152,18 +176,24 @@ pub struct Cluster {
     map: ShardMap,
     gtm: Gtm,
     nodes: Vec<DataNode>,
+    /// Per-node liveness: a down node rejects every request until restarted.
+    down: Vec<bool>,
+    gtm_up: bool,
     counters: ClusterCounters,
 }
 
 impl Cluster {
     pub fn new(cfg: ClusterConfig) -> Self {
         let map = ShardMap::new(cfg.shards);
-        let nodes = map.all().map(DataNode::new).collect();
+        let nodes: Vec<DataNode> = map.all().map(DataNode::new).collect();
+        let down = vec![false; nodes.len()];
         Self {
             cfg,
             map,
             gtm: Gtm::new(),
             nodes,
+            down,
+            gtm_up: true,
             counters: ClusterCounters::default(),
         }
     }
@@ -186,6 +216,141 @@ impl Cluster {
 
     pub fn node(&self, shard: ShardId) -> &DataNode {
         &self.nodes[shard.raw() as usize]
+    }
+
+    pub fn is_node_up(&self, shard: ShardId) -> bool {
+        !self.down[shard.raw() as usize]
+    }
+
+    pub fn is_gtm_up(&self) -> bool {
+        self.gtm_up
+    }
+
+    fn check_node(&self, shard: ShardId) -> Result<()> {
+        if self.down[shard.raw() as usize] {
+            return Err(HdmError::Unavailable(format!("{shard} is down")));
+        }
+        Ok(())
+    }
+
+    fn check_gtm(&self) -> Result<()> {
+        if !self.gtm_up {
+            return Err(HdmError::Unavailable("GTM is down".into()));
+        }
+        Ok(())
+    }
+
+    /// Kill a data node's process. In-progress transactions there die with
+    /// their volatile state (writes undone, locks released); prepared legs
+    /// survive durably as in-doubt. The node rejects requests until
+    /// [`Self::restart_node`].
+    pub fn crash_node(&mut self, shard: ShardId) {
+        let i = shard.raw() as usize;
+        if self.down[i] {
+            return;
+        }
+        self.down[i] = true;
+        self.counters.dn_crashes += 1;
+        self.nodes[i].crash();
+    }
+
+    /// Restart a crashed data node. Its in-doubt (prepared) legs are
+    /// resolved against the coordinator's commit log — presumed abort unless
+    /// the GTM positively recorded the commit — releasing their locks and
+    /// undo. If the GTM is itself down, the legs stay in doubt (still
+    /// holding locks, as 2PC requires) until [`Self::restart_gtm`] resolves
+    /// them.
+    pub fn restart_node(&mut self, shard: ShardId) {
+        let i = shard.raw() as usize;
+        if !self.down[i] {
+            return;
+        }
+        self.down[i] = false;
+        self.counters.dn_restarts += 1;
+        if self.gtm_up {
+            self.resolve_in_doubt_on(i);
+        }
+    }
+
+    /// Resolve every in-doubt leg on node `i` against the GTM's commit log.
+    fn resolve_in_doubt_on(&mut self, i: usize) {
+        for (local, gxid) in self.nodes[i].in_doubt_legs() {
+            // A prepared leg with no gxid mapping cannot be vouched for by
+            // any coordinator: presumed abort.
+            let commit = gxid
+                .map(|g| self.gtm.resolve_in_doubt(g) == Decision::Commit)
+                .unwrap_or(false);
+            self.counters.gtm_interactions += 1;
+            self.nodes[i]
+                .resolve_in_doubt(local, commit)
+                .expect("in-doubt leg is resolvable");
+            if commit {
+                self.counters.in_doubt_commits += 1;
+            } else {
+                self.counters.in_doubt_aborts += 1;
+            }
+        }
+    }
+
+    /// Kill the GTM. Multi-shard begins/commits fail until
+    /// [`Self::restart_gtm`]; GTM-lite single-shard traffic is unaffected —
+    /// the availability half of the GTM-lite argument.
+    pub fn crash_gtm(&mut self) {
+        if !self.gtm_up {
+            return;
+        }
+        self.gtm_up = false;
+        self.counters.gtm_crashes += 1;
+    }
+
+    /// Restart the GTM, rebuilding its commit log from the data nodes'
+    /// durable clogs (commit-at-GTM-first makes a locally-committed leg
+    /// proof of a GTM commit; everything else is presumed abort). Once
+    /// rebuilt, in-doubt legs on every *running* node are resolved; nodes
+    /// that are themselves down resolve on their own restart.
+    pub fn restart_gtm(&mut self) {
+        if self.gtm_up {
+            return;
+        }
+        let mut observations = Vec::new();
+        for node in &self.nodes {
+            // Durable per-DN state (clog + xidMap) survives even if the
+            // node's process is currently down — recovery reads the logs.
+            // A *live* node additionally reports its received-but-unapplied
+            // commit decisions (pending markers): it heard the lost GTM
+            // decide commit, and that knowledge must not be recovered away.
+            for (&gxid, &local) in node.mgr().xid_map() {
+                let committed =
+                    node.mgr().clog().is_committed(local) || node.is_pending_commit(local);
+                observations.push((gxid, committed));
+            }
+        }
+        self.gtm = Gtm::recover_from_observations(observations);
+        self.gtm_up = true;
+        self.counters.gtm_restarts += 1;
+        for i in 0..self.nodes.len() {
+            if !self.down[i] {
+                self.resolve_in_doubt_on(i);
+            }
+        }
+    }
+
+    /// Fault-aware [`Self::begin_single`]: fails fast if the home node (or,
+    /// under the baseline protocol, the GTM) is down, so a retrying CN can
+    /// back off instead of opening a doomed transaction.
+    pub fn try_begin_single(&mut self, prefix: u32) -> Result<Txn> {
+        match self.cfg.protocol {
+            Protocol::Baseline => self.check_gtm()?,
+            Protocol::GtmLite => self.check_node(self.map.shard_of_prefix(prefix))?,
+        }
+        Ok(self.begin_single(prefix))
+    }
+
+    /// Fault-aware [`Self::begin_multi`]: multi-shard transactions need the
+    /// GTM for their GXID + global snapshot.
+    pub fn try_begin_multi(&mut self) -> Result<Txn> {
+        self.check_gtm()?;
+        Ok(self.begin_multi())
     }
 
     /// Begin a transaction the application knows is single-sharded (keys
@@ -240,6 +405,7 @@ impl Cluster {
     /// Read `key` in `txn`.
     pub fn get(&mut self, txn: &mut Txn, key: i64) -> Result<Option<i64>> {
         let shard = self.map.shard_of_key(key);
+        self.check_node(shard)?;
         match &mut txn.kind {
             TxnKind::Baseline {
                 gxid,
@@ -278,6 +444,7 @@ impl Cluster {
     /// the naive merge can return several (paper Fig 2's tuple table).
     pub fn get_versions(&mut self, txn: &mut Txn, key: i64) -> Result<Vec<i64>> {
         let shard = self.map.shard_of_key(key);
+        self.check_node(shard)?;
         match &txn.kind {
             TxnKind::LiteMulti { .. } => {
                 self.ensure_leg(txn, shard)?;
@@ -298,6 +465,7 @@ impl Cluster {
     /// Upsert `key = val` in `txn`.
     pub fn put(&mut self, txn: &mut Txn, key: i64, val: i64) -> Result<()> {
         let shard = self.map.shard_of_key(key);
+        self.check_node(shard)?;
         match &mut txn.kind {
             TxnKind::Baseline {
                 gxid,
@@ -349,6 +517,12 @@ impl Cluster {
         };
         if legs.contains_key(&shard.raw()) {
             return Ok(());
+        }
+        // Opening a leg consults the GTM (UPGRADE classifies pending commits
+        // against its clog); during a GTM outage the statement fails fast and
+        // the CN backs off rather than reading a dead coordinator's memory.
+        if !self.gtm_up {
+            return Err(HdmError::Unavailable("GTM is down".into()));
         }
         let node = &mut self.nodes[shard.raw() as usize];
         let xid = node.mgr_mut().begin_global(*gxid);
@@ -413,6 +587,7 @@ impl Cluster {
         match txn.kind {
             TxnKind::Baseline { .. } => self.commit_baseline(txn),
             TxnKind::LiteSingle { shard, xid, .. } => {
+                self.check_node(shard)?;
                 let node = &mut self.nodes[shard.raw() as usize];
                 node.mgr_mut().commit(xid)?;
                 node.clear_undo(xid);
@@ -434,6 +609,7 @@ impl Cluster {
         // Multi-shard baseline pays 2PC prepare round-trips (counted as DN
         // work, not GTM work) and then one GTM commit interaction; visibility
         // flips atomically because all DNs consult the GTM's commit log.
+        self.check_gtm()?;
         self.gtm.commit(gxid)?;
         self.counters.gtm_interactions += 1;
         for s in &touched {
@@ -459,7 +635,10 @@ impl Cluster {
             legs.keys().map(|&s| ShardId::new(s)).collect();
         let mut coord = TwoPcCoordinator::new(participants.clone());
         for (&s, leg) in legs {
-            let vote_yes = self.nodes[s as usize].mgr_mut().prepare(leg.xid).is_ok();
+            // A down participant cannot vote: the prepare times out and the
+            // coordinator counts the missing vote as a no (presumed abort).
+            let vote_yes = !self.down[s as usize]
+                && self.nodes[s as usize].mgr_mut().prepare(leg.xid).is_ok();
             if let Some(Decision::Abort) = coord.vote(ShardId::new(s), vote_yes)? {
                 return Err(HdmError::TxnAborted(format!(
                     "prepare failed on shard {s}"
@@ -478,10 +657,15 @@ impl Cluster {
                 "multi_commit_at_gtm on non-multi txn".into(),
             ));
         };
+        self.check_gtm()?;
         self.gtm.commit(*gxid)?;
         self.counters.gtm_interactions += 1;
         for (&s, leg) in legs {
-            self.nodes[s as usize].mark_pending_commit(leg.xid);
+            // A down leg cannot receive the decision message; its durable
+            // prepare record resolves through the clog at restart instead.
+            if !self.down[s as usize] {
+                self.nodes[s as usize].mark_pending_commit(leg.xid);
+            }
         }
         Ok(())
     }
@@ -494,6 +678,12 @@ impl Cluster {
             return Err(HdmError::TxnState("multi_finish on non-multi txn".into()));
         };
         for (&s, leg) in &legs {
+            // The decision is durable at the GTM; a down leg completes via
+            // in-doubt recovery when it restarts, so skipping it here
+            // cannot lose the commit.
+            if self.down[s as usize] {
+                continue;
+            }
             let node = &mut self.nodes[s as usize];
             node.finish_commit(leg.xid)?;
             if self.cfg.lco_prune_horizon > 0 {
@@ -504,7 +694,28 @@ impl Cluster {
         Ok(())
     }
 
+    /// Deliver the commit confirmation to **one** leg — the retransmission
+    /// unit of the 2PC finish phase. Fails with `Unavailable` while the
+    /// leg's node is down (the coordinator backs off and retries); succeeds
+    /// as a no-op if in-doubt recovery already completed the leg.
+    pub fn finish_leg(&mut self, shard: ShardId, local_xid: Xid) -> Result<()> {
+        self.check_node(shard)?;
+        let node = &mut self.nodes[shard.raw() as usize];
+        node.finish_commit(local_xid)?;
+        if self.cfg.lco_prune_horizon > 0 {
+            let horizon = self.cfg.lco_prune_horizon;
+            node.mgr_mut().prune_lco(horizon);
+        }
+        Ok(())
+    }
+
     /// Abort `txn`, rolling back its writes everywhere.
+    ///
+    /// Fault-tolerant: legs on down nodes are skipped (their in-progress
+    /// state died with the crash; prepared ones resolve presumed-abort from
+    /// the clog at restart), legs crash recovery already terminated are left
+    /// alone, and a down GTM is skipped (its recovered clog presumes the
+    /// abort anyway). The happy path is unchanged.
     pub fn abort(&mut self, txn: Txn) -> Result<()> {
         self.counters.aborts += 1;
         match txn.kind {
@@ -517,22 +728,56 @@ impl Cluster {
                 Ok(())
             }
             TxnKind::LiteSingle { shard, xid, .. } => {
+                if self.down[shard.raw() as usize] {
+                    return Ok(());
+                }
                 let node = &mut self.nodes[shard.raw() as usize];
-                node.rollback_writes(xid)?;
-                node.mgr_mut().abort(xid)?;
+                if node.mgr().is_active(xid) {
+                    node.rollback_writes(xid)?;
+                    node.mgr_mut().abort(xid)?;
+                }
                 Ok(())
             }
             TxnKind::LiteMulti { gxid, legs, .. } => {
                 for (&s, leg) in &legs {
+                    if self.down[s as usize] {
+                        continue;
+                    }
                     let node = &mut self.nodes[s as usize];
-                    node.rollback_writes(leg.xid)?;
-                    node.mgr_mut().abort(leg.xid)?;
+                    if matches!(
+                        node.mgr().status(leg.xid),
+                        TxnStatus::InProgress | TxnStatus::Prepared
+                    ) {
+                        node.rollback_writes(leg.xid)?;
+                        node.mgr_mut().abort(leg.xid)?;
+                    }
                 }
-                self.gtm.abort(gxid)?;
-                self.counters.gtm_interactions += 1;
+                if self.gtm_up {
+                    // Tolerate gxids a recovered GTM already resolved (or
+                    // never observed).
+                    let _ = self.gtm.abort(gxid);
+                    self.counters.gtm_interactions += 1;
+                }
                 Ok(())
             }
         }
+    }
+
+    /// Ask the GTM for the final verdict on `gxid` — the coordinator's last
+    /// step before confirming a commit to the client. `false` means the
+    /// transaction was (or will be, everywhere) resolved aborted; after a
+    /// GTM crash this is exactly the presumed-abort rule applied to the
+    /// recovered clog.
+    pub fn gtm_commit_status(&mut self, gxid: Xid) -> Result<bool> {
+        self.check_gtm()?;
+        self.counters.gtm_interactions += 1;
+        Ok(self.gtm.is_committed(gxid))
+    }
+
+    /// Record one CN-side retry (the timed harnesses charge backoff latency
+    /// themselves; the engine just keeps the count observable).
+    pub fn record_retry(&mut self) {
+        self.counters.retries += 1;
     }
 
     /// A consistent snapshot of every shard's visible `(key, value)` pairs
@@ -713,6 +958,269 @@ mod tests {
         c.abort(t2).unwrap();
         c.commit(t1).unwrap();
         assert_eq!(c.bump(Some(0), k, 0).unwrap(), 10);
+    }
+
+    /// Two prefixes guaranteed to live on different shards.
+    fn two_shards(c: &Cluster) -> (u32, u32) {
+        let m = c.shard_map();
+        for x in 0..16u32 {
+            for y in 0..16u32 {
+                if m.shard_of_prefix(x) != m.shard_of_prefix(y) {
+                    return (x, y);
+                }
+            }
+        }
+        panic!("cluster has one shard");
+    }
+
+    #[test]
+    fn crash_releases_in_progress_locks_and_rolls_back() {
+        let mut c = lite(4);
+        let (p1, p2) = two_shards(&c);
+        let (k1, k2) = (make_key(p1, 1), make_key(p2, 1));
+        c.bump(None, k1, 5).unwrap();
+
+        let mut t = c.begin_multi();
+        c.put(&mut t, k1, 100).unwrap();
+        c.put(&mut t, k2, 200).unwrap();
+        let s1 = c.shard_map().shard_of_prefix(p1);
+        c.crash_node(s1);
+        assert!(!c.is_node_up(s1));
+        assert_eq!(c.get(&mut t, k1).unwrap_err().class(), "unavailable");
+        c.restart_node(s1);
+
+        // The crashed leg's write is gone and its lock released: a fresh
+        // writer takes the key without conflict.
+        assert_eq!(c.bump(Some(p1), k1, 1).unwrap(), 6);
+        assert_eq!(c.node(s1).undo_len(), 0);
+        // The surviving leg is still in progress; abort the handle cleanly.
+        c.abort(t).unwrap();
+        assert_eq!(c.counters().dn_crashes, 1);
+        assert_eq!(c.counters().dn_restarts, 1);
+    }
+
+    #[test]
+    fn dn_crash_between_prepare_and_decision_recovers_the_commit() {
+        // The scripted scenario: a participant votes yes, crashes before the
+        // decision arrives, and must learn the commit from the coordinator's
+        // log at restart — releasing its locks and undo, losing nothing.
+        let mut c = lite(4);
+        let (p1, p2) = two_shards(&c);
+        let (k1, k2) = (make_key(p1, 1), make_key(p2, 1));
+
+        let mut t = c.begin_multi();
+        c.put(&mut t, k1, 11).unwrap();
+        c.put(&mut t, k2, 22).unwrap();
+        c.multi_prepare(&t).unwrap();
+
+        let s1 = c.shard_map().shard_of_prefix(p1);
+        c.crash_node(s1); // crash in the in-doubt window
+        assert_eq!(c.node(s1).in_doubt_legs().len(), 1, "leg survives in doubt");
+
+        // The decision still lands at the GTM; the down leg's confirmation
+        // is skipped (it will resolve from the clog instead).
+        c.multi_commit_at_gtm(&t).unwrap();
+        for (s, x) in t.legs() {
+            if s != s1 {
+                c.finish_leg(s, x).unwrap();
+            }
+        }
+
+        c.restart_node(s1);
+        // In-doubt resolution committed the leg: value visible, no leaks.
+        assert_eq!(c.bump(Some(p1), k1, 0).unwrap(), 11);
+        assert_eq!(c.bump(Some(p2), k2, 0).unwrap(), 22);
+        assert!(c.node(s1).in_doubt_legs().is_empty());
+        assert_eq!(c.node(s1).undo_len(), 0);
+        assert_eq!(c.node(s1).mgr().active_count(), 0);
+        assert_eq!(c.counters().in_doubt_commits, 1);
+    }
+
+    #[test]
+    fn dn_crash_with_no_decision_presumes_abort() {
+        let mut c = lite(4);
+        let (p1, p2) = two_shards(&c);
+        let (k1, k2) = (make_key(p1, 1), make_key(p2, 1));
+        c.bump(None, k1, 5).unwrap();
+
+        let mut t = c.begin_multi();
+        c.put(&mut t, k1, 100).unwrap();
+        c.put(&mut t, k2, 200).unwrap();
+        c.multi_prepare(&t).unwrap();
+        let s1 = c.shard_map().shard_of_prefix(p1);
+        c.crash_node(s1);
+
+        // The coordinator gives up and aborts instead of deciding commit.
+        c.abort(t).unwrap();
+        c.restart_node(s1);
+
+        // Presumed abort resolved the in-doubt leg: old value restored.
+        assert_eq!(c.bump(Some(p1), k1, 0).unwrap(), 5);
+        assert!(c.node(s1).in_doubt_legs().is_empty());
+        assert_eq!(c.node(s1).undo_len(), 0);
+        assert_eq!(c.counters().in_doubt_aborts, 1);
+    }
+
+    #[test]
+    fn down_participant_makes_prepare_vote_no() {
+        let mut c = lite(4);
+        let (p1, p2) = two_shards(&c);
+        let mut t = c.begin_multi();
+        c.put(&mut t, make_key(p1, 1), 1).unwrap();
+        c.put(&mut t, make_key(p2, 1), 2).unwrap();
+        c.crash_node(c.shard_map().shard_of_prefix(p2));
+        let err = c.multi_prepare(&t).unwrap_err();
+        assert_eq!(err.class(), "txn_aborted");
+        c.abort(t).unwrap();
+    }
+
+    #[test]
+    fn gtm_restart_rebuilds_decisions_from_dn_clogs() {
+        let mut c = lite(4);
+        let (p1, p2) = two_shards(&c);
+        let (k1, k2) = (make_key(p1, 1), make_key(p2, 1));
+
+        // A fully finished multi-shard commit: evidence in every DN clog.
+        let mut t = c.begin_multi();
+        c.put(&mut t, k1, 7).unwrap();
+        c.put(&mut t, k2, 8).unwrap();
+        let gxid = t.gxid().unwrap();
+        c.commit(t).unwrap();
+
+        c.crash_gtm();
+        assert!(!c.is_gtm_up());
+        assert_eq!(c.try_begin_multi().unwrap_err().class(), "unavailable");
+        c.restart_gtm();
+
+        // The recovered GTM remembers the commit and never reuses the gxid.
+        assert!(c.gtm_commit_status(gxid).unwrap());
+        let t2 = c.begin_multi();
+        assert!(t2.gxid().unwrap() > gxid);
+        c.abort(t2).unwrap();
+        assert_eq!(c.counters().gtm_restarts, 1);
+    }
+
+    #[test]
+    fn pending_marker_on_live_node_survives_gtm_crash_as_commit_evidence() {
+        // Decision reached the DNs (markers set) but no leg has applied it
+        // when the GTM dies. The live nodes' markers are the only evidence
+        // of the commit — recovery must honour them.
+        let mut c = lite(4);
+        let (p1, p2) = two_shards(&c);
+        let (k1, k2) = (make_key(p1, 1), make_key(p2, 1));
+
+        let t = {
+            let mut t = c.begin_multi();
+            c.put(&mut t, k1, 31).unwrap();
+            c.put(&mut t, k2, 32).unwrap();
+            c.multi_prepare(&t).unwrap();
+            c.multi_commit_at_gtm(&t).unwrap();
+            t
+        };
+        let gxid = t.gxid().unwrap();
+
+        c.crash_gtm();
+        c.restart_gtm();
+
+        // Recovery turned the markers into commits on every live node.
+        assert!(c.gtm_commit_status(gxid).unwrap());
+        assert_eq!(c.bump(Some(p1), k1, 0).unwrap(), 31);
+        assert_eq!(c.bump(Some(p2), k2, 0).unwrap(), 32);
+        // The client's finish retransmissions are clean no-ops.
+        for (s, x) in t.legs() {
+            c.finish_leg(s, x).unwrap();
+        }
+        for s in 0..4 {
+            assert_eq!(c.node(ShardId::new(s)).pending_commit_len(), 0);
+        }
+    }
+
+    #[test]
+    fn undecided_txn_dies_with_the_gtm() {
+        // Prepared everywhere but never decided: a GTM crash erases the
+        // in-flight transaction, and recovery presumes the abort.
+        let mut c = lite(4);
+        let (p1, p2) = two_shards(&c);
+        let (k1, k2) = (make_key(p1, 1), make_key(p2, 1));
+        c.bump(None, k1, 5).unwrap();
+
+        let mut t = c.begin_multi();
+        c.put(&mut t, k1, 100).unwrap();
+        c.put(&mut t, k2, 200).unwrap();
+        c.multi_prepare(&t).unwrap();
+        let gxid = t.gxid().unwrap();
+
+        c.crash_gtm();
+        assert_eq!(c.multi_commit_at_gtm(&t).unwrap_err().class(), "unavailable");
+        c.restart_gtm();
+
+        // The recovered GTM observed only prepared legs: presumed abort.
+        assert!(!c.gtm_commit_status(gxid).unwrap());
+        // Its in-doubt legs were resolved aborted at recovery, so the
+        // coordinator's late commit attempt must fail...
+        assert!(c.multi_commit_at_gtm(&t).is_err());
+        // ...and aborting the handle cleans up what is left.
+        c.abort(t).unwrap();
+        assert_eq!(c.bump(Some(p1), k1, 0).unwrap(), 5);
+        for s in 0..4 {
+            let node = c.node(ShardId::new(s));
+            assert!(node.in_doubt_legs().is_empty());
+            assert_eq!(node.undo_len(), 0);
+        }
+    }
+
+    #[test]
+    fn node_restart_inquiry_forces_abort_of_undecided_gxid() {
+        // The 2PC race: a participant recovers mid-protocol, before the
+        // coordinator decided. Its inquiry must force the global abort so
+        // the coordinator cannot commit afterwards.
+        let mut c = lite(4);
+        let (p1, p2) = two_shards(&c);
+        let mut t = c.begin_multi();
+        c.put(&mut t, make_key(p1, 1), 1).unwrap();
+        c.put(&mut t, make_key(p2, 1), 2).unwrap();
+        c.multi_prepare(&t).unwrap();
+
+        let s1 = c.shard_map().shard_of_prefix(p1);
+        c.crash_node(s1);
+        c.restart_node(s1); // inquiry resolves presumed-abort at the GTM
+
+        let err = c.multi_commit_at_gtm(&t).unwrap_err();
+        assert_eq!(err.class(), "txn_state", "late commit must be rejected");
+        c.abort(t).unwrap();
+        assert_eq!(c.counters().in_doubt_aborts, 1);
+    }
+
+    #[test]
+    fn single_shard_traffic_survives_a_gtm_outage() {
+        let mut c = lite(4);
+        let (p1, _) = two_shards(&c);
+        let k = make_key(p1, 1);
+        c.crash_gtm();
+        // The GTM-lite availability argument: single-shard work proceeds.
+        for _ in 0..10 {
+            c.bump(Some(p1), k, 1).unwrap();
+        }
+        assert!(c.try_begin_multi().is_err());
+        c.restart_gtm();
+        assert_eq!(c.bump(Some(p1), k, 0).unwrap(), 10);
+    }
+
+    #[test]
+    fn crash_and_restart_are_idempotent() {
+        let mut c = lite(2);
+        let s = ShardId::new(0);
+        c.crash_node(s);
+        c.crash_node(s);
+        c.restart_node(s);
+        c.restart_node(s);
+        c.crash_gtm();
+        c.crash_gtm();
+        c.restart_gtm();
+        c.restart_gtm();
+        let n = c.counters();
+        assert_eq!((n.dn_crashes, n.dn_restarts), (1, 1));
+        assert_eq!((n.gtm_crashes, n.gtm_restarts), (1, 1));
     }
 
     #[test]

@@ -13,14 +13,21 @@
 //!   Anomaly 2 (Fig 2), runnable under the naive and full merge policies.
 //! * [`sim`] — the timed Fig 3 experiment: a closed-loop TPC-C-style driver
 //!   over the discrete-event kernel, reporting throughput per cluster size.
+//! * [`retry`] — CN-side capped-exponential backoff with seeded jitter.
+//! * [`chaos`] — the fault-injection harness: a bank-transfer workload under
+//!   seeded message faults and node/GTM crashes, with a shadow-ledger audit.
 
 pub mod anomaly;
+pub mod chaos;
 pub mod engine;
 pub mod node;
+pub mod retry;
 pub mod shard;
 pub mod sim;
 
+pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
 pub use engine::{Cluster, ClusterConfig, ClusterCounters, MergePolicy, Protocol, Txn};
 pub use node::DataNode;
+pub use retry::RetryPolicy;
 pub use shard::{key_local, key_prefix, make_key, ShardMap};
 pub use sim::{SimConfig, SimReport, WorkloadMix};

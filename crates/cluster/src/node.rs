@@ -254,6 +254,76 @@ impl DataNode {
         self.pending_commit.contains_key(&local_xid.raw())
     }
 
+    /// Simulate this node's process dying.
+    ///
+    /// Durable across the crash: the MVCC heap, the clog (including
+    /// `Prepared` records — 2PC logs prepare before voting yes), the xidMap
+    /// and the LCO. Lost with the process: every in-progress transaction
+    /// (aborted; its writes are undone as crash recovery would) and the
+    /// volatile pending-commit markers (the decision messages that set them
+    /// were in memory). Prepared transactions become **in-doubt**: their
+    /// locks and undo are retained until [`Self::resolve_in_doubt`].
+    pub fn crash(&mut self) {
+        for xid in self.mgr.crash_volatile() {
+            self.rollback_writes(xid)
+                .expect("crash rollback of in-progress txn");
+        }
+        self.pending_commit.clear();
+        // Undo entries for transactions the clog already shows terminal are
+        // garbage from lost confirmations; drop them. In-doubt (prepared)
+        // undo stays — recovery may still need to roll those writes back.
+        let mgr = &self.mgr;
+        self.undo.retain(|&xid, _| {
+            matches!(
+                mgr.status(Xid(xid)),
+                hdm_txn::TxnStatus::InProgress | hdm_txn::TxnStatus::Prepared
+            )
+        });
+    }
+
+    /// The in-doubt transactions after a restart: local XIDs prepared here
+    /// whose global decision this node does not know, with their gxids.
+    pub fn in_doubt_legs(&self) -> Vec<(Xid, Option<Xid>)> {
+        self.mgr
+            .prepared_xids()
+            .into_iter()
+            .map(|x| (x, self.mgr.gxid_of(x)))
+            .collect()
+    }
+
+    /// Resolve one in-doubt leg with the decision recovered from the
+    /// coordinator's commit log: commit applies the leg and releases its
+    /// undo; abort rolls its writes back. Either way the leg's locks die.
+    pub fn resolve_in_doubt(&mut self, local_xid: Xid, commit: bool) -> Result<()> {
+        if !self.mgr.clog().is_prepared(local_xid) {
+            return Err(HdmError::TxnState(format!(
+                "{local_xid} is not in doubt on {}",
+                self.id
+            )));
+        }
+        // Resolution supersedes any still-pending decision marker; clearing
+        // it keeps a later finish retransmission a clean no-op.
+        self.pending_commit.remove(&local_xid.raw());
+        if commit {
+            self.mgr.commit(local_xid)?;
+            self.clear_undo(local_xid);
+        } else {
+            self.rollback_writes(local_xid)?;
+            self.mgr.abort(local_xid)?;
+        }
+        Ok(())
+    }
+
+    /// Number of transactions holding undo here (leak detector for tests).
+    pub fn undo_len(&self) -> usize {
+        self.undo.len()
+    }
+
+    /// Number of decided-but-unconfirmed legs (leak detector for tests).
+    pub fn pending_commit_len(&self) -> usize {
+        self.pending_commit.len()
+    }
+
     /// A local snapshot as of now.
     pub fn local_snapshot(&self) -> Snapshot {
         self.mgr.local_snapshot()
@@ -376,6 +446,60 @@ mod tests {
         assert!(!n.is_pending_commit(x));
         n.finish_commit(x).unwrap(); // second call: no-op
         assert_eq!(n.mgr().lco(), &[x]);
+    }
+
+    #[test]
+    fn crash_rolls_back_in_progress_and_keeps_in_doubt() {
+        let mut n = node();
+        committed_put(&mut n, 1, 10);
+        // An in-progress writer and a prepared multi-shard leg.
+        let plain = n.mgr_mut().begin_local();
+        let snap = n.local_snapshot();
+        n.put_local(&snap, Some(plain), plain, 1, 99).unwrap();
+        let leg = n.mgr_mut().begin_global(Xid(800));
+        let snap = n.local_snapshot();
+        n.put_local(&snap, Some(leg), leg, 2, 20).unwrap();
+        n.mgr_mut().prepare(leg).unwrap();
+        n.mark_pending_commit(leg);
+
+        n.crash();
+
+        // The in-progress write is gone; its undo is released.
+        assert_eq!(read_latest(&n, 1), Some(10));
+        // Volatile pending-commit markers died with the process.
+        assert_eq!(n.pending_commit_len(), 0);
+        // The prepared leg is in doubt, undo retained, locks held.
+        assert_eq!(n.in_doubt_legs(), vec![(leg, Some(Xid(800)))]);
+        assert_eq!(n.undo_len(), 1);
+    }
+
+    #[test]
+    fn in_doubt_resolution_commits_or_aborts() {
+        // Commit path.
+        let mut n = node();
+        let leg = n.mgr_mut().begin_global(Xid(801));
+        let snap = n.local_snapshot();
+        n.put_local(&snap, Some(leg), leg, 5, 50).unwrap();
+        n.mgr_mut().prepare(leg).unwrap();
+        n.crash();
+        n.resolve_in_doubt(leg, true).unwrap();
+        assert_eq!(read_latest(&n, 5), Some(50));
+        assert_eq!(n.undo_len(), 0, "undo released on commit");
+        assert!(n.in_doubt_legs().is_empty());
+
+        // Abort path (presumed abort: GTM never recorded the commit).
+        let mut n = node();
+        committed_put(&mut n, 6, 1);
+        let leg = n.mgr_mut().begin_global(Xid(802));
+        let snap = n.local_snapshot();
+        n.put_local(&snap, Some(leg), leg, 6, 999).unwrap();
+        n.mgr_mut().prepare(leg).unwrap();
+        n.crash();
+        n.resolve_in_doubt(leg, false).unwrap();
+        assert_eq!(read_latest(&n, 6), Some(1), "prepared write rolled back");
+        assert_eq!(n.undo_len(), 0, "undo released on abort");
+        // Resolution is one-shot.
+        assert!(n.resolve_in_doubt(leg, false).is_err());
     }
 
     #[test]

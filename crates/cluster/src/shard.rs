@@ -88,7 +88,7 @@ mod tests {
     #[test]
     fn prefixes_spread_over_shards() {
         let m = ShardMap::new(8);
-        let mut counts = vec![0usize; 8];
+        let mut counts = [0usize; 8];
         for w in 0..800u32 {
             counts[m.shard_of_prefix(w).raw() as usize] += 1;
         }

@@ -30,7 +30,7 @@ use crate::engine::{Cluster, ClusterConfig, Protocol};
 use crate::shard::make_key;
 use hdm_common::stats::Histogram;
 use hdm_common::{SimDuration, SimInstant, SplitMix64};
-use hdm_simnet::{NetLink, Resource, Sim};
+use hdm_simnet::{FaultConfig, FaultPlan, MsgFate, NetLink, Resource, Sim};
 
 /// Transaction mix parameters.
 #[derive(Debug, Clone, Copy)]
@@ -99,6 +99,11 @@ pub struct SimConfig {
     pub gtm_service: SimDuration,
     pub net_one_way: SimDuration,
     pub net_jitter: f64,
+    /// Message-fault injection on every network hop (`None` = pristine
+    /// network, bit-identical to the pre-fault model). Crash faults are the
+    /// chaos harness's job; here only the latency cost of drops, duplicates
+    /// and delays is charged.
+    pub faults: Option<FaultConfig>,
 }
 
 impl SimConfig {
@@ -112,7 +117,7 @@ impl SimConfig {
             warehouses_per_node: 16,
             keys_per_warehouse: 1 << 10,
             horizon: SimDuration::from_millis(250),
-            seed: 0xF16_3,
+            seed: 0xF163,
             cn_service: SimDuration::from_micros(8),
             cn_cores_per_node: 4,
             dn_service_per_op: SimDuration::from_micros(12),
@@ -124,6 +129,7 @@ impl SimConfig {
             gtm_service: SimDuration::from_micros(2),
             net_one_way: SimDuration::from_micros(25),
             net_jitter: 0.2,
+            faults: None,
         }
     }
 }
@@ -147,6 +153,8 @@ pub struct SimReport {
     pub merges: u64,
     pub upgrade_waits: u64,
     pub downgrades: u64,
+    /// (messages, dropped, duplicated, delayed) on the simulated network.
+    pub net_fault_stats: (u64, u64, u64, u64),
 }
 
 /// In-flight timing state of one transaction.
@@ -168,6 +176,7 @@ struct World {
     dns: Vec<Resource>,
     gtm: Resource,
     net: NetLink,
+    faults: Option<FaultPlan>,
     rng: SplitMix64,
     horizon: SimInstant,
     committed: u64,
@@ -194,6 +203,10 @@ impl World {
             dns,
             gtm: Resource::new("gtm", 1),
             net: NetLink::new(cfg.net_one_way, cfg.net_jitter, cfg.seed ^ 0x9e37),
+            faults: cfg
+                .faults
+                .clone()
+                .map(|f| FaultPlan::new(cfg.seed ^ 0xFA17, f)),
             rng: SplitMix64::new(cfg.seed),
             horizon: SimInstant::ZERO + cfg.horizon,
             committed: 0,
@@ -222,6 +235,23 @@ impl World {
     fn release(&mut self, id: usize) -> InFlight {
         self.free.push(id);
         self.txns[id].take().expect("in-flight txn")
+    }
+
+    /// One network hop's latency, with fault injection when configured.
+    /// Drops cost a sender timeout (4× nominal one-way) plus the
+    /// retransmission's own flight time; delays add the sampled extra;
+    /// duplicates are suppressed at the transport (dedup by sequence
+    /// number) and cost nothing beyond the count.
+    fn hop(&mut self) -> SimDuration {
+        let flight = self.net.one_way();
+        let Some(plan) = self.faults.as_mut() else {
+            return flight;
+        };
+        match plan.message_fate() {
+            MsgFate::Deliver | MsgFate::Duplicate => flight,
+            MsgFate::Delay(extra) => flight + extra,
+            MsgFate::Drop => flight + self.cfg.net_one_way.mul_f64(4.0) + self.net.one_way(),
+        }
     }
 
     fn pick_key(&mut self, wh: u32) -> i64 {
@@ -333,12 +363,12 @@ fn after_cn(sim: &mut S, w: &mut World, id: usize, single: bool) {
     match (w.cfg.protocol, single) {
         // GTM-lite single-shard: straight to the DN.
         (Protocol::GtmLite, true) => {
-            let hop = w.net.one_way();
+            let hop = w.hop();
             sim.schedule_in(hop, move |sim, w| single_dn_arrive(sim, w, id));
         }
         // Everything else starts with GTM begin+snapshot (2 interactions).
         _ => {
-            let hop = w.net.one_way();
+            let hop = w.hop();
             sim.schedule_in(hop, move |sim, w| gtm_begin_arrive(sim, w, id, single));
         }
     }
@@ -347,11 +377,11 @@ fn after_cn(sim: &mut S, w: &mut World, id: usize, single: bool) {
 fn gtm_begin_arrive(sim: &mut S, w: &mut World, id: usize, single: bool) {
     let svc = SimDuration::from_micros(w.cfg.gtm_service.micros() * 2);
     let grant = w.gtm.request(sim.now(), svc);
-    let back = w.net.one_way();
+    let back = w.hop();
     sim.schedule_at(grant.end + back, move |sim, w| {
         // Reply reaches the CN; dispatch to DN(s).
         if single {
-            let hop = w.net.one_way();
+            let hop = w.hop();
             sim.schedule_in(hop, move |sim, w| single_dn_arrive(sim, w, id));
         } else {
             fan_out(sim, w, id, Phase::Exec);
@@ -367,16 +397,16 @@ fn single_dn_arrive(sim: &mut S, w: &mut World, id: usize) {
     let svc = SimDuration::from_micros(w.cfg.dn_service_per_op.micros() * ops)
         + w.cfg.dn_commit_service;
     let grant = w.dns[shard].request(sim.now(), svc);
-    let back = w.net.one_way();
+    let back = w.hop();
     sim.schedule_at(grant.end + back, move |sim, w| match w.cfg.protocol {
         // Reply to client directly.
         Protocol::GtmLite => txn_done(sim, w, id),
         // Baseline reports the commit to the GTM first (1 interaction).
         Protocol::Baseline => {
-            let hop = w.net.one_way();
+            let hop = w.hop();
             sim.schedule_in(hop, move |sim, w| {
                 let grant = w.gtm.request(sim.now(), w.cfg.gtm_service);
-                let back = w.net.one_way();
+                let back = w.hop();
                 sim.schedule_at(grant.end + back, move |sim, w| txn_done(sim, w, id));
             });
         }
@@ -400,7 +430,7 @@ fn fan_out(sim: &mut S, w: &mut World, id: usize, phase: Phase) {
         t.join_at = sim.now();
     }
     for (i, &shard) in shards.iter().enumerate() {
-        let hop = w.net.one_way();
+        let hop = w.hop();
         let first_leg = i == 0;
         sim.schedule_in(hop, move |sim, w| {
             let svc = match phase {
@@ -422,7 +452,7 @@ fn fan_out(sim: &mut S, w: &mut World, id: usize, phase: Phase) {
                 Phase::Finish => w.cfg.dn_finish_service,
             };
             let grant = w.dns[shard].request(sim.now(), svc);
-            let back = w.net.one_way();
+            let back = w.hop();
             sim.schedule_at(grant.end + back, move |sim, w| leg_joined(sim, w, id, phase));
         });
     }
@@ -443,10 +473,10 @@ fn leg_joined(sim: &mut S, w: &mut World, id: usize, phase: Phase) {
         Phase::Exec => fan_out(sim, w, id, Phase::Prepare),
         Phase::Prepare => {
             // Decision at the GTM (1 interaction), then confirm to legs.
-            let hop = w.net.one_way();
+            let hop = w.hop();
             sim.schedule_in(hop, move |sim, w| {
                 let grant = w.gtm.request(sim.now(), w.cfg.gtm_service);
-                let back = w.net.one_way();
+                let back = w.hop();
                 sim.schedule_at(grant.end + back, move |sim, w| {
                     fan_out(sim, w, id, Phase::Finish)
                 });
@@ -505,6 +535,11 @@ pub fn run_sim(cfg: SimConfig) -> SimReport {
         merges: counters.merges,
         upgrade_waits: counters.upgrade_waits,
         downgrades: counters.downgrades,
+        net_fault_stats: world
+            .faults
+            .as_ref()
+            .map(FaultPlan::message_stats)
+            .unwrap_or_default(),
     }
 }
 
@@ -590,6 +625,40 @@ mod tests {
         let b = run_sim(mk());
         assert_eq!(a.committed, b.committed);
         assert_eq!(a.gtm_interactions, b.gtm_interactions);
+    }
+
+    #[test]
+    fn network_faults_cost_latency_but_not_correctness() {
+        let mut cfg = SimConfig::new(2, Protocol::GtmLite, WorkloadMix::ms());
+        cfg.horizon = SimDuration::from_millis(20);
+        let clean = run_sim(cfg.clone());
+        cfg.faults = Some(FaultConfig {
+            drop_p: 0.05,
+            delay_p: 0.10,
+            ..FaultConfig::chaotic()
+        });
+        let faulty = run_sim(cfg);
+        let (msgs, drops, _, delays) = faulty.net_fault_stats;
+        assert!(msgs > 0 && drops > 0 && delays > 0, "faults fired: {msgs} msgs");
+        assert!(faulty.committed > 0);
+        // Lossy hops slow the closed loop down, they don't break it.
+        assert!(faulty.p99_latency_us >= clean.p99_latency_us);
+        assert_eq!(clean.net_fault_stats, (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn faulty_runs_replay_deterministically() {
+        let mk = || {
+            let mut c = SimConfig::new(2, Protocol::GtmLite, WorkloadMix::ms());
+            c.horizon = SimDuration::from_millis(10);
+            c.faults = Some(FaultConfig::chaotic());
+            c
+        };
+        let a = run_sim(mk());
+        let b = run_sim(mk());
+        assert_eq!(a.committed, b.committed);
+        assert_eq!(a.net_fault_stats, b.net_fault_stats);
+        assert_eq!(a.p99_latency_us, b.p99_latency_us);
     }
 
     #[test]

@@ -41,6 +41,9 @@ pub enum HdmError {
     Config(String),
     /// I/O error message (flushing GMDB snapshots, bench output).
     Io(String),
+    /// A cluster component (data node, GTM) is crashed/unreachable. The
+    /// caller may retry after backoff once the component restarts.
+    Unavailable(String),
 }
 
 impl HdmError {
@@ -59,6 +62,7 @@ impl HdmError {
             HdmError::Unsupported(_) => "unsupported",
             HdmError::Config(_) => "config",
             HdmError::Io(_) => "io",
+            HdmError::Unavailable(_) => "unavailable",
         }
     }
 }
@@ -78,6 +82,7 @@ impl fmt::Display for HdmError {
             HdmError::Unsupported(m) => write!(f, "unsupported: {m}"),
             HdmError::Config(m) => write!(f, "config error: {m}"),
             HdmError::Io(m) => write!(f, "io error: {m}"),
+            HdmError::Unavailable(m) => write!(f, "unavailable: {m}"),
         }
     }
 }

@@ -194,7 +194,7 @@ impl Eq for Datum {}
 
 impl PartialOrd for Datum {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.total_cmp(other))
+        Some(self.cmp(other))
     }
 }
 impl Ord for Datum {
@@ -272,7 +272,7 @@ mod tests {
 
     #[test]
     fn total_order_puts_null_first() {
-        let mut v = vec![Datum::Int(3), Datum::Null, Datum::Int(1)];
+        let mut v = [Datum::Int(3), Datum::Null, Datum::Int(1)];
         v.sort();
         assert_eq!(v[0], Datum::Null);
         assert_eq!(v[1], Datum::Int(1));

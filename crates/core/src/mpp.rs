@@ -398,7 +398,7 @@ pub fn compile(s: &SelectStmt) -> Result<MppPlan> {
         let gs: Vec<String> = s
             .group_by
             .iter()
-            .map(|g| expr_to_sql(g))
+            .map(expr_to_sql)
             .collect::<Result<_>>()?;
         node_parts.push(format!("group by {}", gs.join(", ")));
     }
@@ -462,11 +462,10 @@ pub fn compile(s: &SelectStmt) -> Result<MppPlan> {
 fn collect_aggs(e: &Expr, out: &mut Vec<Expr>) {
     match e {
         Expr::Func { name, .. }
-            if matches!(name.as_str(), "count" | "sum" | "avg" | "min" | "max") =>
+            if matches!(name.as_str(), "count" | "sum" | "avg" | "min" | "max")
+                && !out.contains(e) =>
         {
-            if !out.contains(e) {
-                out.push(e.clone());
-            }
+            out.push(e.clone());
         }
         Expr::Binary { left, right, .. } => {
             collect_aggs(left, out);

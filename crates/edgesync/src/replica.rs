@@ -81,7 +81,7 @@ impl Replica {
     }
 
     pub fn vector(&self) -> &VersionVector {
-        &self.log.vector()
+        self.log.vector()
     }
 
     fn now(&self, physical: u64) -> u64 {

@@ -14,7 +14,7 @@
 use crate::delta::Delta;
 use crate::evolution::SchemaRegistry;
 use crate::object::ObjectSchema;
-use crate::store::{GmdbStore, Notification, StoreStats};
+use crate::store::{GmdbStore, Notification, ObjectRow, StoreStats};
 use crossbeam::channel::{bounded, unbounded, Sender};
 use hdm_common::{ClientId, HdmError, Result};
 use serde_json::Value;
@@ -28,8 +28,8 @@ enum Op {
     Subscribe(String, String, ClientId, u32, Sender<Result<()>>),
     TakeNotifications(ClientId, Sender<Vec<Notification>>),
     Stats(Sender<StoreStats>),
-    Export(Sender<Vec<(String, String, u32, Value, u64)>>),
-    Import(Vec<(String, String, u32, Value, u64)>, Sender<()>),
+    Export(Sender<Vec<ObjectRow>>),
+    Import(Vec<ObjectRow>, Sender<()>),
     Shutdown,
 }
 
@@ -201,7 +201,7 @@ impl GmdbRuntime {
     }
 
     /// Export every partition's objects (used by the async flusher).
-    pub fn export_all(&self) -> Result<Vec<(String, String, u32, Value, u64)>> {
+    pub fn export_all(&self) -> Result<Vec<ObjectRow>> {
         let mut all = Vec::new();
         for w in 0..self.senders.len() {
             all.extend(self.call(w, Op::Export)?);
@@ -212,7 +212,7 @@ impl GmdbRuntime {
     /// Import objects, routing each to its partition (recovery).
     pub fn import_all(
         &self,
-        objects: Vec<(String, String, u32, Value, u64)>,
+        objects: Vec<ObjectRow>,
     ) -> Result<()> {
         let mut per_worker: Vec<Vec<_>> = vec![Vec::new(); self.senders.len()];
         for o in objects {

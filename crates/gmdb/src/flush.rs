@@ -7,42 +7,60 @@
 //! per object, written atomically (write-temp-then-rename).
 
 use crate::fibers::GmdbRuntime;
+use crate::store::ObjectRow;
 use hdm_common::{HdmError, Result};
-use serde::{Deserialize, Serialize};
-use serde_json::Value;
+use serde_json::{Map, Value};
 use std::io::{BufRead, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-#[derive(Debug, Serialize, Deserialize)]
-struct SnapshotRow {
-    schema: String,
-    key: String,
-    version: u32,
-    value: Value,
-    revision: u64,
+fn encode_row(schema: &str, key: &str, version: u32, value: &Value, revision: u64) -> String {
+    let mut row = Map::new();
+    row.insert("schema", Value::from(schema));
+    row.insert("key", Value::from(key));
+    row.insert("version", Value::from(version));
+    row.insert("value", value.clone());
+    row.insert("revision", Value::from(revision));
+    Value::Object(row).to_string()
+}
+
+fn decode_row(line: &str) -> Result<ObjectRow> {
+    let bad = |what: &str| HdmError::Io(format!("snapshot decode: {what}"));
+    let v = serde_json::from_str(line).map_err(|e| bad(&e.to_string()))?;
+    let schema = v
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or_else(|| bad("missing schema"))?
+        .to_string();
+    let key = v
+        .get("key")
+        .and_then(Value::as_str)
+        .ok_or_else(|| bad("missing key"))?
+        .to_string();
+    let version = v
+        .get("version")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| bad("missing version"))? as u32;
+    let revision = v
+        .get("revision")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| bad("missing revision"))?;
+    let value = v.get("value").cloned().ok_or_else(|| bad("missing value"))?;
+    Ok((schema, key, version, value, revision))
 }
 
 /// Write one snapshot of all objects to `path` (atomic rename).
 pub fn write_snapshot(
-    objects: &[(String, String, u32, Value, u64)],
+    objects: &[ObjectRow],
     path: &Path,
 ) -> Result<usize> {
     let tmp = path.with_extension("tmp");
     {
         let mut f = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
         for (schema, key, version, value, revision) in objects {
-            let row = SnapshotRow {
-                schema: schema.clone(),
-                key: key.clone(),
-                version: *version,
-                value: value.clone(),
-                revision: *revision,
-            };
-            let line = serde_json::to_string(&row)
-                .map_err(|e| HdmError::Io(format!("snapshot encode: {e}")))?;
+            let line = encode_row(schema, key, *version, value, *revision);
             writeln!(f, "{line}")?;
         }
         f.flush()?;
@@ -52,7 +70,7 @@ pub fn write_snapshot(
 }
 
 /// Read a snapshot back.
-pub fn read_snapshot(path: &Path) -> Result<Vec<(String, String, u32, Value, u64)>> {
+pub fn read_snapshot(path: &Path) -> Result<Vec<ObjectRow>> {
     let f = std::fs::File::open(path)?;
     let mut out = Vec::new();
     for line in std::io::BufReader::new(f).lines() {
@@ -60,9 +78,7 @@ pub fn read_snapshot(path: &Path) -> Result<Vec<(String, String, u32, Value, u64
         if line.trim().is_empty() {
             continue;
         }
-        let row: SnapshotRow = serde_json::from_str(&line)
-            .map_err(|e| HdmError::Io(format!("snapshot decode: {e}")))?;
-        out.push((row.schema, row.key, row.version, row.value, row.revision));
+        out.push(decode_row(&line)?);
     }
     Ok(out)
 }

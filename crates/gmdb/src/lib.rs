@@ -40,4 +40,4 @@ pub use delta::Delta;
 pub use evolution::SchemaRegistry;
 pub use fibers::GmdbRuntime;
 pub use object::{FieldDef, FieldType, ObjectSchema, RecordSchema};
-pub use store::{GmdbStore, Notification};
+pub use store::{GmdbStore, Notification, ObjectRow};

@@ -60,6 +60,10 @@ pub struct StoreStats {
     pub whole_bytes_equivalent: u64,
 }
 
+/// One exported object row: `(schema, key, version, value, revision)` — the
+/// unit the async flusher snapshots and recovery imports.
+pub type ObjectRow = (String, String, u32, Value, u64);
+
 /// An in-memory tree-object store for one data node.
 #[derive(Debug, Default)]
 pub struct GmdbStore {
@@ -207,7 +211,7 @@ impl GmdbStore {
     }
 
     /// Export all objects (snapshot for the async flusher).
-    pub fn export_objects(&self) -> Vec<(String, String, u32, Value, u64)> {
+    pub fn export_objects(&self) -> Vec<ObjectRow> {
         let mut v: Vec<_> = self
             .objects
             .iter()
@@ -220,7 +224,7 @@ impl GmdbStore {
     /// Import objects (recovery). Existing entries are replaced.
     pub fn import_objects(
         &mut self,
-        objects: impl IntoIterator<Item = (String, String, u32, Value, u64)>,
+        objects: impl IntoIterator<Item = ObjectRow>,
     ) {
         for (schema, key, version, value, revision) in objects {
             self.objects.insert(

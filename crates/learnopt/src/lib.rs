@@ -60,7 +60,7 @@ mod integration_tests {
         // Cold: estimates are off, steps get captured.
         let r1 = db.execute(q).unwrap();
         assert_eq!(r1.planning.hint_hits, 0);
-        assert!(store.inner().borrow().len() > 0, "differential steps stored");
+        assert!(!store.inner().borrow().is_empty(), "differential steps stored");
 
         // Warm: the same canonical steps now plan with actual counts.
         let r2 = db.execute(q).unwrap();

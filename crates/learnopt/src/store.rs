@@ -178,7 +178,7 @@ impl PlanStore {
     /// All stored steps, most-recently-used first (Table I reporting).
     pub fn dump(&self) -> Vec<StoredStep> {
         let mut v: Vec<StoredStep> = self.entries.values().cloned().collect();
-        v.sort_by(|a, b| b.last_used.cmp(&a.last_used));
+        v.sort_by_key(|e| std::cmp::Reverse(e.last_used));
         v
     }
 }

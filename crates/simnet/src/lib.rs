@@ -19,11 +19,15 @@
 //!   the GTM service loop) granting `(start, end)` spans to requests issued
 //!   in arrival order.
 //! * [`NetLink`] — a latency model with deterministic jitter.
+//! * [`FaultPlan`] — a seeded, replayable fault schedule (message drop /
+//!   duplication / delay, node and GTM crashes) injected at delivery points.
 
+pub mod faults;
 pub mod latency;
 pub mod resource;
 pub mod sim;
 
+pub use faults::{CrashEvent, CrashTarget, FaultConfig, FaultPlan, MsgFate};
 pub use latency::NetLink;
 pub use resource::{Grant, Resource};
 pub use sim::Sim;

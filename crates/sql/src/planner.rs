@@ -676,7 +676,6 @@ impl<'a> Planner<'a> {
         } else {
             group_ndv.min(input.est_rows).max(1.0)
         };
-        let mut aggs = aggs;
         // HAVING binds over the aggregate output row, and may introduce
         // additional aggregate calls of its own (HAVING count(*) > 3).
         let having_bound = match &stmt.having {

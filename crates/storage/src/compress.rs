@@ -270,9 +270,8 @@ mod tests {
 
     #[test]
     fn rle_round_trip_and_compresses_runs() {
-        let data: Vec<Datum> = std::iter::repeat(Datum::Text("cn".into()))
-            .take(1000)
-            .chain(std::iter::repeat(Datum::Text("us".into())).take(1000))
+        let data: Vec<Datum> = std::iter::repeat_n(Datum::Text("cn".into()), 1000)
+            .chain(std::iter::repeat_n(Datum::Text("us".into()), 1000))
             .collect();
         let c = encode_as(&data, Encoding::Rle).unwrap();
         assert_eq!(c.decode(), data);
@@ -317,7 +316,7 @@ mod tests {
     #[test]
     fn auto_picks_reasonable_codecs() {
         let sorted_flags: Vec<Datum> =
-            std::iter::repeat(Datum::Bool(true)).take(500).collect();
+            std::iter::repeat_n(Datum::Bool(true), 500).collect();
         assert_eq!(encode_auto(&sorted_flags).encoding(), Encoding::Rle);
 
         let seq = ints(0..500);

@@ -10,9 +10,10 @@
 
 use crate::commitlog::CommitLog;
 use crate::snapshot::Snapshot;
+use crate::twopc::Decision;
 use hdm_common::ids::FIRST_XID;
 use hdm_common::{Result, Xid};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Which GTM interactions occurred (for the Fig 3 cost model).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -116,6 +117,59 @@ impl Gtm {
     pub fn active_count(&self) -> usize {
         self.active.len()
     }
+
+    /// Resolve a participant's in-doubt (prepared, decision unknown) global
+    /// transaction against this GTM's commit log: **presumed abort** — only
+    /// a transaction positively recorded committed commits; everything else,
+    /// including gxids this GTM has never heard of (allocated before a GTM
+    /// crash and observed nowhere), aborts.
+    ///
+    /// If the inquiry arrives while `gxid` is still *undecided* (a
+    /// participant crashed mid-2PC and recovered before the coordinator
+    /// decided), the inquiry itself forces the decision: the gxid is aborted
+    /// here and now, so a slow coordinator can never commit a transaction
+    /// some participant already presumed aborted.
+    pub fn resolve_in_doubt(&mut self, gxid: Xid) -> Decision {
+        if self.clog.is_committed(gxid) {
+            return Decision::Commit;
+        }
+        if self.active.contains(&gxid) {
+            self.abort(gxid).expect("active gxid aborts cleanly");
+        }
+        Decision::Abort
+    }
+
+    /// Rebuild a GTM after a crash from the surviving data nodes' commit
+    /// logs. `observations` is every `(gxid, leg committed?)` pair the DNs
+    /// can report from their xidMaps.
+    ///
+    /// The protocol commits **at the GTM first** ("transactions are marked
+    /// committed in GTM first and then on all nodes"), so a locally
+    /// committed leg *implies* the lost GTM state had that gxid committed —
+    /// it is recovered as committed. Every other observed gxid was at best
+    /// prepared somewhere, meaning no client can have seen a commit
+    /// confirmation, so presumed abort recovers it as aborted. `next_gxid`
+    /// restarts above every observed gxid so recovered IDs never collide.
+    pub fn recover_from_observations(
+        observations: impl IntoIterator<Item = (Xid, bool)>,
+    ) -> Self {
+        // Fold multi-DN observations: any committed leg wins.
+        let mut seen: BTreeMap<Xid, bool> = BTreeMap::new();
+        for (gxid, committed) in observations {
+            *seen.entry(gxid).or_insert(false) |= committed;
+        }
+        let mut gtm = Self::new();
+        for (&gxid, &committed) in &seen {
+            gtm.clog.begin(gxid);
+            if committed {
+                gtm.clog.commit(gxid).expect("fresh clog entry");
+            } else {
+                gtm.clog.abort(gxid).expect("fresh clog entry");
+            }
+            gtm.next_gxid = gtm.next_gxid.max(gxid.raw() + 1);
+        }
+        gtm
+    }
 }
 
 #[cfg(test)]
@@ -168,6 +222,51 @@ mod tests {
         assert_eq!(c.commits, 1);
         assert_eq!(c.aborts, 1);
         assert_eq!(c.total(), 5);
+    }
+
+    #[test]
+    fn recovery_honours_commit_at_gtm_first_ordering() {
+        // DN observations: gxid 100 has a committed leg somewhere (so the
+        // lost GTM must have committed it); gxid 101 was only ever prepared;
+        // gxid 102 was in progress.
+        let mut g = Gtm::recover_from_observations(vec![
+            (Xid(100), true),
+            (Xid(100), false), // another DN's leg still prepared
+            (Xid(101), false),
+            (Xid(102), false),
+        ]);
+        assert!(g.is_committed(Xid(100)));
+        assert_eq!(g.resolve_in_doubt(Xid(100)), Decision::Commit);
+        assert_eq!(g.resolve_in_doubt(Xid(101)), Decision::Abort);
+        assert_eq!(g.resolve_in_doubt(Xid(102)), Decision::Abort);
+        // Unknown gxids (lost entirely with the crash): presumed abort.
+        assert_eq!(g.resolve_in_doubt(Xid(999)), Decision::Abort);
+        assert_eq!(g.active_count(), 0, "no in-flight state survives");
+    }
+
+    #[test]
+    fn in_doubt_inquiry_on_undecided_gxid_forces_the_abort() {
+        let mut gtm = Gtm::new();
+        let g = gtm.begin();
+        // A recovered participant asks before the coordinator decided.
+        assert_eq!(gtm.resolve_in_doubt(g), Decision::Abort);
+        // The decision is now durable: the coordinator cannot commit.
+        assert!(gtm.commit(g).is_err());
+        assert_eq!(gtm.active_count(), 0);
+    }
+
+    #[test]
+    fn recovered_gxids_never_collide() {
+        let mut g = Gtm::recover_from_observations(vec![(Xid(500), true)]);
+        let fresh = g.begin();
+        assert!(fresh > Xid(500), "fresh gxid {fresh} collides with history");
+    }
+
+    #[test]
+    fn recovery_from_nothing_is_a_fresh_gtm() {
+        let mut g = Gtm::recover_from_observations(vec![]);
+        let first = g.begin();
+        assert_eq!(first, Xid(hdm_common::ids::FIRST_XID));
     }
 
     #[test]

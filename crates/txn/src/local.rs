@@ -144,6 +144,26 @@ impl LocalTxnManager {
         }
     }
 
+    /// Simulate this DN's process dying: every in-flight transaction that
+    /// had **not** reached `Prepared` loses its volatile state and is
+    /// aborted (its locks and undo die with it). Prepared transactions are
+    /// durable — the prepare record survives the crash — and stay active as
+    /// in-doubt until recovery resolves them against the coordinator's
+    /// commit log. Returns the aborted XIDs so the storage layer can undo
+    /// their writes.
+    pub fn crash_volatile(&mut self) -> Vec<Xid> {
+        let lost: Vec<Xid> = self
+            .active
+            .iter()
+            .copied()
+            .filter(|x| !self.clog.is_prepared(*x))
+            .collect();
+        for &x in &lost {
+            self.abort(x).expect("in-progress abort cannot fail");
+        }
+        lost
+    }
+
     /// Number of in-flight local transactions.
     pub fn active_count(&self) -> usize {
         self.active.len()
@@ -228,6 +248,24 @@ mod tests {
         assert_eq!(m.lco(), &xids[7..]);
         m.prune_lco(100); // no-op when shorter
         assert_eq!(m.lco().len(), 3);
+    }
+
+    #[test]
+    fn crash_aborts_in_progress_but_keeps_prepared_in_doubt() {
+        let mut m = LocalTxnManager::new();
+        let plain = m.begin_local();
+        let leg = m.begin_global(Xid(700));
+        m.prepare(leg).unwrap();
+        let lost = m.crash_volatile();
+        assert_eq!(lost, vec![plain], "only the unprepared txn dies");
+        assert_eq!(m.status(plain), TxnStatus::Aborted);
+        // The prepared leg survives as in-doubt: still active, still mapped.
+        assert!(m.is_active(leg));
+        assert_eq!(m.prepared_xids(), vec![leg]);
+        assert_eq!(m.local_of(Xid(700)), Some(leg));
+        // Recovery can then resolve it either way.
+        m.commit(leg).unwrap();
+        assert_eq!(m.lco(), &[leg]);
     }
 
     #[test]

@@ -1,0 +1,14 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container cannot reach crates.io, so this crate supplies the
+//! two marker traits the repo derives and re-exports the shim derive
+//! macros. No generic serialization framework is provided — JSON encoding
+//! in this repo goes through `serde_json::Value` explicitly.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait matching `serde::Serialize`'s name. No behaviour.
+pub trait Serialize {}
+
+/// Marker trait matching `serde::Deserialize`'s name. No behaviour.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,48 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build container has no access to crates.io, so the workspace ships
+//! its own minimal serde facade (see `shims/serde`). Derived impls are
+//! marker-trait impls only: nothing in the tree serializes a derived type
+//! generically (the JSON paths go through `serde_json::Value` directly).
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the name of the struct/enum a derive is attached to.
+///
+/// Derive input is `(attrs)* (pub)? (struct|enum) Name (generics)? ...`;
+/// none of the repo's derived types are generic, so scanning for the ident
+/// after `struct`/`enum` suffices.
+fn type_name(input: TokenStream) -> String {
+    let mut saw_kw = false;
+    for tok in input {
+        match tok {
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if saw_kw {
+                    return s;
+                }
+                if s == "struct" || s == "enum" {
+                    saw_kw = true;
+                }
+            }
+            _ => continue,
+        }
+    }
+    panic!("serde_derive shim: no struct/enum name found");
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .unwrap()
+}

@@ -1,0 +1,107 @@
+//! Chaos sweep: the cluster's safety invariants under randomized fault
+//! schedules, plus exact replay determinism per seed.
+//!
+//! Each seed drives the bank-transfer workload of `cluster::chaos` under
+//! message drops, duplicates, extra delays, data-node crashes and GTM
+//! crashes. A run is *safe* when the post-quiescence audit finds nothing:
+//! no committed write lost, no aborted write leaked, total balance
+//! conserved, and no leaked locks, undo entries, pending-commit markers or
+//! in-doubt legs. A run is *replayable* when the same seed reproduces the
+//! identical report — event count, protocol counters and fault stats.
+
+use huawei_dm::cluster::{run_chaos, ChaosConfig};
+use huawei_dm::simnet::FaultConfig;
+
+/// The acceptance sweep: 20 seeded schedules with every fault class on.
+#[test]
+fn twenty_seeded_fault_schedules_stay_safe() {
+    for seed in 0..20u64 {
+        let r = run_chaos(ChaosConfig::standard(0xBAD_5EED + seed));
+        assert!(
+            r.violations.is_empty(),
+            "seed {seed}: safety violations: {:?}",
+            r.violations
+        );
+        assert_eq!(r.gave_up, 0, "seed {seed}: a client livelocked");
+        assert!(r.committed > 0, "seed {seed}: nothing committed");
+    }
+}
+
+/// Every seed's trace replays bit-for-bit: same executed-event count, same
+/// cluster counters, same message fates, same final state.
+#[test]
+fn every_seed_replays_bit_for_bit() {
+    for seed in [3u64, 17, 0xFEED, 0xC0FFEE, u64::MAX / 7] {
+        let a = run_chaos(ChaosConfig::standard(seed));
+        let b = run_chaos(ChaosConfig::standard(seed));
+        assert_eq!(a, b, "seed {seed:#x} diverged on replay");
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.counters, b.counters);
+    }
+}
+
+/// Crank the fault rates well past the defaults: the protocol may commit
+/// less, but it must never commit wrongly.
+#[test]
+fn hostile_fault_rates_still_conserve_money() {
+    let mut cfg = ChaosConfig::standard(0xD15EA5E);
+    cfg.faults = FaultConfig {
+        drop_p: 0.10,
+        duplicate_p: 0.05,
+        delay_p: 0.15,
+        dn_crashes_per_node: 2.0,
+        gtm_crashes: 2.0,
+        ..FaultConfig::chaotic()
+    };
+    let r = run_chaos(cfg);
+    assert!(r.violations.is_empty(), "violations: {:?}", r.violations);
+    assert_eq!(r.gave_up, 0);
+}
+
+/// Crashes with no message faults: isolates the recovery paths.
+#[test]
+fn crash_only_schedules_recover_cleanly() {
+    for seed in 0..5u64 {
+        let mut cfg = ChaosConfig::standard(0xCAFE + seed);
+        cfg.faults = FaultConfig {
+            dn_crashes_per_node: 1.5,
+            gtm_crashes: 1.5,
+            ..FaultConfig::none()
+        };
+        let r = run_chaos(cfg);
+        assert!(
+            r.violations.is_empty(),
+            "seed {seed}: violations: {:?}",
+            r.violations
+        );
+        // The schedule actually crashed things and recovery actually ran.
+        assert!(
+            r.counters.dn_crashes > 0 || r.counters.gtm_crashes > 0,
+            "seed {seed}: no crash fired"
+        );
+        assert_eq!(r.counters.dn_crashes, r.counters.dn_restarts);
+        assert_eq!(r.counters.gtm_crashes, r.counters.gtm_restarts);
+    }
+}
+
+/// Message faults with no crashes: isolates the retransmission paths.
+#[test]
+fn lossy_network_alone_never_blocks_progress() {
+    let mut cfg = ChaosConfig::standard(0xE77);
+    cfg.faults = FaultConfig {
+        dn_crashes_per_node: 0.0,
+        gtm_crashes: 0.0,
+        ..FaultConfig::chaotic()
+    };
+    let r = run_chaos(cfg);
+    assert!(r.violations.is_empty(), "violations: {:?}", r.violations);
+    assert_eq!(r.gave_up, 0);
+    assert_eq!(
+        r.committed,
+        (6 * 30) as u64,
+        "without crashes every transfer eventually commits"
+    );
+    let (_, dropped, _, _) = r.message_stats;
+    assert!(dropped > 0, "drops should have been injected");
+    assert!(r.counters.retries >= dropped, "each drop costs a retry");
+}

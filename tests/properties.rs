@@ -317,13 +317,135 @@ proptest! {
                  group by g order by g"
             ),
             format!("select id from t where v > {threshold} order by id"),
-            format!("select g, avg(v) from t group by g order by g"),
+            "select g, avg(v) from t group by g order by g".to_string(),
         ];
         for q in &queries {
             let a = single.execute(q).unwrap().rows;
             let b = mpp.query(q).unwrap().rows;
             prop_assert_eq!(&a, &b, "query {} diverged", q);
         }
+    }
+}
+
+// ---------- 2PC coordinator interleavings ----------
+
+proptest! {
+    /// Drive a coordinator with an arbitrary interleaving of votes, vote
+    /// timeouts and acks. Illegal steps are rejected with errors; however the
+    /// accepted steps interleave, the outcome is never contradictory:
+    /// * the decision, once made, never flips;
+    /// * an accepted no-vote or vote timeout forces the abort path;
+    /// * a terminal state is reached only after every participant acked.
+    #[test]
+    fn twopc_interleavings_never_contradict(
+        n in 1u64..5,
+        script in vec((0u8..3, 0u64..5, any::<bool>()), 0..40),
+    ) {
+        use huawei_dm::common::ShardId;
+        use huawei_dm::txn::{Decision, TwoPcCoordinator, TwoPcState};
+
+        let participants: Vec<ShardId> = (0..n).map(ShardId::new).collect();
+        let mut c = TwoPcCoordinator::new(participants.clone());
+        let mut decision: Option<Decision> = None;
+        let mut abort_forced = false;
+        for (kind, shard, yes) in script {
+            let shard = ShardId::new(shard % n);
+            match kind {
+                0 => {
+                    if let Ok(d) = c.vote(shard, yes) {
+                        if !yes {
+                            abort_forced = true;
+                        }
+                        if let Some(d) = d {
+                            prop_assert!(decision.is_none(), "second decision");
+                            decision = Some(d);
+                        }
+                    }
+                }
+                1 => {
+                    if let Ok(d) = c.timeout_votes() {
+                        abort_forced = true;
+                        prop_assert_eq!(d, Decision::Abort);
+                        prop_assert!(decision.is_none(), "second decision");
+                        decision = Some(d);
+                    }
+                }
+                _ => {
+                    let _ = c.ack(shard);
+                }
+            }
+            // The live state never contradicts the recorded decision.
+            match (decision, c.state()) {
+                (None, s) => prop_assert_eq!(s, TwoPcState::Collecting),
+                (Some(Decision::Commit), s) => prop_assert!(
+                    matches!(s, TwoPcState::Committing | TwoPcState::Committed),
+                    "commit decision but state {s:?}"
+                ),
+                (Some(Decision::Abort), s) => prop_assert!(
+                    matches!(s, TwoPcState::Aborting | TwoPcState::Aborted),
+                    "abort decision but state {s:?}"
+                ),
+            }
+        }
+        if abort_forced {
+            prop_assert!(
+                decision != Some(Decision::Commit),
+                "committed despite a no-vote or timeout"
+            );
+        }
+        if c.is_done() {
+            prop_assert!(c.missing_acks().is_empty());
+            for p in &participants {
+                prop_assert!(c.has_acked(*p));
+            }
+        }
+    }
+
+    /// In-doubt recovery terminates: resolve against the commit-log answer,
+    /// then retransmit the decision to `missing_acks()` over a lossy channel.
+    /// Because each round moves at least one participant and `has_acked`
+    /// dedupes retransmissions, the coordinator reaches the terminal state
+    /// matching the log in at most |participants| rounds.
+    #[test]
+    fn in_doubt_recovery_terminates(
+        n in 1u64..6,
+        committed in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        use huawei_dm::common::ShardId;
+        use huawei_dm::txn::{Decision, TwoPcCoordinator, TwoPcState};
+
+        let participants: Vec<ShardId> = (0..n).map(ShardId::new).collect();
+        let mut c = TwoPcCoordinator::recover_in_doubt(participants);
+        prop_assert!(c.is_in_doubt());
+        let decision = if committed { Decision::Commit } else { Decision::Abort };
+        c.resolve(decision).unwrap();
+        let mut rng = SplitMix64::new(seed);
+        let mut rounds = 0;
+        while !c.is_done() {
+            rounds += 1;
+            prop_assert!(rounds <= n, "recovery failed to terminate");
+            let mut progressed = false;
+            for p in c.missing_acks() {
+                // Lossy delivery; the transport dedupes via has_acked.
+                if rng.chance(0.5) {
+                    prop_assert!(!c.has_acked(p));
+                    c.ack(p).unwrap();
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                // Guaranteed retransmission progress per round keeps the
+                // |participants| bound tight.
+                if let Some(p) = c.missing_acks().first().copied() {
+                    c.ack(p).unwrap();
+                }
+            }
+        }
+        prop_assert_eq!(
+            c.state(),
+            if committed { TwoPcState::Committed } else { TwoPcState::Aborted }
+        );
     }
 }
 
