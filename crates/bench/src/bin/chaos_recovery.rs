@@ -6,12 +6,17 @@
 //! exactly; EXPERIMENTS.md records the seeds and fault rates used.
 //!
 //! Usage:
-//!   chaos_recovery [--seeds N] [--transfers N]
+//!   chaos_recovery [--seeds N] [--transfers N] [--telemetry out.jsonl]
+//!
+//! `--telemetry` runs one extra instrumented chaotic seed on the virtual
+//! clock and dumps its spans (one `transfer` root per transfer, with
+//! retry/abort events) plus the metrics snapshot to the JSONL file.
 
 use hdm_bench::{arg_value, render_table};
 use hdm_cluster::{run_chaos, ChaosConfig, Protocol, SimConfig, WorkloadMix};
 use hdm_common::SimDuration;
 use hdm_simnet::FaultConfig;
+use hdm_telemetry::Telemetry;
 
 fn fault_level(level: &str) -> FaultConfig {
     match level {
@@ -108,6 +113,31 @@ fn main() {
         "in-doubt C/A = prepared legs resolved commit/abort from the \
          coordinator's log after a crash.\n"
     );
+
+    if let Some(path) = arg_value("--telemetry") {
+        println!("=== Telemetry: instrumented chaotic run (seed 0xBE2C_0000) ===");
+        let tel = Telemetry::simulated();
+        let mut cfg = ChaosConfig::standard(0xBE2C_0000);
+        cfg.transfers_per_client = transfers;
+        cfg.telemetry = Some(tel.clone());
+        let r = run_chaos(cfg);
+        let snap = r.metrics.as_ref().expect("telemetry attached");
+        println!(
+            "committed {} / aborts {} | backoffs {} | crashes injected dn={} gtm={} | \
+             in-doubt resolved {}",
+            r.committed,
+            r.txn_aborts,
+            snap.counter("cn.backoff"),
+            snap.counter("fault.crash{target=dn}"),
+            snap.counter("fault.crash{target=gtm}"),
+            snap.counter_total("recovery.in_doubt"),
+        );
+        std::fs::write(&path, tel.export_jsonl()).expect("write telemetry JSONL");
+        println!(
+            "wrote {} transfer spans + metrics snapshot to {path}\n",
+            tel.tracer.finished().len()
+        );
+    }
 
     // The retry cost of a lossy network on the Fig 3 closed-loop workload.
     println!("=== Fig 3 workload on a lossy network (GTM-lite, 4 nodes, MS mix) ===");

@@ -19,12 +19,17 @@
 use hdm_bench::{arg_value, render_table};
 use hdm_common::{ClientId, SplitMix64};
 use hdm_gmdb::{Delta, GmdbRuntime};
+use hdm_telemetry::{Clock, WallClock};
 use hdm_workloads::mme::{generate_session, mme_schema_chain, MmeConfig};
 use serde_json::json;
-use std::time::Instant;
 
-fn kops(n: u64, elapsed: std::time::Duration) -> String {
-    format!("{:.1} kops/s", n as f64 / elapsed.as_secs_f64() / 1_000.0)
+fn kops(n: u64, elapsed_us: u64) -> String {
+    format!("{:.1} kops/s", n as f64 / (elapsed_us.max(1) as f64 / 1e6) / 1_000.0)
+}
+
+/// Ops per second over an interval measured in µs on the shared clock.
+fn rate(n: u64, elapsed_us: u64) -> f64 {
+    n as f64 / (elapsed_us.max(1) as f64 / 1e6)
 }
 
 fn main() {
@@ -47,15 +52,18 @@ fn main() {
     }
     let cfg = MmeConfig::default();
     let mut rng = SplitMix64::new(11);
+    // All wall measurements read one anchored clock — the same abstraction
+    // the simulated harnesses drive virtually, so timing code is uniform.
+    let clock = WallClock::new();
 
     // Load all sessions at V3.
     let mut keys = Vec::with_capacity(sessions);
-    let load_t = Instant::now();
+    let load_t = clock.now_us();
     for _ in 0..sessions {
         let obj = generate_session(&mut rng, 3, &cfg);
         keys.push(rt.put("mme_session", 3, obj).unwrap());
     }
-    let load_el = load_t.elapsed();
+    let load_el = clock.now_us() - load_t;
 
     // Read throughput per conversion distance.
     let mut rows = vec![vec![
@@ -65,12 +73,12 @@ fn main() {
         "vs same-version".to_string(),
     ]];
     let read_rate = |version: u32, rng: &mut SplitMix64| {
-        let t = Instant::now();
+        let t = clock.now_us();
         for _ in 0..ops {
             let k = rng.pick(&keys);
             rt.get("mme_session", k, version).unwrap();
         }
-        ops as f64 / t.elapsed().as_secs_f64()
+        rate(ops, clock.now_us() - t)
     };
     let same = read_rate(3, &mut rng);
     let one_hop = read_rate(5, &mut rng);
@@ -100,12 +108,12 @@ fn main() {
         let obj = generate_session(&mut rng, 8, &cfg);
         v8_keys.push(rt.put("mme_session", 8, obj).unwrap());
     }
-    let t = Instant::now();
+    let t = clock.now_us();
     for _ in 0..ops {
         let k = rng.pick(&v8_keys);
         rt.get("mme_session", k, 3).unwrap();
     }
-    let down = ops as f64 / t.elapsed().as_secs_f64();
+    let down = rate(ops, clock.now_us() - t);
     rows.push(vec![
         "read (stored V8)".into(),
         "downgrade 4 hops (V3)".into(),
@@ -115,16 +123,16 @@ fn main() {
 
     // Write throughput: whole object vs delta.
     let whole_ops = ops / 4;
-    let t = Instant::now();
+    let t = clock.now_us();
     for _ in 0..whole_ops {
         let obj = generate_session(&mut rng, 3, &cfg);
         rt.put("mme_session", 3, obj).unwrap();
     }
-    let whole_write = whole_ops as f64 / t.elapsed().as_secs_f64();
+    let whole_write = rate(whole_ops, clock.now_us() - t);
     // Note: includes generation cost; delta path below reuses objects.
 
     let delta_ops = ops / 4;
-    let t = Instant::now();
+    let t = clock.now_us();
     for i in 0..delta_ops {
         let k = &keys[(i as usize) % keys.len()];
         let old = rt.get("mme_session", k, 3).unwrap();
@@ -133,7 +141,7 @@ fn main() {
         let d = Delta::compute(&old, &new);
         rt.update_delta("mme_session", k, 3, d).unwrap();
     }
-    let delta_write = delta_ops as f64 / t.elapsed().as_secs_f64();
+    let delta_write = rate(delta_ops, clock.now_us() - t);
     rows.push(vec![
         "write".into(),
         "whole object (put)".into(),

@@ -22,6 +22,7 @@ use crate::retry::RetryPolicy;
 use crate::shard::make_key;
 use hdm_common::{Result, ShardId, SimDuration, SimInstant, SplitMix64, Xid};
 use hdm_simnet::{FaultConfig, FaultPlan, MsgFate, Sim};
+use hdm_telemetry::{MetricsSnapshot, SpanId, Telemetry};
 use std::collections::BTreeMap;
 
 /// Fixed service gap between a transaction's protocol steps.
@@ -42,6 +43,12 @@ pub struct ChaosConfig {
     pub faults: FaultConfig,
     /// Horizon the crash schedule is spread over.
     pub fault_horizon: SimDuration,
+    /// Attach a virtual-clock [`Telemetry`] bundle: one `transfer` root span
+    /// per transfer (fields `cid`, `kind`, retry/abort events) plus the
+    /// engine, GTM, fault-plan and retry-policy counters. The attach happens
+    /// *after* the fault-free seeding preamble so metrics cover only the
+    /// chaotic phase. `None` = zero-overhead run.
+    pub telemetry: Option<Telemetry>,
 }
 
 impl ChaosConfig {
@@ -57,6 +64,7 @@ impl ChaosConfig {
             cross_fraction: 0.6,
             faults: FaultConfig::chaotic(),
             fault_horizon: SimDuration::from_millis(8),
+            telemetry: None,
         }
     }
 
@@ -91,6 +99,9 @@ pub struct ChaosReport {
     pub final_total: i64,
     /// Safety violations detected at quiescence (empty in a correct run).
     pub violations: Vec<String>,
+    /// Point-in-time metrics at quiescence (telemetry runs only). Part of
+    /// the `PartialEq` fingerprint: same seed ⇒ identical counters.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 /// Where a client currently is in its transaction's protocol.
@@ -125,6 +136,8 @@ struct ClientState {
     txn: Option<Txn>,
     legs: Vec<(ShardId, Xid)>,
     next_leg: usize,
+    /// Open `transfer` root span (telemetry runs only).
+    span: Option<SpanId>,
 }
 
 struct World {
@@ -138,6 +151,7 @@ struct World {
     txn_aborts: u64,
     gave_up: u64,
     violations: Vec<String>,
+    tel: Option<Telemetry>,
 }
 
 type S = Sim<World>;
@@ -181,6 +195,15 @@ impl World {
             single_prefix: (p1 == p2).then_some(p1),
         }
     }
+
+    /// Note `name` on client `cid`'s open transfer span. No-op without
+    /// telemetry.
+    fn trace_event(&self, cid: usize, now: SimInstant, name: &str, fields: &[(&str, &str)]) {
+        if let (Some(tel), Some(span)) = (&self.tel, self.clients[cid].span) {
+            tel.set_time_us(now.micros());
+            tel.tracer.event(span, name, fields);
+        }
+    }
 }
 
 /// A client picks its next transfer and sends the first request.
@@ -189,12 +212,24 @@ fn txn_start(sim: &mut S, w: &mut World, cid: usize) {
         return;
     }
     let t = w.pick_transfer(cid);
+    let span = w.tel.as_ref().map(|tel| {
+        tel.set_time_us(sim.now().micros());
+        let span = tel.tracer.begin("transfer");
+        tel.tracer.field(span, "cid", cid);
+        tel.tracer.field(
+            span,
+            "kind",
+            if t.single_prefix.is_some() { "single" } else { "cross" },
+        );
+        span
+    });
     let c = &mut w.clients[cid];
     c.transfer = t;
     c.attempt = 0;
     c.txn = None;
     c.legs.clear();
     c.next_leg = 0;
+    c.span = span;
     sim.schedule_in(STEP_GAP, move |sim, w| deliver(sim, w, cid, Step::Begin));
 }
 
@@ -234,12 +269,15 @@ fn backoff(sim: &mut S, w: &mut World, cid: usize, step: Step) {
             let _ = w.cluster.abort(txn);
         }
         w.gave_up += 1;
+        w.trace_event(cid, sim.now(), "gave_up", &[]);
         finish_transfer(sim, w, cid);
         return;
     }
     let delay = c.policy.backoff(c.attempt);
     c.attempt += 1;
     w.cluster.record_retry();
+    let attempt = (w.clients[cid].attempt - 1).to_string();
+    w.trace_event(cid, sim.now(), "backoff", &[("attempt", &attempt)]);
     sim.schedule_in(delay, move |sim, w| deliver(sim, w, cid, step));
 }
 
@@ -251,6 +289,7 @@ fn abort_and_retry(sim: &mut S, w: &mut World, cid: usize) {
     w.txn_aborts += 1;
     w.clients[cid].legs.clear();
     w.clients[cid].next_leg = 0;
+    w.trace_event(cid, sim.now(), "abort_retry", &[]);
     backoff(sim, w, cid, Step::Begin);
 }
 
@@ -264,6 +303,10 @@ fn confirm_commit(sim: &mut S, w: &mut World, cid: usize) {
 }
 
 fn finish_transfer(sim: &mut S, w: &mut World, cid: usize) {
+    if let (Some(tel), Some(span)) = (&w.tel, w.clients[cid].span.take()) {
+        tel.set_time_us(sim.now().micros());
+        tel.tracer.end(span);
+    }
     let c = &mut w.clients[cid];
     c.remaining -= 1;
     c.txn = None;
@@ -432,24 +475,40 @@ pub fn run_chaos(cfg: ChaosConfig) -> ChaosReport {
         }
     }
 
+    // Telemetry attaches *after* the seeding preamble: metrics cover only
+    // the chaotic phase, never the deterministic account setup.
+    if let Some(tel) = &cfg.telemetry {
+        cluster.attach_telemetry(tel);
+    }
+
     let mut plan = FaultPlan::new(cfg.seed, cfg.faults.clone());
+    if let Some(tel) = &cfg.telemetry {
+        plan.attach_telemetry(&tel.metrics);
+    }
     let schedule = plan.crash_schedule(cfg.shards, cfg.fault_horizon);
 
     let clients = (0..cfg.clients)
-        .map(|cid| ClientState {
-            remaining: cfg.transfers_per_client,
-            attempt: 0,
-            policy: RetryPolicy::chaos(cfg.seed ^ (cid as u64).wrapping_mul(0x9E37_79B9)),
-            rng: SplitMix64::new(cfg.seed ^ (0xC11E_0000 + cid as u64)),
-            transfer: Transfer {
-                from: 0,
-                to: 0,
-                amount: 0,
-                single_prefix: None,
-            },
-            txn: None,
-            legs: Vec::new(),
-            next_leg: 0,
+        .map(|cid| {
+            let mut policy = RetryPolicy::chaos(cfg.seed ^ (cid as u64).wrapping_mul(0x9E37_79B9));
+            if let Some(tel) = &cfg.telemetry {
+                policy.attach_telemetry(&tel.metrics);
+            }
+            ClientState {
+                remaining: cfg.transfers_per_client,
+                attempt: 0,
+                policy,
+                rng: SplitMix64::new(cfg.seed ^ (0xC11E_0000 + cid as u64)),
+                transfer: Transfer {
+                    from: 0,
+                    to: 0,
+                    amount: 0,
+                    single_prefix: None,
+                },
+                txn: None,
+                legs: Vec::new(),
+                next_leg: 0,
+                span: None,
+            }
         })
         .collect();
 
@@ -462,9 +521,13 @@ pub fn run_chaos(cfg: ChaosConfig) -> ChaosReport {
         txn_aborts: 0,
         gave_up: 0,
         violations: Vec::new(),
+        tel: cfg.telemetry.clone(),
         cfg: cfg.clone(),
     };
     let mut sim: S = Sim::new();
+    if let Some(tel) = &world.tel {
+        sim.attach_telemetry(&tel.metrics);
+    }
 
     for ev in schedule {
         use hdm_simnet::CrashTarget;
@@ -503,6 +566,7 @@ pub fn run_chaos(cfg: ChaosConfig) -> ChaosReport {
             .map(|(_, v)| *v)
             .sum(),
         violations: world.violations,
+        metrics: world.tel.as_ref().map(|tel| tel.metrics.snapshot()),
     }
 }
 
@@ -600,6 +664,45 @@ mod tests {
     fn chaotic_replay_is_bit_identical() {
         let a = run_chaos(ChaosConfig::standard(7));
         let b = run_chaos(ChaosConfig::standard(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn telemetry_counters_mirror_the_report() {
+        let tel = Telemetry::simulated();
+        let mut cfg = ChaosConfig::standard(0xBEEF);
+        cfg.telemetry = Some(tel.clone());
+        let r = run_chaos(cfg);
+        assert!(r.violations.is_empty(), "violations: {:?}", r.violations);
+
+        // Every transfer span was closed.
+        assert_eq!(tel.tracer.open_count(), 0);
+        let spans = tel.tracer.finished();
+        let transfers = spans.iter().filter(|s| s.name == "transfer").count() as u64;
+        assert_eq!(transfers, r.committed + r.gave_up);
+
+        // Counters agree with the report's own bookkeeping.
+        let snap = r.metrics.as_ref().expect("snapshot attached");
+        let (_, drops, dups, delays) = r.message_stats;
+        assert_eq!(snap.counter("fault.msg{fate=drop}"), drops);
+        assert_eq!(snap.counter("fault.msg{fate=duplicate}"), dups);
+        assert_eq!(snap.counter("fault.msg{fate=delay}"), delays);
+        assert_eq!(snap.counter("cn.retry"), r.counters.retries);
+        assert!(snap.counter("cn.backoff") >= r.counters.retries);
+        assert!(snap.counter_total("txn.begin") >= r.committed);
+        assert!(snap.counter("sim.events.executed") > 0);
+    }
+
+    #[test]
+    fn telemetry_replay_is_bit_identical() {
+        let run = || {
+            let mut cfg = ChaosConfig::standard(77);
+            cfg.telemetry = Some(Telemetry::simulated());
+            run_chaos(cfg)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.metrics, b.metrics, "same seed must yield identical metrics");
         assert_eq!(a, b);
     }
 

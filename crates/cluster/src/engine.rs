@@ -27,6 +27,7 @@
 use crate::node::DataNode;
 use crate::shard::ShardMap;
 use hdm_common::{HdmError, Result, ShardId, Xid};
+use hdm_telemetry::{Counter, Telemetry};
 use hdm_txn::{
     merge_with_manager, Decision, Gtm, Snapshot, SnapshotVisibility, TwoPcCoordinator, TxnStatus,
 };
@@ -109,6 +110,26 @@ pub struct ClusterCounters {
     pub in_doubt_aborts: u64,
 }
 
+/// Pre-resolved metric handles + the tracer, attached once via
+/// [`Cluster::attach_telemetry`] so hot paths bump atomics without registry
+/// lookups. Crash/restart/in-doubt moments additionally land in the trace as
+/// instantaneous spans.
+#[derive(Debug, Clone)]
+struct EngineTelemetry {
+    tel: Telemetry,
+    begin_single: Counter,
+    begin_distributed: Counter,
+    commit_single: Counter,
+    commit_distributed: Counter,
+    aborts: Counter,
+    prepare_yes: Counter,
+    prepare_no: Counter,
+    leg_finish: Counter,
+    restart_dn: Counter,
+    restart_gtm: Counter,
+    retries: Counter,
+}
+
 /// One leg of a multi-shard GTM-lite transaction on a particular DN.
 #[derive(Debug, Clone)]
 struct Leg {
@@ -180,6 +201,7 @@ pub struct Cluster {
     down: Vec<bool>,
     gtm_up: bool,
     counters: ClusterCounters,
+    tel: Option<EngineTelemetry>,
 }
 
 impl Cluster {
@@ -195,7 +217,32 @@ impl Cluster {
             down,
             gtm_up: true,
             counters: ClusterCounters::default(),
+            tel: None,
         }
+    }
+
+    /// Wire this cluster (and its GTM) to a [`Telemetry`] bundle. Metric
+    /// handles are resolved once here; protocol activity lands as `txn.*`,
+    /// `twopc.*`, `recovery.*` and `cn.retry` series, and crash/restart and
+    /// in-doubt moments appear in the trace as instantaneous spans. The
+    /// timed harnesses attach before driving load.
+    pub fn attach_telemetry(&mut self, tel: &Telemetry) {
+        let m = &tel.metrics;
+        self.tel = Some(EngineTelemetry {
+            tel: tel.clone(),
+            begin_single: m.counter("txn.begin", &[("path", "single")]),
+            begin_distributed: m.counter("txn.begin", &[("path", "distributed")]),
+            commit_single: m.counter("txn.commit", &[("path", "single")]),
+            commit_distributed: m.counter("txn.commit", &[("path", "distributed")]),
+            aborts: m.counter("txn.abort", &[]),
+            prepare_yes: m.counter("twopc.leg.prepare", &[("vote", "yes")]),
+            prepare_no: m.counter("twopc.leg.prepare", &[("vote", "no")]),
+            leg_finish: m.counter("twopc.leg.finish", &[]),
+            restart_dn: m.counter("recovery.restart", &[("target", "dn")]),
+            restart_gtm: m.counter("recovery.restart", &[("target", "gtm")]),
+            retries: m.counter("cn.retry", &[]),
+        });
+        self.gtm.attach_telemetry(m);
     }
 
     pub fn config(&self) -> &ClusterConfig {
@@ -252,6 +299,11 @@ impl Cluster {
         self.down[i] = true;
         self.counters.dn_crashes += 1;
         self.nodes[i].crash();
+        if let Some(t) = &self.tel {
+            t.tel
+                .tracer
+                .instant("crash", &[("target", "dn"), ("shard", &i.to_string())]);
+        }
     }
 
     /// Restart a crashed data node. Its in-doubt (prepared) legs are
@@ -267,6 +319,12 @@ impl Cluster {
         }
         self.down[i] = false;
         self.counters.dn_restarts += 1;
+        if let Some(t) = &self.tel {
+            t.restart_dn.inc();
+            t.tel
+                .tracer
+                .instant("restart", &[("target", "dn"), ("shard", &i.to_string())]);
+        }
         if self.gtm_up {
             self.resolve_in_doubt_on(i);
         }
@@ -289,6 +347,15 @@ impl Cluster {
             } else {
                 self.counters.in_doubt_aborts += 1;
             }
+            if let Some(t) = &self.tel {
+                t.tel.tracer.instant(
+                    "in_doubt.resolved",
+                    &[
+                        ("shard", &i.to_string()),
+                        ("outcome", if commit { "commit" } else { "abort" }),
+                    ],
+                );
+            }
         }
     }
 
@@ -301,6 +368,9 @@ impl Cluster {
         }
         self.gtm_up = false;
         self.counters.gtm_crashes += 1;
+        if let Some(t) = &self.tel {
+            t.tel.tracer.instant("crash", &[("target", "gtm")]);
+        }
     }
 
     /// Restart the GTM, rebuilding its commit log from the data nodes'
@@ -328,6 +398,13 @@ impl Cluster {
         self.gtm = Gtm::recover_from_observations(observations);
         self.gtm_up = true;
         self.counters.gtm_restarts += 1;
+        if let Some(t) = &self.tel {
+            // The recovered instance is a fresh `Gtm`: re-resolve its metric
+            // handles so its interactions keep landing in the same series.
+            self.gtm.attach_telemetry(&t.tel.metrics);
+            t.restart_gtm.inc();
+            t.tel.tracer.instant("restart", &[("target", "gtm")]);
+        }
         for i in 0..self.nodes.len() {
             if !self.down[i] {
                 self.resolve_in_doubt_on(i);
@@ -356,6 +433,9 @@ impl Cluster {
     /// Begin a transaction the application knows is single-sharded (keys
     /// share the sharding prefix `prefix`).
     pub fn begin_single(&mut self, prefix: u32) -> Txn {
+        if let Some(t) = &self.tel {
+            t.begin_single.inc();
+        }
         let shard = self.map.shard_of_prefix(prefix);
         match self.cfg.protocol {
             Protocol::Baseline => self.begin_baseline(),
@@ -372,6 +452,9 @@ impl Cluster {
 
     /// Begin a transaction that may touch several shards.
     pub fn begin_multi(&mut self) -> Txn {
+        if let Some(t) = &self.tel {
+            t.begin_distributed.inc();
+        }
         match self.cfg.protocol {
             Protocol::Baseline => self.begin_baseline(),
             Protocol::GtmLite => {
@@ -592,6 +675,9 @@ impl Cluster {
                 node.mgr_mut().commit(xid)?;
                 node.clear_undo(xid);
                 self.counters.single_shard_commits += 1;
+                if let Some(t) = &self.tel {
+                    t.commit_single.inc();
+                }
                 Ok(())
             }
             TxnKind::LiteMulti { .. } => {
@@ -620,6 +706,13 @@ impl Cluster {
         } else {
             self.counters.single_shard_commits += 1;
         }
+        if let Some(t) = &self.tel {
+            if touched.len() > 1 {
+                t.commit_distributed.inc();
+            } else {
+                t.commit_single.inc();
+            }
+        }
         Ok(())
     }
 
@@ -639,6 +732,13 @@ impl Cluster {
             // coordinator counts the missing vote as a no (presumed abort).
             let vote_yes = !self.down[s as usize]
                 && self.nodes[s as usize].mgr_mut().prepare(leg.xid).is_ok();
+            if let Some(t) = &self.tel {
+                if vote_yes {
+                    t.prepare_yes.inc();
+                } else {
+                    t.prepare_no.inc();
+                }
+            }
             if let Some(Decision::Abort) = coord.vote(ShardId::new(s), vote_yes)? {
                 return Err(HdmError::TxnAborted(format!(
                     "prepare failed on shard {s}"
@@ -660,6 +760,12 @@ impl Cluster {
         self.check_gtm()?;
         self.gtm.commit(*gxid)?;
         self.counters.gtm_interactions += 1;
+        // The GTM decision IS the commit point; finish legs only propagate
+        // it. Counting here keeps the metric right for harnesses that
+        // deliver finish confirmations leg-by-leg via `finish_leg`.
+        if let Some(t) = &self.tel {
+            t.commit_distributed.inc();
+        }
         for (&s, leg) in legs {
             // A down leg cannot receive the decision message; its durable
             // prepare record resolves through the clog at restart instead.
@@ -689,6 +795,9 @@ impl Cluster {
             if self.cfg.lco_prune_horizon > 0 {
                 node.mgr_mut().prune_lco(self.cfg.lco_prune_horizon);
             }
+            if let Some(t) = &self.tel {
+                t.leg_finish.inc();
+            }
         }
         self.counters.multi_shard_commits += 1;
         Ok(())
@@ -706,6 +815,9 @@ impl Cluster {
             let horizon = self.cfg.lco_prune_horizon;
             node.mgr_mut().prune_lco(horizon);
         }
+        if let Some(t) = &self.tel {
+            t.leg_finish.inc();
+        }
         Ok(())
     }
 
@@ -718,6 +830,9 @@ impl Cluster {
     /// abort anyway). The happy path is unchanged.
     pub fn abort(&mut self, txn: Txn) -> Result<()> {
         self.counters.aborts += 1;
+        if let Some(t) = &self.tel {
+            t.aborts.inc();
+        }
         match txn.kind {
             TxnKind::Baseline { gxid, touched, .. } => {
                 for s in &touched {
@@ -778,6 +893,9 @@ impl Cluster {
     /// themselves; the engine just keeps the count observable).
     pub fn record_retry(&mut self) {
         self.counters.retries += 1;
+        if let Some(t) = &self.tel {
+            t.retries.inc();
+        }
     }
 
     /// A consistent snapshot of every shard's visible `(key, value)` pairs
@@ -1221,6 +1339,43 @@ mod tests {
         let n = c.counters();
         assert_eq!((n.dn_crashes, n.dn_restarts), (1, 1));
         assert_eq!((n.gtm_crashes, n.gtm_restarts), (1, 1));
+    }
+
+    #[test]
+    fn telemetry_labels_paths_and_survives_gtm_recovery() {
+        let tel = Telemetry::simulated();
+        let mut c = lite(4);
+        c.attach_telemetry(&tel);
+        let (p1, p2) = two_shards(&c);
+        let (k1, k2) = (make_key(p1, 1), make_key(p2, 1));
+
+        c.bump(Some(p1), k1, 5).unwrap(); // single-shard fast path
+        c.bump(None, k2, 7).unwrap(); // distributed 2PC
+        let t = c.begin_multi();
+        c.abort(t).unwrap();
+
+        // Crash/restart: the recovered GTM must keep feeding the series.
+        c.crash_gtm();
+        c.restart_gtm();
+        c.bump(None, k2, 1).unwrap();
+
+        let snap = tel.metrics.snapshot();
+        assert_eq!(snap.counter("txn.begin{path=single}"), 1);
+        assert_eq!(snap.counter("txn.begin{path=distributed}"), 3);
+        assert_eq!(snap.counter("txn.commit{path=single}"), 1);
+        assert_eq!(snap.counter("txn.commit{path=distributed}"), 2);
+        assert_eq!(snap.counter("txn.abort"), 1);
+        assert_eq!(snap.counter("twopc.leg.prepare{vote=yes}"), 2);
+        assert_eq!(snap.counter("twopc.leg.finish"), 2);
+        assert_eq!(snap.counter("recovery.restart{target=gtm}"), 1);
+        assert!(
+            snap.counter("gtm.begin") >= 3,
+            "recovered GTM keeps counting begins: {snap:?}"
+        );
+        // Crash + restart landed in the trace as instantaneous spans.
+        let spans = tel.tracer.finished();
+        assert!(spans.iter().any(|s| s.name == "crash" && s.field("target") == Some("gtm")));
+        assert!(spans.iter().any(|s| s.name == "restart" && s.field("target") == Some("gtm")));
     }
 
     #[test]

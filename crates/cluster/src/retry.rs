@@ -7,6 +7,7 @@
 //! de-synchronize — the chaos harness replays bit-for-bit from its seed.
 
 use hdm_common::{SimDuration, SplitMix64};
+use hdm_telemetry::{Counter, MetricsRegistry};
 
 /// Exponential-backoff schedule for one retry loop.
 #[derive(Debug, Clone)]
@@ -15,6 +16,8 @@ pub struct RetryPolicy {
     cap: SimDuration,
     max_attempts: u32,
     rng: SplitMix64,
+    backoffs: u64,
+    backoff_ctr: Option<Counter>,
 }
 
 impl RetryPolicy {
@@ -26,7 +29,21 @@ impl RetryPolicy {
             cap,
             max_attempts,
             rng: SplitMix64::new(seed ^ 0xB0FF_0FF5),
+            backoffs: 0,
+            backoff_ctr: None,
         }
+    }
+
+    /// Register the `cn.backoff` counter with `metrics`; each computed
+    /// backoff delay bumps it, so chaos reports can assert how many waits
+    /// the retry loop actually served.
+    pub fn attach_telemetry(&mut self, metrics: &MetricsRegistry) {
+        self.backoff_ctr = Some(metrics.counter("cn.backoff", &[]));
+    }
+
+    /// How many backoff delays this policy has handed out.
+    pub fn backoffs_served(&self) -> u64 {
+        self.backoffs
     }
 
     /// A schedule suited to the chaos harness: first retry after 100µs,
@@ -55,6 +72,10 @@ impl RetryPolicy {
     /// `[half, full]` of the nominal value so the expected delay stays
     /// three-quarters of nominal while retriers decorrelate.
     pub fn backoff(&mut self, attempt: u32) -> SimDuration {
+        self.backoffs += 1;
+        if let Some(c) = &self.backoff_ctr {
+            c.inc();
+        }
         let doubled = self
             .base
             .micros()
@@ -109,6 +130,18 @@ mod tests {
         );
         assert!(p.allows(0) && p.allows(2));
         assert!(!p.allows(3));
+    }
+
+    #[test]
+    fn backoff_counter_tracks_served_delays() {
+        let reg = MetricsRegistry::new();
+        let mut p = RetryPolicy::chaos(9);
+        p.attach_telemetry(&reg);
+        for attempt in 0..5 {
+            p.backoff(attempt);
+        }
+        assert_eq!(p.backoffs_served(), 5);
+        assert_eq!(reg.snapshot().counter("cn.backoff"), 5);
     }
 
     #[test]

@@ -29,8 +29,9 @@
 use crate::engine::{Cluster, ClusterConfig, Protocol};
 use crate::shard::make_key;
 use hdm_common::stats::Histogram;
-use hdm_common::{SimDuration, SimInstant, SplitMix64};
+use hdm_common::{SimDuration, SimInstant, SplitMix64, Xid};
 use hdm_simnet::{FaultConfig, FaultPlan, MsgFate, NetLink, Resource, Sim};
+use hdm_telemetry::{HistogramHandle, SpanId, Telemetry};
 
 /// Transaction mix parameters.
 #[derive(Debug, Clone, Copy)]
@@ -104,6 +105,13 @@ pub struct SimConfig {
     /// chaos harness's job; here only the latency cost of drops, duplicates
     /// and delays is charged.
     pub faults: Option<FaultConfig>,
+    /// Attach a [`Telemetry`] bundle (virtual-clock) to trace every
+    /// transaction as a root `txn` span with contiguous child segments
+    /// (`cn.parse` → `gtm.begin` → `leg.exec` → `leg.prepare` →
+    /// `gtm.decide` → `leg.finish`; the single-shard path is `cn.parse` →
+    /// `dn.exec`), labelled `path=single|distributed`, plus `txn.latency`
+    /// and GTM wait/service histograms. `None` = zero-overhead run.
+    pub telemetry: Option<Telemetry>,
 }
 
 impl SimConfig {
@@ -130,6 +138,7 @@ impl SimConfig {
             net_one_way: SimDuration::from_micros(25),
             net_jitter: 0.2,
             faults: None,
+            telemetry: None,
         }
     }
 }
@@ -162,11 +171,24 @@ struct InFlight {
     home_wh: u32,
     start: SimInstant,
     ok: bool,
+    single: bool,
     /// DN indexes of multi-shard legs (empty for single-shard).
     shards: Vec<usize>,
     /// Fan-out bookkeeping: legs not yet joined, and the join high-water.
     pending: usize,
     join_at: SimInstant,
+    /// Root `txn` span and the currently-open segment (telemetry runs only).
+    span: Option<SpanId>,
+    seg: Option<SpanId>,
+}
+
+/// Pre-resolved telemetry handles for the timed harness.
+struct SimTel {
+    tel: Telemetry,
+    lat_single: HistogramHandle,
+    lat_distributed: HistogramHandle,
+    gtm_wait: HistogramHandle,
+    gtm_service: HistogramHandle,
 }
 
 struct World {
@@ -184,6 +206,7 @@ struct World {
     latency: Histogram,
     txns: Vec<Option<InFlight>>,
     free: Vec<usize>,
+    tel: Option<SimTel>,
 }
 
 impl World {
@@ -194,7 +217,19 @@ impl World {
         };
         // Long runs need bounded LCO for bounded merge cost.
         ccfg.lco_prune_horizon = 4096;
-        let cluster = Cluster::new(ccfg);
+        let mut cluster = Cluster::new(ccfg);
+        let tel = cfg.telemetry.clone().map(|tel| SimTel {
+            lat_single: tel.metrics.histogram("txn.latency", &[("path", "single")]),
+            lat_distributed: tel
+                .metrics
+                .histogram("txn.latency", &[("path", "distributed")]),
+            gtm_wait: tel.metrics.histogram("gtm.wait_us", &[]),
+            gtm_service: tel.metrics.histogram("gtm.service_us", &[]),
+            tel,
+        });
+        if let Some(st) = &tel {
+            cluster.attach_telemetry(&st.tel);
+        }
         let dns = (0..cfg.nodes)
             .map(|i| Resource::new(format!("dn{i}"), cfg.dn_cores_per_node))
             .collect();
@@ -203,10 +238,14 @@ impl World {
             dns,
             gtm: Resource::new("gtm", 1),
             net: NetLink::new(cfg.net_one_way, cfg.net_jitter, cfg.seed ^ 0x9e37),
-            faults: cfg
-                .faults
-                .clone()
-                .map(|f| FaultPlan::new(cfg.seed ^ 0xFA17, f)),
+            faults: cfg.faults.clone().map(|f| {
+                let mut plan = FaultPlan::new(cfg.seed ^ 0xFA17, f);
+                if let Some(st) = &tel {
+                    plan.attach_telemetry(&st.tel.metrics);
+                }
+                plan
+            }),
+            tel,
             rng: SplitMix64::new(cfg.seed),
             horizon: SimInstant::ZERO + cfg.horizon,
             committed: 0,
@@ -237,6 +276,32 @@ impl World {
         self.txns[id].take().expect("in-flight txn")
     }
 
+    /// Close transaction `id`'s current trace segment and open `next` as a
+    /// sibling — segments stay contiguous, so the txn timeline decomposes
+    /// ~100% of end-to-end latency. No-op without telemetry.
+    fn advance_seg(&mut self, id: usize, now: SimInstant, next: Option<&str>) {
+        let Some(st) = &self.tel else {
+            return;
+        };
+        st.tel.set_time_us(now.micros());
+        let t = self.txns[id].as_mut().expect("in-flight");
+        if let Some(seg) = t.seg.take() {
+            st.tel.tracer.end(seg);
+        }
+        if let (Some(root), Some(name)) = (t.span, next) {
+            t.seg = Some(st.tel.tracer.begin_child(root, name));
+        }
+    }
+
+    /// Record one GTM visit's queueing and service time.
+    fn record_gtm_visit(&self, arrival: SimInstant, wait: SimDuration, svc: SimDuration) {
+        if let Some(st) = &self.tel {
+            st.tel.set_time_us(arrival.micros());
+            st.gtm_wait.record(wait.micros());
+            st.gtm_service.record(svc.micros());
+        }
+    }
+
     /// One network hop's latency, with fault injection when configured.
     /// Drops cost a sender timeout (4× nominal one-way) plus the
     /// retransmission's own flight time; delays add the sampled extra;
@@ -259,8 +324,9 @@ impl World {
         make_key(wh, local)
     }
 
-    /// Run the functional transaction now; returns (ok, leg shard indexes).
-    fn run_functional(&mut self, home_wh: u32, single: bool) -> (bool, Vec<usize>) {
+    /// Run the functional transaction now; returns (ok, leg shard indexes,
+    /// global xid if the protocol allocated one).
+    fn run_functional(&mut self, home_wh: u32, single: bool) -> (bool, Vec<usize>, Option<Xid>) {
         let mix = self.cfg.mix;
         if single {
             let mut txn = self.cluster.begin_single(home_wh);
@@ -282,6 +348,7 @@ impl World {
                     }
                 }
             }
+            let gxid = txn.gxid();
             let ok = if ok {
                 self.cluster.commit(txn).is_ok()
             } else {
@@ -289,7 +356,7 @@ impl World {
                 false
             };
             let shard = self.cluster.shard_map().shard_of_prefix(home_wh).raw() as usize;
-            (ok, vec![shard])
+            (ok, vec![shard], gxid)
         } else {
             let total_whs = (self.cfg.warehouses_per_node * self.cfg.nodes) as u32;
             let mut whs = vec![home_wh];
@@ -319,6 +386,7 @@ impl World {
                     break 'work;
                 }
             }
+            let gxid = txn.gxid();
             let ok = if ok {
                 self.cluster.commit(txn).is_ok()
             } else {
@@ -329,7 +397,7 @@ impl World {
                 .iter()
                 .map(|&w| self.cluster.shard_map().shard_of_prefix(w).raw() as usize)
                 .collect();
-            (ok, shards)
+            (ok, shards, gxid)
         }
     }
 }
@@ -343,15 +411,35 @@ fn client_start(sim: &mut S, w: &mut World, home_wh: u32) {
         return;
     }
     let single = w.rng.chance(w.cfg.mix.single_shard_fraction);
-    let (ok, shards) = w.run_functional(home_wh, single);
+    if let Some(st) = &w.tel {
+        st.tel.set_time_us(now.micros());
+    }
+    let (ok, shards, gxid) = w.run_functional(home_wh, single);
     let id = w.alloc(InFlight {
         home_wh,
         start: now,
         ok,
+        single,
         shards,
         pending: 0,
         join_at: now,
+        span: None,
+        seg: None,
     });
+    if let Some(st) = &w.tel {
+        let root = st.tel.tracer.begin("txn");
+        st.tel
+            .tracer
+            .field(root, "path", if single { "single" } else { "distributed" });
+        if let Some(g) = gxid {
+            st.tel.tracer.field(root, "gxid", g.raw());
+        }
+        st.tel.tracer.field(root, "ok", ok);
+        let seg = st.tel.tracer.begin_child(root, "cn.parse");
+        let t = w.txns[id].as_mut().expect("in-flight");
+        t.span = Some(root);
+        t.seg = Some(seg);
+    }
     // CN parse/route, at the CN pool.
     let grant = w.cn.request(now, w.cfg.cn_service);
     let single2 = single;
@@ -363,11 +451,13 @@ fn after_cn(sim: &mut S, w: &mut World, id: usize, single: bool) {
     match (w.cfg.protocol, single) {
         // GTM-lite single-shard: straight to the DN.
         (Protocol::GtmLite, true) => {
+            w.advance_seg(id, sim.now(), Some("dn.exec"));
             let hop = w.hop();
             sim.schedule_in(hop, move |sim, w| single_dn_arrive(sim, w, id));
         }
         // Everything else starts with GTM begin+snapshot (2 interactions).
         _ => {
+            w.advance_seg(id, sim.now(), Some("gtm.begin"));
             let hop = w.hop();
             sim.schedule_in(hop, move |sim, w| gtm_begin_arrive(sim, w, id, single));
         }
@@ -376,11 +466,14 @@ fn after_cn(sim: &mut S, w: &mut World, id: usize, single: bool) {
 
 fn gtm_begin_arrive(sim: &mut S, w: &mut World, id: usize, single: bool) {
     let svc = SimDuration::from_micros(w.cfg.gtm_service.micros() * 2);
-    let grant = w.gtm.request(sim.now(), svc);
+    let arrival = sim.now();
+    let grant = w.gtm.request(arrival, svc);
+    w.record_gtm_visit(arrival, grant.queue_wait(arrival), svc);
     let back = w.hop();
     sim.schedule_at(grant.end + back, move |sim, w| {
         // Reply reaches the CN; dispatch to DN(s).
         if single {
+            w.advance_seg(id, sim.now(), Some("dn.exec"));
             let hop = w.hop();
             sim.schedule_in(hop, move |sim, w| single_dn_arrive(sim, w, id));
         } else {
@@ -403,9 +496,13 @@ fn single_dn_arrive(sim: &mut S, w: &mut World, id: usize) {
         Protocol::GtmLite => txn_done(sim, w, id),
         // Baseline reports the commit to the GTM first (1 interaction).
         Protocol::Baseline => {
+            w.advance_seg(id, sim.now(), Some("gtm.commit"));
             let hop = w.hop();
             sim.schedule_in(hop, move |sim, w| {
-                let grant = w.gtm.request(sim.now(), w.cfg.gtm_service);
+                let arrival = sim.now();
+                let svc = w.cfg.gtm_service;
+                let grant = w.gtm.request(arrival, svc);
+                w.record_gtm_visit(arrival, grant.queue_wait(arrival), svc);
                 let back = w.hop();
                 sim.schedule_at(grant.end + back, move |sim, w| txn_done(sim, w, id));
             });
@@ -423,6 +520,12 @@ enum Phase {
 
 /// Fan a round of per-leg DN visits out from the CN.
 fn fan_out(sim: &mut S, w: &mut World, id: usize, phase: Phase) {
+    let seg_name = match phase {
+        Phase::Exec => "leg.exec",
+        Phase::Prepare => "leg.prepare",
+        Phase::Finish => "leg.finish",
+    };
+    w.advance_seg(id, sim.now(), Some(seg_name));
     let shards = w.txns[id].as_ref().expect("in-flight").shards.clone();
     {
         let t = w.txns[id].as_mut().expect("in-flight");
@@ -473,9 +576,13 @@ fn leg_joined(sim: &mut S, w: &mut World, id: usize, phase: Phase) {
         Phase::Exec => fan_out(sim, w, id, Phase::Prepare),
         Phase::Prepare => {
             // Decision at the GTM (1 interaction), then confirm to legs.
+            w.advance_seg(id, sim.now(), Some("gtm.decide"));
             let hop = w.hop();
             sim.schedule_in(hop, move |sim, w| {
-                let grant = w.gtm.request(sim.now(), w.cfg.gtm_service);
+                let arrival = sim.now();
+                let svc = w.cfg.gtm_service;
+                let grant = w.gtm.request(arrival, svc);
+                w.record_gtm_visit(arrival, grant.queue_wait(arrival), svc);
                 let back = w.hop();
                 sim.schedule_at(grant.end + back, move |sim, w| {
                     fan_out(sim, w, id, Phase::Finish)
@@ -488,9 +595,21 @@ fn leg_joined(sim: &mut S, w: &mut World, id: usize, phase: Phase) {
 
 /// The transaction's reply reached the client.
 fn txn_done(sim: &mut S, w: &mut World, id: usize) {
-    let t = w.release(id);
     let now = sim.now();
+    w.advance_seg(id, now, None);
+    let t = w.release(id);
     w.latency.record((now - t.start).micros());
+    if let Some(st) = &w.tel {
+        if let Some(root) = t.span {
+            st.tel.tracer.end(root);
+        }
+        let h = if t.single {
+            &st.lat_single
+        } else {
+            &st.lat_distributed
+        };
+        h.record((now - t.start).micros());
+    }
     if t.ok {
         w.committed += 1;
     } else {
@@ -506,6 +625,9 @@ fn txn_done(sim: &mut S, w: &mut World, id: usize) {
 pub fn run_sim(cfg: SimConfig) -> SimReport {
     let mut world = World::new(cfg.clone());
     let mut sim: S = Sim::new();
+    if let Some(st) = &world.tel {
+        sim.attach_telemetry(&st.tel.metrics);
+    }
     let clients = cfg.clients_per_node * cfg.nodes;
     let total_whs = (cfg.warehouses_per_node * cfg.nodes) as u32;
     for c in 0..clients {
@@ -659,6 +781,70 @@ mod tests {
         assert_eq!(a.committed, b.committed);
         assert_eq!(a.net_fault_stats, b.net_fault_stats);
         assert_eq!(a.p99_latency_us, b.p99_latency_us);
+    }
+
+    #[test]
+    fn telemetry_decomposes_latency_into_contiguous_segments() {
+        let tel = Telemetry::simulated();
+        let mut cfg = SimConfig::new(2, Protocol::GtmLite, WorkloadMix::ms());
+        cfg.horizon = SimDuration::from_millis(10);
+        cfg.telemetry = Some(tel.clone());
+        let r = run_sim(cfg);
+        assert!(r.committed > 0);
+
+        // Every span closed: no transaction left a dangling segment.
+        assert_eq!(tel.tracer.open_count(), 0, "all spans must be closed");
+
+        let spans = tel.tracer.finished();
+        let report = hdm_telemetry::timeline::decompose(&spans, "txn");
+        let single = report.paths.get("single").expect("single-shard path traced");
+        let multi = report
+            .paths
+            .get("distributed")
+            .expect("distributed path traced");
+        // Contiguous segments decompose essentially all of the latency.
+        assert!(
+            single.coverage >= 0.95,
+            "single coverage {:.3} < 0.95",
+            single.coverage
+        );
+        assert!(
+            multi.coverage >= 0.95,
+            "distributed coverage {:.3} < 0.95",
+            multi.coverage
+        );
+        // The distributed path shows the 2PC legs; the lite single path
+        // never touches the GTM.
+        let multi_segs: Vec<&str> = multi.segments.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(multi_segs.contains(&"leg.prepare"), "segs: {multi_segs:?}");
+        assert!(multi_segs.contains(&"gtm.decide"), "segs: {multi_segs:?}");
+        let single_segs: Vec<&str> = single.segments.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(single_segs, ["cn.parse", "dn.exec"]);
+
+        // Histograms and event-loop counters populated.
+        let snap = tel.metrics.snapshot();
+        let lat = snap
+            .histograms
+            .get("txn.latency{path=single}")
+            .expect("single latency histogram");
+        assert!(lat.count > 0);
+        assert!(snap.counter("sim.events.executed") > 0);
+    }
+
+    #[test]
+    fn telemetry_runs_match_untelemetered_results() {
+        let mk = |tel: Option<Telemetry>| {
+            let mut c = SimConfig::new(2, Protocol::Baseline, WorkloadMix::ms());
+            c.horizon = SimDuration::from_millis(10);
+            c.telemetry = tel;
+            c
+        };
+        let plain = run_sim(mk(None));
+        let traced = run_sim(mk(Some(Telemetry::simulated())));
+        // Observation must not perturb the simulation.
+        assert_eq!(plain.committed, traced.committed);
+        assert_eq!(plain.p99_latency_us, traced.p99_latency_us);
+        assert_eq!(plain.gtm_interactions, traced.gtm_interactions);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! property the chaos harness's trace assertions rely on.
 
 use hdm_common::{SimDuration, SimInstant, SplitMix64};
+use hdm_telemetry::{Counter, MetricsRegistry};
 
 /// Fault-injection parameters. All probabilities are per message; crash
 /// rates are expected crash counts per target over the horizon.
@@ -104,6 +105,17 @@ pub struct CrashEvent {
     pub target: CrashTarget,
 }
 
+/// Injection counters (`fault.msg{fate=…}`, `fault.crash{target=…}`) so a
+/// chaos report can assert how many faults actually fired.
+#[derive(Debug, Clone)]
+struct FaultMetrics {
+    drop: Counter,
+    duplicate: Counter,
+    delay: Counter,
+    crash_dn: Counter,
+    crash_gtm: Counter,
+}
+
 /// A seeded, replayable fault schedule.
 #[derive(Debug, Clone)]
 pub struct FaultPlan {
@@ -113,6 +125,7 @@ pub struct FaultPlan {
     dropped: u64,
     duplicated: u64,
     delayed: u64,
+    metrics: Option<FaultMetrics>,
 }
 
 impl FaultPlan {
@@ -125,7 +138,20 @@ impl FaultPlan {
             dropped: 0,
             duplicated: 0,
             delayed: 0,
+            metrics: None,
         }
+    }
+
+    /// Register the injection counters with `metrics`. Counting happens at
+    /// sampling points, so attach before drawing fates or schedules.
+    pub fn attach_telemetry(&mut self, metrics: &MetricsRegistry) {
+        self.metrics = Some(FaultMetrics {
+            drop: metrics.counter("fault.msg", &[("fate", "drop")]),
+            duplicate: metrics.counter("fault.msg", &[("fate", "duplicate")]),
+            delay: metrics.counter("fault.msg", &[("fate", "delay")]),
+            crash_dn: metrics.counter("fault.crash", &[("target", "dn")]),
+            crash_gtm: metrics.counter("fault.crash", &[("target", "gtm")]),
+        });
     }
 
     pub fn config(&self) -> &FaultConfig {
@@ -140,14 +166,23 @@ impl FaultPlan {
         let c = &self.cfg;
         if roll < c.drop_p {
             self.dropped += 1;
+            if let Some(m) = &self.metrics {
+                m.drop.inc();
+            }
             return MsgFate::Drop;
         }
         if roll < c.drop_p + c.duplicate_p {
             self.duplicated += 1;
+            if let Some(m) = &self.metrics {
+                m.duplicate.inc();
+            }
             return MsgFate::Duplicate;
         }
         if roll < c.drop_p + c.duplicate_p + c.delay_p {
             self.delayed += 1;
+            if let Some(m) = &self.metrics {
+                m.delay.inc();
+            }
             let max = c.max_extra_delay.micros().max(1);
             let extra = 1 + self.rng.next_below(max);
             return MsgFate::Delay(SimDuration::from_micros(extra));
@@ -200,6 +235,12 @@ impl FaultPlan {
             // Clamp the restart inside this target's slice so crashes stay
             // disjoint even with generous downtimes.
             let restart = (at + down.max(1)).min(lo + slice - 1);
+            if let Some(m) = &self.metrics {
+                match target {
+                    CrashTarget::DataNode(_) => m.crash_dn.inc(),
+                    CrashTarget::Gtm => m.crash_gtm.inc(),
+                }
+            }
             out.push(CrashEvent {
                 at: SimInstant(at),
                 restart_at: SimInstant(restart.max(at + 1)),
@@ -296,6 +337,31 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn telemetry_counters_match_message_stats() {
+        let reg = MetricsRegistry::new();
+        let mut p = FaultPlan::new(5, cfg());
+        p.attach_telemetry(&reg);
+        for _ in 0..5_000 {
+            p.message_fate();
+        }
+        let crashes = p.crash_schedule(3, SimDuration::from_millis(50));
+        let (_, drops, dups, delays) = p.message_stats();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("fault.msg{fate=drop}"), drops);
+        assert_eq!(snap.counter("fault.msg{fate=duplicate}"), dups);
+        assert_eq!(snap.counter("fault.msg{fate=delay}"), delays);
+        assert!(drops > 0 && dups > 0 && delays > 0, "chaotic cfg fires faults");
+        let dn = crashes
+            .iter()
+            .filter(|e| matches!(e.target, CrashTarget::DataNode(_)))
+            .count() as u64;
+        let gtm = crashes.len() as u64 - dn;
+        assert_eq!(snap.counter("fault.crash{target=dn}"), dn);
+        assert_eq!(snap.counter("fault.crash{target=gtm}"), gtm);
+        assert_eq!(snap.counter_total("fault.crash"), crashes.len() as u64);
     }
 
     #[test]

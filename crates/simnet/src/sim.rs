@@ -1,6 +1,7 @@
 //! The event loop: schedule callbacks at virtual instants, run to quiescence.
 
 use hdm_common::{SimDuration, SimInstant};
+use hdm_telemetry::{Counter, MetricsRegistry};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -21,6 +22,8 @@ pub struct Sim<W> {
     free: Vec<usize>,
     keys: std::collections::HashMap<(u64,), usize>,
     executed: u64,
+    scheduled_ctr: Option<Counter>,
+    executed_ctr: Option<Counter>,
 }
 
 impl<W> Default for Sim<W> {
@@ -39,7 +42,16 @@ impl<W> Sim<W> {
             free: Vec::new(),
             keys: std::collections::HashMap::new(),
             executed: 0,
+            scheduled_ctr: None,
+            executed_ctr: None,
         }
+    }
+
+    /// Register the `sim.events.scheduled` / `sim.events.executed` counters
+    /// with `metrics`; subsequent scheduling and execution bump them.
+    pub fn attach_telemetry(&mut self, metrics: &MetricsRegistry) {
+        self.scheduled_ctr = Some(metrics.counter("sim.events.scheduled", &[]));
+        self.executed_ctr = Some(metrics.counter("sim.events.executed", &[]));
     }
 
     /// Current virtual time.
@@ -72,6 +84,9 @@ impl<W> Sim<W> {
         self.seq += 1;
         self.keys.insert((seq,), slot);
         self.heap.push(Reverse((at, seq)));
+        if let Some(c) = &self.scheduled_ctr {
+            c.inc();
+        }
     }
 
     /// Schedule `f` to run `delay` after now.
@@ -102,6 +117,9 @@ impl<W> Sim<W> {
             self.now = at;
             f(self, world);
             self.executed += 1;
+            if let Some(c) = &self.executed_ctr {
+                c.inc();
+            }
             n += 1;
         }
         // Advance the clock to the horizon so repeated calls are monotonic.
@@ -124,6 +142,9 @@ impl<W> Sim<W> {
             self.now = at;
             f(self, world);
             self.executed += 1;
+            if let Some(c) = &self.executed_ctr {
+                c.inc();
+            }
             n += 1;
         }
         n
@@ -201,6 +222,26 @@ mod tests {
             sim.schedule_at(SimInstant(50), |_, _| {});
         });
         sim.run(&mut world);
+    }
+
+    #[test]
+    fn telemetry_counts_scheduled_and_executed_events() {
+        let reg = MetricsRegistry::new();
+        let mut sim: Sim<Vec<u32>> = Sim::new();
+        sim.attach_telemetry(&reg);
+        let mut world = Vec::new();
+        sim.schedule_at(SimInstant(10), |sim, w: &mut Vec<u32>| {
+            w.push(1);
+            sim.schedule_in(SimDuration::from_micros(5), |_, w: &mut Vec<u32>| w.push(2));
+        });
+        sim.schedule_at(SimInstant(1_000), |_, w: &mut Vec<u32>| w.push(3));
+        sim.run_until(&mut world, SimInstant(100));
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("sim.events.scheduled"), 3);
+        assert_eq!(snap.counter("sim.events.executed"), 2, "horizon event pending");
+        sim.run(&mut world);
+        assert_eq!(reg.snapshot().counter("sim.events.executed"), 3);
+        assert_eq!(sim.executed(), 3);
     }
 
     #[test]

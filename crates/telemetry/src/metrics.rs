@@ -1,0 +1,380 @@
+//! The metrics registry: named counters, gauges and latency histograms with
+//! label support and point-in-time snapshots.
+//!
+//! Handles are cheap (`Arc`-backed) and are meant to be created **once** at
+//! attach time and then bumped on the hot path without any map lookups or
+//! string formatting. Requesting the same `(name, labels)` twice returns a
+//! handle to the same underlying cell, so independently-attached components
+//! aggregate into one series. Snapshots deep-copy the current values into
+//! plain `BTreeMap`s keyed by the rendered series name
+//! (`name{label=value,…}`), giving deterministic iteration order for
+//! exporters and `PartialEq` for replay-determinism assertions.
+
+use hdm_common::stats::{Histogram, Summary};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A fully-qualified series identity: metric name plus sorted labels.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    name: String,
+    /// Sorted `(label, value)` pairs.
+    labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        Self {
+            name: name.to_string(),
+            labels,
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl fmt::Display for MetricKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        if !self.labels.is_empty() {
+            write!(f, "{{")?;
+            for (i, (k, v)) in self.labels.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{k}={v}")?;
+            }
+            write!(f, "}}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A monotonically-increasing counter handle.
+#[derive(Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl fmt::Debug for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Counter({})", self.get())
+    }
+}
+
+/// A point-in-time signed gauge handle (queue depths, in-flight counts).
+#[derive(Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gauge({})", self.get())
+    }
+}
+
+/// A latency histogram handle (µs buckets) with a running summary.
+#[derive(Clone)]
+pub struct HistogramHandle(Arc<Mutex<HistCell>>);
+
+struct HistCell {
+    hist: Histogram,
+    summary: Summary,
+}
+
+impl HistogramHandle {
+    fn new() -> Self {
+        Self(Arc::new(Mutex::new(HistCell {
+            hist: Histogram::new_latency_us(),
+            summary: Summary::new(),
+        })))
+    }
+
+    pub fn record(&self, value_us: u64) {
+        let mut cell = self.0.lock().expect("histogram lock");
+        cell.hist.record(value_us);
+        cell.summary.record(value_us as f64);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.0.lock().expect("histogram lock").hist.count()
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let cell = self.0.lock().expect("histogram lock");
+        HistogramSnapshot {
+            count: cell.hist.count(),
+            mean_us: cell.summary.mean(),
+            p50_us: cell.hist.percentile(0.5),
+            p99_us: cell.hist.percentile(0.99),
+            max_us: cell.summary.max() as u64,
+        }
+    }
+}
+
+impl fmt::Debug for HistogramHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "HistogramHandle(n={})", self.count())
+    }
+}
+
+/// Frozen view of one histogram series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub mean_us: f64,
+    pub p50_us: u64,
+    pub p99_us: u64,
+    pub max_us: u64,
+}
+
+/// A point-in-time copy of every series in a registry.
+///
+/// Keys are the rendered series names (`name{label=value,…}`), so iteration
+/// order is deterministic and two snapshots of identical runs compare equal.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, i64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value by rendered series name (0 when absent).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Sum of every counter series whose metric name (before `{`) is `name`.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.as_str() == name || k.starts_with(&format!("{name}{{")))
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Gauge value by rendered series name (0 when absent).
+    pub fn gauge(&self, key: &str) -> i64 {
+        self.gauges.get(key).copied().unwrap_or(0)
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: BTreeMap<MetricKey, Counter>,
+    gauges: BTreeMap<MetricKey, Gauge>,
+    histograms: BTreeMap<MetricKey, HistogramHandle>,
+}
+
+/// The shared metrics registry. Clones share the same series.
+#[derive(Clone, Default)]
+pub struct MetricsRegistry(Arc<Mutex<RegistryInner>>);
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get-or-create the counter `name{labels}`.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let key = MetricKey::new(name, labels);
+        self.0
+            .lock()
+            .expect("registry lock")
+            .counters
+            .entry(key)
+            .or_default()
+            .clone()
+    }
+
+    /// Get-or-create the gauge `name{labels}`.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let key = MetricKey::new(name, labels);
+        self.0
+            .lock()
+            .expect("registry lock")
+            .gauges
+            .entry(key)
+            .or_default()
+            .clone()
+    }
+
+    /// Get-or-create the histogram `name{labels}`.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> HistogramHandle {
+        let key = MetricKey::new(name, labels);
+        self.0
+            .lock()
+            .expect("registry lock")
+            .histograms
+            .entry(key)
+            .or_insert_with(HistogramHandle::new)
+            .clone()
+    }
+
+    /// Deep-copy every series into a frozen snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.0.lock().expect("registry lock");
+        MetricsSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, c)| (k.to_string(), c.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, g)| (k.to_string(), g.get()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.to_string(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.0.lock().expect("registry lock");
+        write!(
+            f,
+            "MetricsRegistry({} counters, {} gauges, {} histograms)",
+            inner.counters.len(),
+            inner.gauges.len(),
+            inner.histograms.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handle_reuse_aggregates_into_one_series() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("txn.commit", &[("path", "single")]);
+        let b = reg.counter("txn.commit", &[("path", "single")]);
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3, "both handles share the cell");
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("txn.commit{path=single}"), 3);
+        assert_eq!(snap.counters.len(), 1, "one series, not two");
+    }
+
+    #[test]
+    fn label_order_does_not_split_series() {
+        let reg = MetricsRegistry::new();
+        reg.counter("m", &[("a", "1"), ("b", "2")]).inc();
+        reg.counter("m", &[("b", "2"), ("a", "1")]).inc();
+        assert_eq!(reg.snapshot().counter("m{a=1,b=2}"), 2);
+    }
+
+    #[test]
+    fn snapshots_are_isolated_from_later_updates() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("c", &[]);
+        let g = reg.gauge("g", &[]);
+        let h = reg.histogram("h", &[]);
+        c.inc();
+        g.set(5);
+        h.record(100);
+        let before = reg.snapshot();
+        c.add(10);
+        g.set(-3);
+        h.record(1_000_000);
+        assert_eq!(before.counter("c"), 1);
+        assert_eq!(before.gauge("g"), 5);
+        assert_eq!(before.histograms["h"].count, 1);
+        let after = reg.snapshot();
+        assert_eq!(after.counter("c"), 11);
+        assert_eq!(after.gauge("g"), -3);
+        assert_eq!(after.histograms["h"].count, 2);
+        assert_ne!(before, after);
+    }
+
+    #[test]
+    fn histogram_percentiles_are_sane() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat", &[("shard", "0")]);
+        for v in 1..=1_000u64 {
+            h.record(v);
+        }
+        let s = &reg.snapshot().histograms["lat{shard=0}"];
+        assert_eq!(s.count, 1_000);
+        assert!((s.mean_us - 500.5).abs() < 1e-9);
+        assert!((500..=1_000).contains(&s.p50_us), "p50={}", s.p50_us);
+        assert!(s.p99_us >= 990, "p99={}", s.p99_us);
+        assert!(s.p50_us <= s.p99_us && s.p99_us <= 1_000);
+        assert_eq!(s.max_us, 1_000);
+    }
+
+    #[test]
+    fn counter_total_sums_across_labels() {
+        let reg = MetricsRegistry::new();
+        reg.counter("txn.commit", &[("path", "single")]).add(3);
+        reg.counter("txn.commit", &[("path", "distributed")]).add(4);
+        reg.counter("txn.committed", &[]).add(100); // different metric
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter_total("txn.commit"), 7);
+    }
+
+    #[test]
+    fn concurrent_handle_use_is_safe() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("shared", &[]);
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let c = c.clone();
+                let reg = reg.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1_000 {
+                        c.inc();
+                        reg.counter("shared", &[]).inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(reg.snapshot().counter("shared"), 8_000);
+    }
+}

@@ -13,6 +13,7 @@ use crate::snapshot::Snapshot;
 use crate::twopc::Decision;
 use hdm_common::ids::FIRST_XID;
 use hdm_common::{Result, Xid};
+use hdm_telemetry::{Counter, Gauge, MetricsRegistry};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Which GTM interactions occurred (for the Fig 3 cost model).
@@ -30,6 +31,19 @@ impl GtmCounters {
     }
 }
 
+/// Live metric handles bumped per GTM interaction (series named
+/// `gtm.*` plus the `gtm.active_txns` queue-depth gauge).
+#[derive(Debug, Clone)]
+struct GtmMetrics {
+    begins: Counter,
+    snapshots: Counter,
+    commits: Counter,
+    aborts: Counter,
+    in_doubt_commit: Counter,
+    in_doubt_abort: Counter,
+    active_txns: Gauge,
+}
+
 /// The centralized global transaction manager.
 #[derive(Debug, Clone)]
 pub struct Gtm {
@@ -37,6 +51,7 @@ pub struct Gtm {
     active: BTreeSet<Xid>,
     clog: CommitLog,
     counters: GtmCounters,
+    metrics: Option<GtmMetrics>,
 }
 
 impl Default for Gtm {
@@ -52,6 +67,32 @@ impl Gtm {
             active: BTreeSet::new(),
             clog: CommitLog::new(),
             counters: GtmCounters::default(),
+            metrics: None,
+        }
+    }
+
+    /// Register this GTM's service counters and the `gtm.active_txns`
+    /// queue-depth gauge with `metrics`. Handles are resolved once here, so
+    /// the per-interaction cost is an atomic bump. Call again after
+    /// [`Gtm::recover_from_observations`] replaces a crashed GTM — the
+    /// recovered instance aggregates into the same series.
+    pub fn attach_telemetry(&mut self, metrics: &MetricsRegistry) {
+        let m = GtmMetrics {
+            begins: metrics.counter("gtm.begin", &[]),
+            snapshots: metrics.counter("gtm.snapshot", &[]),
+            commits: metrics.counter("gtm.commit", &[]),
+            aborts: metrics.counter("gtm.abort", &[]),
+            in_doubt_commit: metrics.counter("recovery.in_doubt", &[("outcome", "commit")]),
+            in_doubt_abort: metrics.counter("recovery.in_doubt", &[("outcome", "abort")]),
+            active_txns: metrics.gauge("gtm.active_txns", &[]),
+        };
+        m.active_txns.set(self.active.len() as i64);
+        self.metrics = Some(m);
+    }
+
+    fn sync_active_gauge(&self) {
+        if let Some(m) = &self.metrics {
+            m.active_txns.set(self.active.len() as i64);
         }
     }
 
@@ -62,12 +103,19 @@ impl Gtm {
         self.active.insert(gxid);
         self.clog.begin(gxid);
         self.counters.begins += 1;
+        if let Some(m) = &self.metrics {
+            m.begins.inc();
+        }
+        self.sync_active_gauge();
         gxid
     }
 
     /// Dispatch a global snapshot (current active list).
     pub fn snapshot(&mut self) -> Snapshot {
         self.counters.snapshots += 1;
+        if let Some(m) = &self.metrics {
+            m.snapshots.inc();
+        }
         self.peek_snapshot()
     }
 
@@ -87,6 +135,10 @@ impl Gtm {
         self.clog.commit(gxid)?;
         self.active.remove(&gxid);
         self.counters.commits += 1;
+        if let Some(m) = &self.metrics {
+            m.commits.inc();
+        }
+        self.sync_active_gauge();
         Ok(())
     }
 
@@ -95,6 +147,10 @@ impl Gtm {
         self.clog.abort(gxid)?;
         self.active.remove(&gxid);
         self.counters.aborts += 1;
+        if let Some(m) = &self.metrics {
+            m.aborts.inc();
+        }
+        self.sync_active_gauge();
         Ok(())
     }
 
@@ -131,10 +187,16 @@ impl Gtm {
     /// some participant already presumed aborted.
     pub fn resolve_in_doubt(&mut self, gxid: Xid) -> Decision {
         if self.clog.is_committed(gxid) {
+            if let Some(m) = &self.metrics {
+                m.in_doubt_commit.inc();
+            }
             return Decision::Commit;
         }
         if self.active.contains(&gxid) {
             self.abort(gxid).expect("active gxid aborts cleanly");
+        }
+        if let Some(m) = &self.metrics {
+            m.in_doubt_abort.inc();
         }
         Decision::Abort
     }
@@ -267,6 +329,28 @@ mod tests {
         let mut g = Gtm::recover_from_observations(vec![]);
         let first = g.begin();
         assert_eq!(first, Xid(hdm_common::ids::FIRST_XID));
+    }
+
+    #[test]
+    fn telemetry_tracks_interactions_and_queue_depth() {
+        let reg = MetricsRegistry::new();
+        let mut gtm = Gtm::new();
+        gtm.attach_telemetry(&reg);
+        let a = gtm.begin();
+        let b = gtm.begin();
+        assert_eq!(reg.snapshot().gauge("gtm.active_txns"), 2);
+        gtm.snapshot();
+        gtm.commit(a).unwrap();
+        gtm.resolve_in_doubt(a); // committed → commit outcome
+        gtm.resolve_in_doubt(b); // still active → inquiry forces the abort
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("gtm.begin"), 2);
+        assert_eq!(snap.counter("gtm.snapshot"), 1);
+        assert_eq!(snap.counter("gtm.commit"), 1);
+        assert_eq!(snap.counter("gtm.abort"), 1);
+        assert_eq!(snap.counter("recovery.in_doubt{outcome=commit}"), 1);
+        assert_eq!(snap.counter("recovery.in_doubt{outcome=abort}"), 1);
+        assert_eq!(snap.gauge("gtm.active_txns"), 0);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //!   in-DB ML (§IV-A).
 //! * [`edgesync`] — device–edge–cloud P2P data sync platform (§IV-B).
 //! * [`workloads`] — TPC-C-style and MME workload generators.
+//! * [`telemetry`] — virtual-clock-aware tracing, metrics, exporters.
 //! * [`core`] — the composed `FiMppDb` public API.
 
 pub use hdm_autonomous as autonomous;
@@ -34,5 +35,6 @@ pub use hdm_mmdb as mmdb;
 pub use hdm_simnet as simnet;
 pub use hdm_sql as sql;
 pub use hdm_storage as storage;
+pub use hdm_telemetry as telemetry;
 pub use hdm_txn as txn;
 pub use hdm_workloads as workloads;

@@ -11,6 +11,7 @@
 
 use huawei_dm::cluster::{run_chaos, ChaosConfig};
 use huawei_dm::simnet::FaultConfig;
+use huawei_dm::telemetry::Telemetry;
 
 /// The acceptance sweep: 20 seeded schedules with every fault class on.
 #[test]
@@ -38,6 +39,55 @@ fn every_seed_replays_bit_for_bit() {
         assert_eq!(a.events, b.events);
         assert_eq!(a.counters, b.counters);
     }
+}
+
+/// Telemetry rides the virtual clock, so observability is deterministic
+/// too: the same seed must export a byte-identical JSONL trace — every
+/// span boundary, every retry event, every counter.
+#[test]
+fn same_seed_yields_byte_identical_telemetry() {
+    let run = |seed: u64| {
+        let tel = Telemetry::simulated();
+        let mut cfg = ChaosConfig::standard(seed);
+        cfg.telemetry = Some(tel.clone());
+        let report = run_chaos(cfg);
+        (tel.export_jsonl(), report)
+    };
+    for seed in [5u64, 0xFEED] {
+        let (jsonl_a, ra) = run(seed);
+        let (jsonl_b, rb) = run(seed);
+        assert!(
+            jsonl_a == jsonl_b,
+            "seed {seed:#x}: telemetry JSONL diverged on replay"
+        );
+        assert_eq!(ra.metrics, rb.metrics, "seed {seed:#x}: metrics diverged");
+
+        // The export actually observed the chaos: fault injections and
+        // retry backoffs show up as counters.
+        let snap = ra.metrics.as_ref().expect("snapshot attached");
+        let (_, drops, dups, delays) = ra.message_stats;
+        assert_eq!(snap.counter("fault.msg{fate=drop}"), drops);
+        assert_eq!(snap.counter("fault.msg{fate=duplicate}"), dups);
+        assert_eq!(snap.counter("fault.msg{fate=delay}"), delays);
+        assert!(snap.counter("cn.backoff") > 0, "seed {seed:#x}: no backoffs");
+        assert!(
+            snap.counter("fault.crash{target=dn}") + snap.counter("fault.crash{target=gtm}") > 0,
+            "seed {seed:#x}: no crashes injected"
+        );
+    }
+}
+
+/// An instrumented run takes exactly the same path as a bare one: spans and
+/// counters observe the simulation without perturbing it.
+#[test]
+fn telemetry_does_not_perturb_the_chaos_schedule() {
+    let seed = 0xC0FFEE;
+    let bare = run_chaos(ChaosConfig::standard(seed));
+    let mut cfg = ChaosConfig::standard(seed);
+    cfg.telemetry = Some(Telemetry::simulated());
+    let mut traced = run_chaos(cfg);
+    assert!(traced.metrics.take().is_some());
+    assert_eq!(bare, traced, "telemetry changed the simulation's behaviour");
 }
 
 /// Crank the fault rates well past the defaults: the protocol may commit
