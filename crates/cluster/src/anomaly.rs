@@ -4,7 +4,7 @@
 //! the Fig 3 harness's `--demo-anomalies` mode can show that the **naive**
 //! merge exhibits the anomaly while **Algorithm 1** repairs it.
 
-use crate::engine::{Cluster, ClusterConfig, MergePolicy};
+use crate::engine::{Cluster, ClusterConfig, MergePolicy, TxnOptions};
 use crate::shard::make_key;
 use hdm_common::Result;
 
@@ -55,14 +55,14 @@ pub fn run_anomaly1(policy: MergePolicy) -> Result<AnomalyObservation> {
     c.bump(Some(p2), kb, 0)?; // b = 0
 
     // Writer W: multi-shard update a=1, b=1; stop after the GTM commit.
-    let mut w = c.begin_multi();
+    let mut w = c.begin(TxnOptions::multi())?;
     c.put(&mut w, ka, 1)?;
     c.put(&mut w, kb, 1)?;
     c.multi_prepare(&w)?;
     c.multi_commit_at_gtm(&w)?; // <- Anomaly-1 window opens here
 
     // Reader R begins now: global snapshot sees W as committed.
-    let mut r = c.begin_multi();
+    let mut r = c.begin(TxnOptions::multi())?;
     let a = c.get(&mut r, ka)?;
     let b = c.get(&mut r, kb)?;
     c.commit(r)?;
@@ -107,16 +107,16 @@ pub fn run_anomaly2(policy: MergePolicy) -> Result<Anomaly2Observation> {
     c.bump(Some(p2), kb, 0)?; // b = 0
 
     // T1 multi-shard: a=1, b=1 — but hold its commit until T2 has begun.
-    let mut t1 = c.begin_multi();
+    let mut t1 = c.begin(TxnOptions::multi())?;
     c.put(&mut t1, ka, 1)?;
     c.put(&mut t1, kb, 1)?;
 
     // T2 begins: its global snapshot sees T1 as active.
-    let mut t2 = c.begin_multi();
+    let mut t2 = c.begin(TxnOptions::multi())?;
 
     // T1 commits fully, then T3 (single-shard, same session) sets a=2.
     c.commit(t1)?;
-    let mut t3 = c.begin_single(p1);
+    let mut t3 = c.begin(TxnOptions::single(p1))?;
     c.put(&mut t3, ka, 2)?;
     c.commit(t3)?;
 
@@ -131,6 +131,56 @@ pub fn run_anomaly2(policy: MergePolicy) -> Result<Anomaly2Observation> {
         b,
         consistent,
     })
+}
+
+/// What the torn-read probe observed: the two keys a frozen-in-the-commit-
+/// window writer updated together, as one multi-shard reader saw them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TornReadObservation {
+    pub a: Option<i64>,
+    pub b: Option<i64>,
+}
+
+impl TornReadObservation {
+    /// A consistent multi-shard read shows both keys from the same version
+    /// of history.
+    pub fn torn(&self) -> bool {
+        self.a != self.b
+    }
+}
+
+/// Scripted torn-read probe under Algorithm 1: `writers_before_read`
+/// multi-shard writers fully commit `(a, b)` in lockstep, one more writer
+/// freezes inside the commit window (committed at the GTM, confirmations
+/// withheld), and a multi-shard reader then reads both keys. Exposes the
+/// split commit steps to out-of-crate tests as a scenario instead of as
+/// API surface.
+pub fn run_torn_read(writers_before_read: i64) -> Result<TornReadObservation> {
+    let mut c = Cluster::new(ClusterConfig::gtm_lite(2));
+    let (p1, p2) = two_prefixes(&c);
+    let (ka, kb) = (make_key(p1, 1), make_key(p2, 1));
+    c.bump(None, ka, 0)?;
+    c.bump(None, kb, 0)?;
+
+    for i in 0..writers_before_read {
+        let mut w = c.begin(TxnOptions::multi())?;
+        c.put(&mut w, ka, i + 1)?;
+        c.put(&mut w, kb, i + 1)?;
+        c.commit(w)?;
+    }
+    // One writer frozen inside the commit window.
+    let mut w = c.begin(TxnOptions::multi())?;
+    c.put(&mut w, ka, 100)?;
+    c.put(&mut w, kb, 100)?;
+    c.multi_prepare(&w)?;
+    c.multi_commit_at_gtm(&w)?;
+
+    let mut r = c.begin(TxnOptions::multi())?;
+    let a = c.get(&mut r, ka)?;
+    let b = c.get(&mut r, kb)?;
+    c.commit(r)?;
+    c.multi_finish(w)?;
+    Ok(TornReadObservation { a, b })
 }
 
 #[cfg(test)]

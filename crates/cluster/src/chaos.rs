@@ -17,7 +17,7 @@
 //! exactly: no committed write lost, no aborted write leaked, total balance
 //! conserved, and every lock, undo entry and pending-commit marker released.
 
-use crate::engine::{Cluster, ClusterConfig, ClusterCounters, Txn};
+use crate::engine::{Cluster, ClusterConfig, ClusterCounters, Txn, TxnOptions};
 use crate::retry::RetryPolicy;
 use crate::shard::make_key;
 use hdm_common::{Result, ShardId, SimDuration, SimInstant, SplitMix64, Xid};
@@ -43,6 +43,10 @@ pub struct ChaosConfig {
     pub faults: FaultConfig,
     /// Horizon the crash schedule is spread over.
     pub fault_horizon: SimDuration,
+    /// Enable the CN-side snapshot-epoch cache on the functional cluster,
+    /// so the sweep exercises cached-begin visibility under crashes (the
+    /// cache is invalidated whenever the GTM dies or restarts).
+    pub snapshot_cache: bool,
     /// Attach a virtual-clock [`Telemetry`] bundle: one `transfer` root span
     /// per transfer (fields `cid`, `kind`, retry/abort events) plus the
     /// engine, GTM, fault-plan and retry-policy counters. The attach happens
@@ -64,6 +68,7 @@ impl ChaosConfig {
             cross_fraction: 0.6,
             faults: FaultConfig::chaotic(),
             fault_horizon: SimDuration::from_millis(8),
+            snapshot_cache: false,
             telemetry: None,
         }
     }
@@ -324,8 +329,8 @@ fn execute(sim: &mut S, w: &mut World, cid: usize, step: Step, dup: bool) {
     match step {
         Step::Begin => {
             let res = match w.clients[cid].transfer.single_prefix {
-                Some(p) => w.cluster.try_begin_single(p),
-                None => w.cluster.try_begin_multi(),
+                Some(p) => w.cluster.begin(TxnOptions::single(p)),
+                None => w.cluster.begin(TxnOptions::multi()),
             };
             match res {
                 Ok(txn) => {
@@ -461,7 +466,9 @@ fn execute(sim: &mut S, w: &mut World, cid: usize, step: Step, dup: bool) {
 
 /// Run one chaos configuration to quiescence and audit the final state.
 pub fn run_chaos(cfg: ChaosConfig) -> ChaosReport {
-    let mut cluster = Cluster::new(ClusterConfig::gtm_lite(cfg.shards));
+    let mut ccfg = ClusterConfig::gtm_lite(cfg.shards);
+    ccfg.snapshot_cache = cfg.snapshot_cache;
+    let mut cluster = Cluster::new(ccfg);
     let mut ledger = BTreeMap::new();
 
     // Seed every account with its initial balance (fault-free preamble).

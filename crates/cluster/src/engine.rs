@@ -17,12 +17,22 @@
 //!   and judge visibility through the merged snapshot of Algorithm 1,
 //!   committing via 2PC (GTM first, then DNs — the Anomaly-1 ordering).
 //!
-//! The engine exposes both the one-call [`Cluster::commit`] and the split
-//! multi-shard commit steps ([`Cluster::multi_prepare`] /
-//! [`Cluster::multi_commit_at_gtm`] / [`Cluster::multi_finish`]) so tests
-//! can stand inside the commit window and reproduce the paper's anomalies.
-//! [`MergePolicy::Naive`] disables UPGRADE/DOWNGRADE to *exhibit* the
-//! anomalies; [`MergePolicy::Full`] is Algorithm 1.
+//! The public transaction surface is deliberately small: [`Cluster::begin`]
+//! with a [`TxnOptions`] builder opens any transaction, and the one-call
+//! [`Cluster::commit`] routes single-shard vs 2PC internally. The split
+//! multi-shard commit steps (`multi_prepare` / `multi_commit_at_gtm` /
+//! `multi_finish` / `finish_leg`) are crate-private; in-crate harnesses
+//! (`anomaly`, `chaos`, `sim`) use them to stand inside the commit window
+//! and reproduce the paper's anomalies. [`MergePolicy::Naive`] disables
+//! UPGRADE/DOWNGRADE to *exhibit* the anomalies; [`MergePolicy::Full`] is
+//! Algorithm 1.
+//!
+//! With [`ClusterConfig::snapshot_cache`] enabled, the CN reuses the last
+//! global snapshot while the GTM's commit sequence number (CSN) is
+//! unchanged: commits are the only events that alter which tuples a fresh
+//! snapshot would expose (visibility = snapshot finished ∧ clog committed,
+//! so begins/aborts cancel out), making the cached snapshot
+//! visibility-equivalent and saving the snapshot interaction per begin.
 
 use crate::node::DataNode;
 use crate::shard::ShardMap;
@@ -61,6 +71,10 @@ pub struct ClusterConfig {
     /// Prune each DN's LCO to this many entries after multi-shard commits
     /// (0 = never prune; scripted tests use 0).
     pub lco_prune_horizon: usize,
+    /// Reuse the last global snapshot while the GTM's CSN is unchanged,
+    /// skipping the per-begin snapshot interaction. Off by default so the
+    /// legacy interaction counts stay bit-identical.
+    pub snapshot_cache: bool,
 }
 
 impl ClusterConfig {
@@ -70,6 +84,7 @@ impl ClusterConfig {
             protocol: Protocol::Baseline,
             merge_policy: MergePolicy::Full,
             lco_prune_horizon: 0,
+            snapshot_cache: false,
         }
     }
 
@@ -79,7 +94,56 @@ impl ClusterConfig {
             protocol: Protocol::GtmLite,
             merge_policy: MergePolicy::Full,
             lco_prune_horizon: 0,
+            snapshot_cache: false,
         }
+    }
+}
+
+/// How a transaction should be opened — the builder consumed by
+/// [`Cluster::begin`], replacing the old
+/// `try_begin_single`/`begin_single`/`try_begin_multi`/`begin_multi`
+/// quartet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxnOptions {
+    scope: TxnScope,
+    retry_on_unavailable: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TxnScope {
+    /// All keys share this sharding prefix (the GTM-lite fast path).
+    Single(u32),
+    /// May touch several shards.
+    Multi,
+}
+
+impl TxnOptions {
+    /// A transaction the application knows is single-sharded (every key
+    /// shares the sharding prefix `prefix`).
+    pub fn single(prefix: u32) -> Self {
+        Self {
+            scope: TxnScope::Single(prefix),
+            retry_on_unavailable: true,
+        }
+    }
+
+    /// A transaction that may touch several shards.
+    pub fn multi() -> Self {
+        Self {
+            scope: TxnScope::Multi,
+            retry_on_unavailable: true,
+        }
+    }
+
+    /// Whether [`Cluster::begin`] should precheck the liveness of the
+    /// coordinator this transaction needs (its home node, or the GTM) and
+    /// fail fast with `Unavailable` so a retrying CN can back off —
+    /// `true` by default. With `false` the begin is unchecked and
+    /// infallible, matching the legacy `begin_single`/`begin_multi`
+    /// behaviour scripted tests rely on.
+    pub fn retry_on_unavailable(mut self, yes: bool) -> Self {
+        self.retry_on_unavailable = yes;
+        self
     }
 }
 
@@ -108,6 +172,11 @@ pub struct ClusterCounters {
     /// In-doubt legs resolved at recovery, by outcome.
     pub in_doubt_commits: u64,
     pub in_doubt_aborts: u64,
+    /// Begins that reused the cached global snapshot (CSN unchanged) /
+    /// refreshed it from the GTM. Both zero unless
+    /// [`ClusterConfig::snapshot_cache`] is on.
+    pub snapshot_cache_hits: u64,
+    pub snapshot_cache_misses: u64,
 }
 
 /// Pre-resolved metric handles + the tracer, attached once via
@@ -128,6 +197,8 @@ struct EngineTelemetry {
     restart_dn: Counter,
     restart_gtm: Counter,
     retries: Counter,
+    snap_cache_hit: Counter,
+    snap_cache_miss: Counter,
 }
 
 /// One leg of a multi-shard GTM-lite transaction on a particular DN.
@@ -200,6 +271,10 @@ pub struct Cluster {
     /// Per-node liveness: a down node rejects every request until restarted.
     down: Vec<bool>,
     gtm_up: bool,
+    /// `(csn at capture, snapshot)` — the CN-side epoch cache, populated
+    /// only when [`ClusterConfig::snapshot_cache`] is on and dropped on any
+    /// GTM crash/restart (a recovered GTM restarts its epoch).
+    snap_cache: Option<(u64, Snapshot)>,
     counters: ClusterCounters,
     tel: Option<EngineTelemetry>,
 }
@@ -216,6 +291,7 @@ impl Cluster {
             nodes,
             down,
             gtm_up: true,
+            snap_cache: None,
             counters: ClusterCounters::default(),
             tel: None,
         }
@@ -241,6 +317,8 @@ impl Cluster {
             restart_dn: m.counter("recovery.restart", &[("target", "dn")]),
             restart_gtm: m.counter("recovery.restart", &[("target", "gtm")]),
             retries: m.counter("cn.retry", &[]),
+            snap_cache_hit: m.counter("gtm.snapshot_cache", &[("result", "hit")]),
+            snap_cache_miss: m.counter("gtm.snapshot_cache", &[("result", "miss")]),
         });
         self.gtm.attach_telemetry(m);
     }
@@ -367,6 +445,8 @@ impl Cluster {
             return;
         }
         self.gtm_up = false;
+        // The epoch the cache was validated against died with the GTM.
+        self.snap_cache = None;
         self.counters.gtm_crashes += 1;
         if let Some(t) = &self.tel {
             t.tel.tracer.instant("crash", &[("target", "gtm")]);
@@ -397,6 +477,9 @@ impl Cluster {
         }
         self.gtm = Gtm::recover_from_observations(observations);
         self.gtm_up = true;
+        // A recovered GTM restarts its CSN epoch: never validate a cached
+        // snapshot from the previous incarnation against it.
+        self.snap_cache = None;
         self.counters.gtm_restarts += 1;
         if let Some(t) = &self.tel {
             // The recovered instance is a fresh `Gtm`: re-resolve its metric
@@ -412,70 +495,92 @@ impl Cluster {
         }
     }
 
-    /// Fault-aware [`Self::begin_single`]: fails fast if the home node (or,
-    /// under the baseline protocol, the GTM) is down, so a retrying CN can
-    /// back off instead of opening a doomed transaction.
+    /// Begin a transaction. This is the single entry point of the session
+    /// API: [`TxnOptions`] selects the scope (single- vs multi-shard) and
+    /// whether to precheck coordinator liveness (on by default, so a
+    /// retrying CN fails fast with `Unavailable` instead of opening a
+    /// doomed transaction).
+    pub fn begin(&mut self, opts: TxnOptions) -> Result<Txn> {
+        match opts.scope {
+            TxnScope::Single(prefix) => {
+                if opts.retry_on_unavailable {
+                    match self.cfg.protocol {
+                        Protocol::Baseline => self.check_gtm()?,
+                        Protocol::GtmLite => {
+                            self.check_node(self.map.shard_of_prefix(prefix))?
+                        }
+                    }
+                }
+                if let Some(t) = &self.tel {
+                    t.begin_single.inc();
+                }
+                let shard = self.map.shard_of_prefix(prefix);
+                Ok(match self.cfg.protocol {
+                    Protocol::Baseline => self.begin_baseline(),
+                    Protocol::GtmLite => {
+                        let node = &mut self.nodes[shard.raw() as usize];
+                        let xid = node.mgr_mut().begin_local();
+                        let snap = node.local_snapshot();
+                        Txn {
+                            kind: TxnKind::LiteSingle { shard, xid, snap },
+                        }
+                    }
+                })
+            }
+            TxnScope::Multi => {
+                if opts.retry_on_unavailable {
+                    self.check_gtm()?;
+                }
+                if let Some(t) = &self.tel {
+                    t.begin_distributed.inc();
+                }
+                Ok(match self.cfg.protocol {
+                    Protocol::Baseline => self.begin_baseline(),
+                    Protocol::GtmLite => {
+                        let gxid = self.gtm.begin();
+                        self.counters.gtm_interactions += 1;
+                        let gsnap = self.global_snapshot();
+                        Txn {
+                            kind: TxnKind::LiteMulti {
+                                gxid,
+                                gsnap,
+                                legs: BTreeMap::new(),
+                            },
+                        }
+                    }
+                })
+            }
+        }
+    }
+
+    #[deprecated(note = "use `begin(TxnOptions::single(prefix))`")]
     pub fn try_begin_single(&mut self, prefix: u32) -> Result<Txn> {
-        match self.cfg.protocol {
-            Protocol::Baseline => self.check_gtm()?,
-            Protocol::GtmLite => self.check_node(self.map.shard_of_prefix(prefix))?,
-        }
-        Ok(self.begin_single(prefix))
+        self.begin(TxnOptions::single(prefix))
     }
 
-    /// Fault-aware [`Self::begin_multi`]: multi-shard transactions need the
-    /// GTM for their GXID + global snapshot.
+    #[deprecated(note = "use `begin(TxnOptions::multi())`")]
     pub fn try_begin_multi(&mut self) -> Result<Txn> {
-        self.check_gtm()?;
-        Ok(self.begin_multi())
+        self.begin(TxnOptions::multi())
     }
 
-    /// Begin a transaction the application knows is single-sharded (keys
-    /// share the sharding prefix `prefix`).
+    #[deprecated(
+        note = "use `begin(TxnOptions::single(prefix).retry_on_unavailable(false))`"
+    )]
     pub fn begin_single(&mut self, prefix: u32) -> Txn {
-        if let Some(t) = &self.tel {
-            t.begin_single.inc();
-        }
-        let shard = self.map.shard_of_prefix(prefix);
-        match self.cfg.protocol {
-            Protocol::Baseline => self.begin_baseline(),
-            Protocol::GtmLite => {
-                let node = &mut self.nodes[shard.raw() as usize];
-                let xid = node.mgr_mut().begin_local();
-                let snap = node.local_snapshot();
-                Txn {
-                    kind: TxnKind::LiteSingle { shard, xid, snap },
-                }
-            }
-        }
+        self.begin(TxnOptions::single(prefix).retry_on_unavailable(false))
+            .expect("unchecked begin is infallible")
     }
 
-    /// Begin a transaction that may touch several shards.
+    #[deprecated(note = "use `begin(TxnOptions::multi().retry_on_unavailable(false))`")]
     pub fn begin_multi(&mut self) -> Txn {
-        if let Some(t) = &self.tel {
-            t.begin_distributed.inc();
-        }
-        match self.cfg.protocol {
-            Protocol::Baseline => self.begin_baseline(),
-            Protocol::GtmLite => {
-                let gxid = self.gtm.begin();
-                let gsnap = self.gtm.snapshot();
-                self.counters.gtm_interactions += 2;
-                Txn {
-                    kind: TxnKind::LiteMulti {
-                        gxid,
-                        gsnap,
-                        legs: BTreeMap::new(),
-                    },
-                }
-            }
-        }
+        self.begin(TxnOptions::multi().retry_on_unavailable(false))
+            .expect("unchecked begin is infallible")
     }
 
     fn begin_baseline(&mut self) -> Txn {
         let gxid = self.gtm.begin();
-        let gsnap = self.gtm.snapshot();
-        self.counters.gtm_interactions += 2;
+        self.counters.gtm_interactions += 1;
+        let gsnap = self.global_snapshot();
         Txn {
             kind: TxnKind::Baseline {
                 gxid,
@@ -483,6 +588,42 @@ impl Cluster {
                 touched: BTreeSet::new(),
             },
         }
+    }
+
+    /// The global snapshot for a fresh begin: a GTM interaction, unless the
+    /// epoch cache holds a snapshot validated against the current CSN.
+    ///
+    /// Correctness of the reuse: visibility is `snapshot sees finished ∧
+    /// clog committed`. While no commit bumped the CSN, every gxid that
+    /// finished since the capture is aborted (not committed → invisible
+    /// under both snapshots) and every gxid begun since is `>= xmax` (not
+    /// seen by the cached snapshot, uncommitted under the fresh one) — the
+    /// two snapshots judge every gxid identically. Reading the CSN models
+    /// the epoch broadcast piggybacked on GTM replies, so it charges no
+    /// interaction.
+    fn global_snapshot(&mut self) -> Snapshot {
+        if !self.cfg.snapshot_cache {
+            self.counters.gtm_interactions += 1;
+            return self.gtm.snapshot();
+        }
+        let epoch = self.gtm.csn();
+        if let Some((cached_epoch, snap)) = &self.snap_cache {
+            if *cached_epoch == epoch {
+                self.counters.snapshot_cache_hits += 1;
+                if let Some(t) = &self.tel {
+                    t.snap_cache_hit.inc();
+                }
+                return snap.clone();
+            }
+        }
+        self.counters.gtm_interactions += 1;
+        self.counters.snapshot_cache_misses += 1;
+        if let Some(t) = &self.tel {
+            t.snap_cache_miss.inc();
+        }
+        let snap = self.gtm.snapshot();
+        self.snap_cache = Some((epoch, snap.clone()));
+        snap
     }
 
     /// Read `key` in `txn`.
@@ -717,7 +858,7 @@ impl Cluster {
     }
 
     /// 2PC phase 1 for a GTM-lite multi-shard transaction: prepare every leg.
-    pub fn multi_prepare(&mut self, txn: &Txn) -> Result<()> {
+    pub(crate) fn multi_prepare(&mut self, txn: &Txn) -> Result<()> {
         let TxnKind::LiteMulti { legs, .. } = &txn.kind else {
             return Err(HdmError::TxnState("multi_prepare on non-multi txn".into()));
         };
@@ -751,7 +892,7 @@ impl Cluster {
     /// Commit decision at the GTM ("transactions are marked committed in GTM
     /// first and then on all nodes"). Legs become pending on their DNs; the
     /// Anomaly-1 window is open until [`Cluster::multi_finish`].
-    pub fn multi_commit_at_gtm(&mut self, txn: &Txn) -> Result<()> {
+    pub(crate) fn multi_commit_at_gtm(&mut self, txn: &Txn) -> Result<()> {
         let TxnKind::LiteMulti { gxid, legs, .. } = &txn.kind else {
             return Err(HdmError::TxnState(
                 "multi_commit_at_gtm on non-multi txn".into(),
@@ -779,7 +920,7 @@ impl Cluster {
     /// Deliver the commit confirmations to every leg's DN, closing the
     /// window. Idempotent per leg (a reader's UPGRADE may have finished some
     /// legs already).
-    pub fn multi_finish(&mut self, txn: Txn) -> Result<()> {
+    pub(crate) fn multi_finish(&mut self, txn: Txn) -> Result<()> {
         let TxnKind::LiteMulti { legs, .. } = txn.kind else {
             return Err(HdmError::TxnState("multi_finish on non-multi txn".into()));
         };
@@ -807,7 +948,7 @@ impl Cluster {
     /// unit of the 2PC finish phase. Fails with `Unavailable` while the
     /// leg's node is down (the coordinator backs off and retries); succeeds
     /// as a no-op if in-doubt recovery already completed the leg.
-    pub fn finish_leg(&mut self, shard: ShardId, local_xid: Xid) -> Result<()> {
+    pub(crate) fn finish_leg(&mut self, shard: ShardId, local_xid: Xid) -> Result<()> {
         self.check_node(shard)?;
         let node = &mut self.nodes[shard.raw() as usize];
         node.finish_commit(local_xid)?;
@@ -889,6 +1030,14 @@ impl Cluster {
         Ok(self.gtm.is_committed(gxid))
     }
 
+    /// Report one coalesced GTM service event of `size` requests — the
+    /// timed harness's group-commit window feeding the functional GTM's
+    /// batch counters and `gtm.batch.*` series (the timing itself is the
+    /// harness's job).
+    pub fn note_gtm_batch(&mut self, size: u64) {
+        self.gtm.note_batch(size);
+    }
+
     /// Record one CN-side retry (the timed harnesses charge backoff latency
     /// themselves; the engine just keeps the count observable).
     pub fn record_retry(&mut self) {
@@ -928,8 +1077,8 @@ impl Cluster {
     /// that bumps `key` by `delta`, committing it. Returns the new value.
     pub fn bump(&mut self, single_prefix: Option<u32>, key: i64, delta: i64) -> Result<i64> {
         let mut txn = match single_prefix {
-            Some(p) => self.begin_single(p),
-            None => self.begin_multi(),
+            Some(p) => self.begin(TxnOptions::single(p))?,
+            None => self.begin(TxnOptions::multi())?,
         };
         let old = match self.get(&mut txn, key) {
             Ok(v) => v.unwrap_or(0),
@@ -985,14 +1134,14 @@ mod tests {
     #[test]
     fn lite_multi_shard_reads_own_writes_and_commits() {
         let mut c = lite(4);
-        let mut t = c.begin_multi();
+        let mut t = c.begin(TxnOptions::multi()).unwrap();
         let (k1, k2) = (make_key(0, 1), make_key(1, 1));
         c.put(&mut t, k1, 10).unwrap();
         c.put(&mut t, k2, 20).unwrap();
         assert_eq!(c.get(&mut t, k1).unwrap(), Some(10));
         c.commit(t).unwrap();
 
-        let mut r = c.begin_multi();
+        let mut r = c.begin(TxnOptions::multi()).unwrap();
         assert_eq!(c.get(&mut r, k1).unwrap(), Some(10));
         assert_eq!(c.get(&mut r, k2).unwrap(), Some(20));
         c.commit(r).unwrap();
@@ -1016,12 +1165,12 @@ mod tests {
         c.bump(None, k1, 1).unwrap();
         c.bump(None, k2, 2).unwrap();
 
-        let mut t = c.begin_multi();
+        let mut t = c.begin(TxnOptions::multi()).unwrap();
         c.put(&mut t, k1, 100).unwrap();
         c.put(&mut t, k2, 200).unwrap();
         c.abort(t).unwrap();
 
-        let mut r = c.begin_multi();
+        let mut r = c.begin(TxnOptions::multi()).unwrap();
         assert_eq!(c.get(&mut r, k1).unwrap(), Some(1));
         assert_eq!(c.get(&mut r, k2).unwrap(), Some(2));
         c.commit(r).unwrap();
@@ -1044,7 +1193,7 @@ mod tests {
             }
             found
         };
-        let mut t = c.begin_single(a);
+        let mut t = c.begin(TxnOptions::single(a)).unwrap();
         let err = c.get(&mut t, make_key(b, 0)).unwrap_err();
         assert_eq!(err.class(), "txn_state");
     }
@@ -1053,11 +1202,11 @@ mod tests {
     fn baseline_multi_shard_is_atomic() {
         let mut c = baseline(4);
         let (k1, k2) = (make_key(0, 1), make_key(1, 1));
-        let mut t = c.begin_multi();
+        let mut t = c.begin(TxnOptions::multi()).unwrap();
         c.put(&mut t, k1, 5).unwrap();
         c.put(&mut t, k2, 6).unwrap();
         c.commit(t).unwrap();
-        let mut r = c.begin_multi();
+        let mut r = c.begin(TxnOptions::multi()).unwrap();
         assert_eq!(c.get(&mut r, k1).unwrap(), Some(5));
         assert_eq!(c.get(&mut r, k2).unwrap(), Some(6));
         c.commit(r).unwrap();
@@ -1068,8 +1217,8 @@ mod tests {
         let mut c = lite(1);
         let k = make_key(0, 1);
         c.bump(Some(0), k, 1).unwrap();
-        let mut t1 = c.begin_single(0);
-        let mut t2 = c.begin_single(0);
+        let mut t1 = c.begin(TxnOptions::single(0)).unwrap();
+        let mut t2 = c.begin(TxnOptions::single(0)).unwrap();
         c.put(&mut t1, k, 10).unwrap();
         let err = c.put(&mut t2, k, 20).unwrap_err();
         assert_eq!(err.class(), "txn_aborted");
@@ -1098,7 +1247,7 @@ mod tests {
         let (k1, k2) = (make_key(p1, 1), make_key(p2, 1));
         c.bump(None, k1, 5).unwrap();
 
-        let mut t = c.begin_multi();
+        let mut t = c.begin(TxnOptions::multi()).unwrap();
         c.put(&mut t, k1, 100).unwrap();
         c.put(&mut t, k2, 200).unwrap();
         let s1 = c.shard_map().shard_of_prefix(p1);
@@ -1126,7 +1275,7 @@ mod tests {
         let (p1, p2) = two_shards(&c);
         let (k1, k2) = (make_key(p1, 1), make_key(p2, 1));
 
-        let mut t = c.begin_multi();
+        let mut t = c.begin(TxnOptions::multi()).unwrap();
         c.put(&mut t, k1, 11).unwrap();
         c.put(&mut t, k2, 22).unwrap();
         c.multi_prepare(&t).unwrap();
@@ -1161,7 +1310,7 @@ mod tests {
         let (k1, k2) = (make_key(p1, 1), make_key(p2, 1));
         c.bump(None, k1, 5).unwrap();
 
-        let mut t = c.begin_multi();
+        let mut t = c.begin(TxnOptions::multi()).unwrap();
         c.put(&mut t, k1, 100).unwrap();
         c.put(&mut t, k2, 200).unwrap();
         c.multi_prepare(&t).unwrap();
@@ -1183,7 +1332,7 @@ mod tests {
     fn down_participant_makes_prepare_vote_no() {
         let mut c = lite(4);
         let (p1, p2) = two_shards(&c);
-        let mut t = c.begin_multi();
+        let mut t = c.begin(TxnOptions::multi()).unwrap();
         c.put(&mut t, make_key(p1, 1), 1).unwrap();
         c.put(&mut t, make_key(p2, 1), 2).unwrap();
         c.crash_node(c.shard_map().shard_of_prefix(p2));
@@ -1199,7 +1348,7 @@ mod tests {
         let (k1, k2) = (make_key(p1, 1), make_key(p2, 1));
 
         // A fully finished multi-shard commit: evidence in every DN clog.
-        let mut t = c.begin_multi();
+        let mut t = c.begin(TxnOptions::multi()).unwrap();
         c.put(&mut t, k1, 7).unwrap();
         c.put(&mut t, k2, 8).unwrap();
         let gxid = t.gxid().unwrap();
@@ -1207,12 +1356,12 @@ mod tests {
 
         c.crash_gtm();
         assert!(!c.is_gtm_up());
-        assert_eq!(c.try_begin_multi().unwrap_err().class(), "unavailable");
+        assert_eq!(c.begin(TxnOptions::multi()).unwrap_err().class(), "unavailable");
         c.restart_gtm();
 
         // The recovered GTM remembers the commit and never reuses the gxid.
         assert!(c.gtm_commit_status(gxid).unwrap());
-        let t2 = c.begin_multi();
+        let t2 = c.begin(TxnOptions::multi()).unwrap();
         assert!(t2.gxid().unwrap() > gxid);
         c.abort(t2).unwrap();
         assert_eq!(c.counters().gtm_restarts, 1);
@@ -1228,7 +1377,7 @@ mod tests {
         let (k1, k2) = (make_key(p1, 1), make_key(p2, 1));
 
         let t = {
-            let mut t = c.begin_multi();
+            let mut t = c.begin(TxnOptions::multi()).unwrap();
             c.put(&mut t, k1, 31).unwrap();
             c.put(&mut t, k2, 32).unwrap();
             c.multi_prepare(&t).unwrap();
@@ -1262,7 +1411,7 @@ mod tests {
         let (k1, k2) = (make_key(p1, 1), make_key(p2, 1));
         c.bump(None, k1, 5).unwrap();
 
-        let mut t = c.begin_multi();
+        let mut t = c.begin(TxnOptions::multi()).unwrap();
         c.put(&mut t, k1, 100).unwrap();
         c.put(&mut t, k2, 200).unwrap();
         c.multi_prepare(&t).unwrap();
@@ -1294,7 +1443,7 @@ mod tests {
         // the coordinator cannot commit afterwards.
         let mut c = lite(4);
         let (p1, p2) = two_shards(&c);
-        let mut t = c.begin_multi();
+        let mut t = c.begin(TxnOptions::multi()).unwrap();
         c.put(&mut t, make_key(p1, 1), 1).unwrap();
         c.put(&mut t, make_key(p2, 1), 2).unwrap();
         c.multi_prepare(&t).unwrap();
@@ -1319,7 +1468,7 @@ mod tests {
         for _ in 0..10 {
             c.bump(Some(p1), k, 1).unwrap();
         }
-        assert!(c.try_begin_multi().is_err());
+        assert!(c.begin(TxnOptions::multi()).is_err());
         c.restart_gtm();
         assert_eq!(c.bump(Some(p1), k, 0).unwrap(), 10);
     }
@@ -1351,7 +1500,7 @@ mod tests {
 
         c.bump(Some(p1), k1, 5).unwrap(); // single-shard fast path
         c.bump(None, k2, 7).unwrap(); // distributed 2PC
-        let t = c.begin_multi();
+        let t = c.begin(TxnOptions::multi()).unwrap();
         c.abort(t).unwrap();
 
         // Crash/restart: the recovered GTM must keep feeding the series.
@@ -1376,6 +1525,122 @@ mod tests {
         let spans = tel.tracer.finished();
         assert!(spans.iter().any(|s| s.name == "crash" && s.field("target") == Some("gtm")));
         assert!(spans.iter().any(|s| s.name == "restart" && s.field("target") == Some("gtm")));
+    }
+
+    #[test]
+    fn snapshot_cache_hits_between_commits_and_saves_interactions() {
+        let tel = Telemetry::simulated();
+        let mut cfg = ClusterConfig::gtm_lite(4);
+        cfg.snapshot_cache = true;
+        let mut c = Cluster::new(cfg);
+        c.attach_telemetry(&tel);
+
+        // Three concurrent multi-shard begins with no intervening commit:
+        // one miss fills the cache, the next two hit.
+        let t1 = c.begin(TxnOptions::multi()).unwrap();
+        let t2 = c.begin(TxnOptions::multi()).unwrap();
+        let t3 = c.begin(TxnOptions::multi()).unwrap();
+        let n = c.counters();
+        assert_eq!(n.snapshot_cache_misses, 1);
+        assert_eq!(n.snapshot_cache_hits, 2);
+        // 3 gxid allocations + 1 snapshot instead of 3+3.
+        assert_eq!(n.gtm_interactions, 4);
+
+        // Aborts do not bump the CSN: the cache stays valid.
+        c.abort(t1).unwrap();
+        let t4 = c.begin(TxnOptions::multi()).unwrap();
+        assert_eq!(c.counters().snapshot_cache_hits, 3);
+
+        // A commit bumps the CSN: the next begin must refresh.
+        let mut w = t2;
+        c.put(&mut w, make_key(0, 1), 1).unwrap();
+        c.put(&mut w, make_key(1, 1), 1).unwrap();
+        c.commit(w).unwrap();
+        let t5 = c.begin(TxnOptions::multi()).unwrap();
+        let n = c.counters();
+        assert_eq!(n.snapshot_cache_misses, 2, "post-commit begin refreshes");
+        assert_eq!(n.snapshot_cache_hits, 3);
+
+        for t in [t3, t4, t5] {
+            c.abort(t).unwrap();
+        }
+        let snap = tel.metrics.snapshot();
+        assert_eq!(snap.counter("gtm.snapshot_cache{result=hit}"), 3);
+        assert_eq!(snap.counter("gtm.snapshot_cache{result=miss}"), 2);
+    }
+
+    #[test]
+    fn snapshot_cache_preserves_visibility_under_mixed_load() {
+        // The same scripted workload with and without the cache must agree
+        // on every read and on the final committed state.
+        let run = |cache: bool| {
+            let mut cfg = ClusterConfig::gtm_lite(4);
+            cfg.snapshot_cache = cache;
+            let mut c = Cluster::new(cfg);
+            let mut reads = Vec::new();
+            for i in 0..12u32 {
+                let k1 = make_key(i % 4, i);
+                let k2 = make_key((i + 1) % 4, i);
+                let v = i as i64 * 10;
+                let mut w = c.begin(TxnOptions::multi()).unwrap();
+                c.put(&mut w, k1, v).unwrap();
+                c.put(&mut w, k2, v + 1).unwrap();
+                // A concurrent reader begun mid-write sees a consistent view.
+                let mut r = c.begin(TxnOptions::multi()).unwrap();
+                reads.push(c.get(&mut r, k1).unwrap());
+                c.commit(w).unwrap();
+                reads.push(c.get(&mut r, k1).unwrap());
+                c.commit(r).unwrap();
+            }
+            (reads, c.snapshot_all(), c.counters().multi_shard_commits)
+        };
+        let (reads_off, state_off, commits_off) = run(false);
+        let (reads_on, state_on, commits_on) = run(true);
+        assert_eq!(reads_off, reads_on, "cache changed a read result");
+        assert_eq!(state_off, state_on, "cache changed the final state");
+        assert_eq!(commits_off, commits_on);
+    }
+
+    #[test]
+    fn snapshot_cache_cleared_by_gtm_crash_and_restart() {
+        let mut cfg = ClusterConfig::gtm_lite(2);
+        cfg.snapshot_cache = true;
+        let mut c = Cluster::new(cfg);
+        let t1 = c.begin(TxnOptions::multi()).unwrap();
+        let t2 = c.begin(TxnOptions::multi()).unwrap();
+        assert_eq!(c.counters().snapshot_cache_hits, 1);
+        c.abort(t1).unwrap();
+        c.abort(t2).unwrap();
+
+        c.crash_gtm();
+        c.restart_gtm();
+
+        // The recovered GTM restarted its epoch: no stale hit allowed.
+        let t3 = c.begin(TxnOptions::multi()).unwrap();
+        let n = c.counters();
+        assert_eq!(n.snapshot_cache_misses, 2, "post-recovery begin refreshes");
+        assert_eq!(n.snapshot_cache_hits, 1);
+        c.abort(t3).unwrap();
+    }
+
+    #[test]
+    fn deprecated_quartet_still_routes_through_begin() {
+        #![allow(deprecated)]
+        let mut c = lite(4);
+        let (p1, _) = two_shards(&c);
+        let t = c.begin_single(p1);
+        c.commit(t).unwrap();
+        let t = c.try_begin_single(p1).unwrap();
+        c.commit(t).unwrap();
+        let t = c.begin_multi();
+        c.abort(t).unwrap();
+        let t = c.try_begin_multi().unwrap();
+        c.abort(t).unwrap();
+        let n = c.counters();
+        assert_eq!(n.single_shard_commits, 2);
+        assert_eq!(n.aborts, 2);
+        c.crash_gtm();
+        assert_eq!(c.try_begin_multi().unwrap_err().class(), "unavailable");
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod shard;
 pub mod sim;
 
 pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
-pub use engine::{Cluster, ClusterConfig, ClusterCounters, MergePolicy, Protocol, Txn};
+pub use engine::{Cluster, ClusterConfig, ClusterCounters, MergePolicy, Protocol, Txn, TxnOptions};
 pub use node::DataNode;
 pub use retry::RetryPolicy;
 pub use shard::{key_local, key_prefix, make_key, ShardMap};

@@ -26,11 +26,11 @@
 //! and protocol traffic, which are unaffected; the anomaly interleavings
 //! are exercised by the untimed scripted scenarios instead.
 
-use crate::engine::{Cluster, ClusterConfig, Protocol};
+use crate::engine::{Cluster, ClusterConfig, Protocol, TxnOptions};
 use crate::shard::make_key;
 use hdm_common::stats::Histogram;
 use hdm_common::{SimDuration, SimInstant, SplitMix64, Xid};
-use hdm_simnet::{FaultConfig, FaultPlan, MsgFate, NetLink, Resource, Sim};
+use hdm_simnet::{Batcher, FaultConfig, FaultPlan, MsgFate, NetLink, Resource, Sim};
 use hdm_telemetry::{HistogramHandle, SpanId, Telemetry};
 
 /// Transaction mix parameters.
@@ -98,6 +98,24 @@ pub struct SimConfig {
     pub dn_cores_per_node: usize,
     /// GTM service time per interaction (XID, snapshot, or commit).
     pub gtm_service: SimDuration,
+    /// Group-commit window for GTM requests. Zero (the default) disables
+    /// batching — every request pays its own FCFS visit, bit-identical to
+    /// the pre-batching model. Nonzero: the first request to reach an idle
+    /// batcher opens a window; everything arriving within it rides one
+    /// coalesced service event costing `gtm_service` (paid once per batch)
+    /// plus `gtm_batch_per_item` per batched interaction.
+    pub gtm_batch_window: SimDuration,
+    /// Marginal GTM service per batched interaction (see `gtm_batch_window`).
+    pub gtm_batch_per_item: SimDuration,
+    /// CN-side snapshot-epoch cache: a multi-shard begin whose cached
+    /// snapshot epoch still equals the latest published CSN skips the
+    /// snapshot interaction (1× instead of 2× `gtm_service`). The timed
+    /// layer tracks its own CSN, bumped when a commit/decide request
+    /// *enters* the GTM queue — a conservative publication point, so the
+    /// cache never over-hits. Visibility safety is the functional engine's
+    /// argument (see `Cluster::begin`); here only the timing is modelled,
+    /// so the functional cluster keeps its own cache off.
+    pub snapshot_cache: bool,
     pub net_one_way: SimDuration,
     pub net_jitter: f64,
     /// Message-fault injection on every network hop (`None` = pristine
@@ -135,6 +153,9 @@ impl SimConfig {
             merge_service: SimDuration::from_micros(3),
             dn_cores_per_node: 4,
             gtm_service: SimDuration::from_micros(2),
+            gtm_batch_window: SimDuration::ZERO,
+            gtm_batch_per_item: SimDuration::from_micros(1),
+            snapshot_cache: false,
             net_one_way: SimDuration::from_micros(25),
             net_jitter: 0.2,
             faults: None,
@@ -164,6 +185,16 @@ pub struct SimReport {
     pub downgrades: u64,
     /// (messages, dropped, duplicated, delayed) on the simulated network.
     pub net_fault_stats: (u64, u64, u64, u64),
+    /// GTM group-commit batches served (0 when `gtm_batch_window` is zero).
+    pub gtm_batches: u64,
+    /// Requests that rode those batches.
+    pub gtm_batched_requests: u64,
+    /// Mean members per batch (0.0 when batching never ran).
+    pub gtm_mean_batch_size: f64,
+    /// Timed-layer snapshot-epoch cache hits (0 when the cache is off).
+    pub snapshot_cache_hits: u64,
+    /// Timed-layer snapshot-epoch cache misses.
+    pub snapshot_cache_misses: u64,
 }
 
 /// In-flight timing state of one transaction.
@@ -207,6 +238,16 @@ struct World {
     txns: Vec<Option<InFlight>>,
     free: Vec<usize>,
     tel: Option<SimTel>,
+    /// Group-commit coalescer for GTM requests (unused when the window is
+    /// zero); members carry their op and marginal service weight.
+    batcher: Batcher<(GtmOp, SimDuration)>,
+    /// Timed-layer CSN: bumped when a commit/decide request enters the GTM
+    /// queue. Drives the snapshot-epoch cache below.
+    timed_csn: u64,
+    /// CSN epoch of the snapshot the CNs currently hold, if any.
+    cached_epoch: Option<u64>,
+    cache_hits: u64,
+    cache_misses: u64,
 }
 
 impl World {
@@ -253,6 +294,11 @@ impl World {
             latency: Histogram::new_latency_us(),
             txns: Vec::new(),
             free: Vec::new(),
+            batcher: Batcher::new(cfg.gtm_batch_window, cfg.gtm_service),
+            timed_csn: 0,
+            cached_epoch: None,
+            cache_hits: 0,
+            cache_misses: 0,
             cluster,
             cfg,
         }
@@ -302,6 +348,23 @@ impl World {
         }
     }
 
+    /// How many GTM interactions this begin pays: 2 (gxid + snapshot), or 1
+    /// when the CN-side epoch cache still holds a snapshot for the latest
+    /// published CSN. A miss refreshes the cache to the current epoch.
+    fn begin_interactions(&mut self) -> u64 {
+        if !self.cfg.snapshot_cache {
+            return 2;
+        }
+        if self.cached_epoch == Some(self.timed_csn) {
+            self.cache_hits += 1;
+            1
+        } else {
+            self.cache_misses += 1;
+            self.cached_epoch = Some(self.timed_csn);
+            2
+        }
+    }
+
     /// One network hop's latency, with fault injection when configured.
     /// Drops cost a sender timeout (4× nominal one-way) plus the
     /// retransmission's own flight time; delays add the sampled extra;
@@ -329,7 +392,7 @@ impl World {
     fn run_functional(&mut self, home_wh: u32, single: bool) -> (bool, Vec<usize>, Option<Xid>) {
         let mix = self.cfg.mix;
         if single {
-            let mut txn = self.cluster.begin_single(home_wh);
+            let mut txn = self.cluster.begin(TxnOptions::single(home_wh).retry_on_unavailable(false)).expect("unchecked begin is infallible");
             let mut ok = true;
             for _ in 0..mix.reads_per_txn {
                 let k = self.pick_key(home_wh);
@@ -368,7 +431,7 @@ impl World {
                     whs.push(w);
                 }
             }
-            let mut txn = self.cluster.begin_multi();
+            let mut txn = self.cluster.begin(TxnOptions::multi().retry_on_unavailable(false)).expect("unchecked begin is infallible");
             let mut ok = true;
             'work: for (i, &w) in whs.iter().enumerate() {
                 let reads = if i == 0 { mix.reads_per_txn } else { 0 };
@@ -455,31 +518,94 @@ fn after_cn(sim: &mut S, w: &mut World, id: usize, single: bool) {
             let hop = w.hop();
             sim.schedule_in(hop, move |sim, w| single_dn_arrive(sim, w, id));
         }
-        // Everything else starts with GTM begin+snapshot (2 interactions).
+        // Everything else starts with GTM begin+snapshot (2 interactions,
+        // 1 on a snapshot-epoch cache hit).
         _ => {
             w.advance_seg(id, sim.now(), Some("gtm.begin"));
             let hop = w.hop();
-            sim.schedule_in(hop, move |sim, w| gtm_begin_arrive(sim, w, id, single));
+            sim.schedule_in(hop, move |sim, w| {
+                gtm_arrive(sim, w, GtmOp::Begin { id, single })
+            });
         }
     }
 }
 
-fn gtm_begin_arrive(sim: &mut S, w: &mut World, id: usize, single: bool) {
-    let svc = SimDuration::from_micros(w.cfg.gtm_service.micros() * 2);
+/// One request headed for the GTM, resumed by [`gtm_reply`] once served.
+#[derive(Clone, Copy)]
+enum GtmOp {
+    /// Begin + snapshot (2 interactions; 1 on an epoch-cache hit).
+    Begin { id: usize, single: bool },
+    /// Baseline single-shard commit report (1 interaction).
+    CommitSingle { id: usize },
+    /// Multi-shard 2PC decision (1 interaction).
+    Decide { id: usize },
+}
+
+/// A request arrives at the GTM. With a zero batch window this is the
+/// legacy path — one FCFS visit per request, bit-identical to the
+/// pre-batching model. With a nonzero window the request boards the
+/// group-commit batcher and is resumed when its batch is served.
+fn gtm_arrive(sim: &mut S, w: &mut World, op: GtmOp) {
     let arrival = sim.now();
-    let grant = w.gtm.request(arrival, svc);
-    w.record_gtm_visit(arrival, grant.queue_wait(arrival), svc);
-    let back = w.hop();
-    sim.schedule_at(grant.end + back, move |sim, w| {
-        // Reply reaches the CN; dispatch to DN(s).
-        if single {
-            w.advance_seg(id, sim.now(), Some("dn.exec"));
-            let hop = w.hop();
-            sim.schedule_in(hop, move |sim, w| single_dn_arrive(sim, w, id));
-        } else {
-            fan_out(sim, w, id, Phase::Exec);
+    let interactions = match op {
+        GtmOp::Begin { .. } => w.begin_interactions(),
+        GtmOp::CommitSingle { .. } | GtmOp::Decide { .. } => {
+            // The commit is published here: a conservative CSN bump at
+            // enqueue time, so no later begin over-trusts the cache.
+            w.timed_csn += 1;
+            1
         }
-    });
+    };
+    if w.cfg.gtm_batch_window.micros() == 0 {
+        let svc = SimDuration::from_micros(w.cfg.gtm_service.micros() * interactions);
+        let grant = w.gtm.request(arrival, svc);
+        w.record_gtm_visit(arrival, grant.queue_wait(arrival), svc);
+        let back = w.hop();
+        sim.schedule_at(grant.end + back, move |sim, w| gtm_reply(sim, w, op));
+    } else {
+        let weight = SimDuration::from_micros(w.cfg.gtm_batch_per_item.micros() * interactions);
+        if let Some(close_at) = w.batcher.join(arrival, weight, (op, weight)) {
+            sim.schedule_at(close_at, close_gtm_batch);
+        }
+    }
+}
+
+/// A GTM reply reaches the CN: resume the transaction's next stage.
+fn gtm_reply(sim: &mut S, w: &mut World, op: GtmOp) {
+    match op {
+        GtmOp::Begin { id, single } => {
+            if single {
+                w.advance_seg(id, sim.now(), Some("dn.exec"));
+                let hop = w.hop();
+                sim.schedule_in(hop, move |sim, w| single_dn_arrive(sim, w, id));
+            } else {
+                fan_out(sim, w, id, Phase::Exec);
+            }
+        }
+        GtmOp::CommitSingle { id } => txn_done(sim, w, id),
+        GtmOp::Decide { id } => fan_out(sim, w, id, Phase::Finish),
+    }
+}
+
+/// The open group-commit window elapsed: serve the whole batch as one
+/// coalesced GTM event and resume every member when it completes.
+fn close_gtm_batch(sim: &mut S, w: &mut World) {
+    let now = sim.now();
+    let batch = w.batcher.close(now, &mut w.gtm);
+    let size = batch.size();
+    w.cluster.note_gtm_batch(size);
+    if let Some(st) = &w.tel {
+        st.tel.set_time_us(now.micros());
+        let span = st.tel.tracer.begin("gtm.batch");
+        st.tel.tracer.field(span, "size", size);
+        st.tel.set_time_us(batch.grant.end.micros());
+        st.tel.tracer.end(span);
+    }
+    for (arrival, (op, weight)) in batch.members {
+        w.record_gtm_visit(arrival, batch.grant.start - arrival, weight);
+        let back = w.hop();
+        sim.schedule_at(batch.grant.end + back, move |sim, w| gtm_reply(sim, w, op));
+    }
 }
 
 /// Single-shard execution at the home DN (execute + commit in one visit).
@@ -499,12 +625,7 @@ fn single_dn_arrive(sim: &mut S, w: &mut World, id: usize) {
             w.advance_seg(id, sim.now(), Some("gtm.commit"));
             let hop = w.hop();
             sim.schedule_in(hop, move |sim, w| {
-                let arrival = sim.now();
-                let svc = w.cfg.gtm_service;
-                let grant = w.gtm.request(arrival, svc);
-                w.record_gtm_visit(arrival, grant.queue_wait(arrival), svc);
-                let back = w.hop();
-                sim.schedule_at(grant.end + back, move |sim, w| txn_done(sim, w, id));
+                gtm_arrive(sim, w, GtmOp::CommitSingle { id })
             });
         }
     });
@@ -578,16 +699,7 @@ fn leg_joined(sim: &mut S, w: &mut World, id: usize, phase: Phase) {
             // Decision at the GTM (1 interaction), then confirm to legs.
             w.advance_seg(id, sim.now(), Some("gtm.decide"));
             let hop = w.hop();
-            sim.schedule_in(hop, move |sim, w| {
-                let arrival = sim.now();
-                let svc = w.cfg.gtm_service;
-                let grant = w.gtm.request(arrival, svc);
-                w.record_gtm_visit(arrival, grant.queue_wait(arrival), svc);
-                let back = w.hop();
-                sim.schedule_at(grant.end + back, move |sim, w| {
-                    fan_out(sim, w, id, Phase::Finish)
-                });
-            });
+            sim.schedule_in(hop, move |sim, w| gtm_arrive(sim, w, GtmOp::Decide { id }));
         }
         Phase::Finish => txn_done(sim, w, id),
     }
@@ -645,6 +757,7 @@ pub fn run_sim(cfg: SimConfig) -> SimReport {
 
     let horizon_s = cfg.horizon.as_secs_f64();
     let counters = world.cluster.counters();
+    let batch_stats = world.batcher.stats();
     SimReport {
         committed: world.committed,
         aborted: world.aborted,
@@ -662,6 +775,11 @@ pub fn run_sim(cfg: SimConfig) -> SimReport {
             .as_ref()
             .map(FaultPlan::message_stats)
             .unwrap_or_default(),
+        gtm_batches: batch_stats.batches,
+        gtm_batched_requests: batch_stats.requests,
+        gtm_mean_batch_size: batch_stats.mean_batch_size(),
+        snapshot_cache_hits: world.cache_hits,
+        snapshot_cache_misses: world.cache_misses,
     }
 }
 
@@ -845,6 +963,91 @@ mod tests {
         assert_eq!(plain.committed, traced.committed);
         assert_eq!(plain.p99_latency_us, traced.p99_latency_us);
         assert_eq!(plain.gtm_interactions, traced.gtm_interactions);
+    }
+
+    #[test]
+    fn batching_coalesces_and_lifts_a_saturated_gtm() {
+        let mut cfg = SimConfig::new(8, Protocol::Baseline, WorkloadMix::ss());
+        cfg.horizon = SimDuration::from_millis(50);
+        let plain = run_sim(cfg.clone());
+        cfg.gtm_batch_window = SimDuration::from_micros(10);
+        let batched = run_sim(cfg);
+        assert_eq!(plain.gtm_batches, 0, "zero window must never batch");
+        assert_eq!(plain.snapshot_cache_hits + plain.snapshot_cache_misses, 0);
+        assert!(batched.gtm_batches > 0);
+        assert!(
+            batched.gtm_mean_batch_size > 1.5,
+            "a saturated GTM should coalesce: mean {:.2}",
+            batched.gtm_mean_batch_size
+        );
+        // Baseline SS at 8 nodes is GTM-bound (see baseline_gtm_is_busy_at_
+        // scale); amortizing the per-visit cost must move the ceiling.
+        assert!(
+            batched.throughput_tps > 1.2 * plain.throughput_tps,
+            "batched {:.0} vs plain {:.0} tps",
+            batched.throughput_tps,
+            plain.throughput_tps
+        );
+    }
+
+    #[test]
+    fn batched_runs_are_deterministic() {
+        let mk = || {
+            let mut c = SimConfig::new(4, Protocol::Baseline, WorkloadMix::ms());
+            c.horizon = SimDuration::from_millis(20);
+            c.gtm_batch_window = SimDuration::from_micros(8);
+            c.snapshot_cache = true;
+            c
+        };
+        let a = run_sim(mk());
+        let b = run_sim(mk());
+        assert_eq!(a.committed, b.committed);
+        assert_eq!(a.gtm_batches, b.gtm_batches);
+        assert_eq!(a.gtm_batched_requests, b.gtm_batched_requests);
+        assert_eq!(a.snapshot_cache_hits, b.snapshot_cache_hits);
+        assert_eq!(a.p99_latency_us, b.p99_latency_us);
+    }
+
+    #[test]
+    fn snapshot_cache_skips_snapshot_interactions() {
+        let mut cfg = SimConfig::new(4, Protocol::GtmLite, WorkloadMix::ms());
+        cfg.horizon = SimDuration::from_millis(50);
+        cfg.snapshot_cache = true;
+        let r = run_sim(cfg);
+        assert!(r.snapshot_cache_misses > 0, "first begin must miss");
+        assert!(
+            r.snapshot_cache_hits > 0,
+            "concurrent multi-shard begins between commits should reuse the epoch"
+        );
+    }
+
+    #[test]
+    fn batching_and_cache_do_not_perturb_telemetry_runs() {
+        let mk = |tel: Option<Telemetry>| {
+            let mut c = SimConfig::new(2, Protocol::Baseline, WorkloadMix::ms());
+            c.horizon = SimDuration::from_millis(10);
+            c.gtm_batch_window = SimDuration::from_micros(8);
+            c.snapshot_cache = true;
+            c.telemetry = tel;
+            c
+        };
+        let plain = run_sim(mk(None));
+        let tel = Telemetry::simulated();
+        let traced = run_sim(mk(Some(tel.clone())));
+        assert!(plain.gtm_batches > 0);
+        assert_eq!(plain.committed, traced.committed);
+        assert_eq!(plain.gtm_batches, traced.gtm_batches);
+        assert_eq!(plain.p99_latency_us, traced.p99_latency_us);
+        // Every gtm.batch span closed, and the functional GTM's batch
+        // series saw every coalesced service event.
+        assert_eq!(tel.tracer.open_count(), 0);
+        let snap = tel.metrics.snapshot();
+        assert_eq!(snap.counter("gtm.batch.count"), traced.gtm_batches);
+        let sizes = snap
+            .histograms
+            .get("gtm.batch.size")
+            .expect("batch size histogram");
+        assert_eq!(sizes.count, traced.gtm_batches);
     }
 
     #[test]

@@ -30,7 +30,7 @@ use hdm_learnopt::{PlanStoreStats, SharedPlanStore};
 use hdm_mmdb::MultiModelDb;
 use hdm_sql::QueryResult;
 
-pub use hdm_cluster::{make_key, MergePolicy};
+pub use hdm_cluster::{make_key, MergePolicy, TxnOptions};
 pub use hdm_learnopt::PlanStoreConfig;
 pub use mpp::{Distribution, MppDatabase};
 
@@ -240,7 +240,7 @@ mod tests {
         let r = db.sql("select count(*) from oltp_snapshot").unwrap();
         assert_eq!(r.rows[0].get(0).unwrap().as_int(), Some(41));
         // In-flight (uncommitted) writes stay invisible to the replica.
-        let mut t = db.oltp().begin_multi();
+        let mut t = db.oltp().begin(TxnOptions::multi()).unwrap();
         let k = make_key(1, 99);
         db.oltp().put(&mut t, k, 7).unwrap();
         db.sync_htap_replica("oltp_snapshot").unwrap();

@@ -21,12 +21,17 @@
 //! * [`NetLink`] — a latency model with deterministic jitter.
 //! * [`FaultPlan`] — a seeded, replayable fault schedule (message drop /
 //!   duplication / delay, node and GTM crashes) injected at delivery points.
+//! * [`Batcher`] — a deterministic group-commit window that coalesces
+//!   concurrent requests to a serialized resource into one amortized
+//!   service event.
 
+pub mod batch;
 pub mod faults;
 pub mod latency;
 pub mod resource;
 pub mod sim;
 
+pub use batch::{BatchStats, Batcher, ClosedBatch};
 pub use faults::{CrashEvent, CrashTarget, FaultConfig, FaultPlan, MsgFate};
 pub use latency::NetLink;
 pub use resource::{Grant, Resource};

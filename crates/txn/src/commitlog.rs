@@ -96,6 +96,15 @@ impl CommitLog {
         self.statuses.len()
     }
 
+    /// Number of transactions recorded committed. The GTM seeds its
+    /// recovered commit-sequence-number epoch from this.
+    pub fn committed_count(&self) -> usize {
+        self.statuses
+            .values()
+            .filter(|s| **s == TxnStatus::Committed)
+            .count()
+    }
+
     pub fn is_empty(&self) -> bool {
         self.statuses.is_empty()
     }

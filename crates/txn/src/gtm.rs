@@ -13,7 +13,7 @@ use crate::snapshot::Snapshot;
 use crate::twopc::Decision;
 use hdm_common::ids::FIRST_XID;
 use hdm_common::{Result, Xid};
-use hdm_telemetry::{Counter, Gauge, MetricsRegistry};
+use hdm_telemetry::{Counter, Gauge, HistogramHandle, MetricsRegistry};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Which GTM interactions occurred (for the Fig 3 cost model).
@@ -23,6 +23,11 @@ pub struct GtmCounters {
     pub snapshots: u64,
     pub commits: u64,
     pub aborts: u64,
+    /// Group-commit batches served (timed harnesses report coalesced
+    /// service events here via [`Gtm::note_batch`]).
+    pub batches: u64,
+    /// Requests that travelled inside those batches.
+    pub batched_requests: u64,
 }
 
 impl GtmCounters {
@@ -32,7 +37,8 @@ impl GtmCounters {
 }
 
 /// Live metric handles bumped per GTM interaction (series named
-/// `gtm.*` plus the `gtm.active_txns` queue-depth gauge).
+/// `gtm.*` plus the `gtm.active_txns` queue-depth gauge, the `gtm.csn`
+/// epoch gauge and the `gtm.batch.*` group-commit series).
 #[derive(Debug, Clone)]
 struct GtmMetrics {
     begins: Counter,
@@ -42,6 +48,9 @@ struct GtmMetrics {
     in_doubt_commit: Counter,
     in_doubt_abort: Counter,
     active_txns: Gauge,
+    csn: Gauge,
+    batch_count: Counter,
+    batch_size: HistogramHandle,
 }
 
 /// The centralized global transaction manager.
@@ -50,6 +59,12 @@ pub struct Gtm {
     next_gxid: u64,
     active: BTreeSet<Xid>,
     clog: CommitLog,
+    /// Commit sequence number: the visibility epoch. Bumped on every commit
+    /// (the only event that changes which tuples a fresh snapshot would
+    /// expose) and *published* to CNs — the epoch-cache validity check reads
+    /// it without charging a protocol interaction, modelling the broadcast
+    /// piggybacked on every GTM reply.
+    csn: u64,
     counters: GtmCounters,
     metrics: Option<GtmMetrics>,
 }
@@ -66,16 +81,20 @@ impl Gtm {
             next_gxid: FIRST_XID,
             active: BTreeSet::new(),
             clog: CommitLog::new(),
+            csn: 0,
             counters: GtmCounters::default(),
             metrics: None,
         }
     }
 
-    /// Register this GTM's service counters and the `gtm.active_txns`
-    /// queue-depth gauge with `metrics`. Handles are resolved once here, so
-    /// the per-interaction cost is an atomic bump. Call again after
+    /// Register this GTM's service counters, the `gtm.active_txns`
+    /// queue-depth gauge, the `gtm.csn` epoch gauge and the `gtm.batch.*`
+    /// group-commit series with `metrics`. Handles are resolved once here,
+    /// so the per-interaction cost is an atomic bump. Call again after
     /// [`Gtm::recover_from_observations`] replaces a crashed GTM — the
-    /// recovered instance aggregates into the same series.
+    /// recovered instance aggregates into the same series, and the epoch
+    /// gauge is re-seeded from the recovered CSN so the series never
+    /// reports the dead instance's last value.
     pub fn attach_telemetry(&mut self, metrics: &MetricsRegistry) {
         let m = GtmMetrics {
             begins: metrics.counter("gtm.begin", &[]),
@@ -85,8 +104,12 @@ impl Gtm {
             in_doubt_commit: metrics.counter("recovery.in_doubt", &[("outcome", "commit")]),
             in_doubt_abort: metrics.counter("recovery.in_doubt", &[("outcome", "abort")]),
             active_txns: metrics.gauge("gtm.active_txns", &[]),
+            csn: metrics.gauge("gtm.csn", &[]),
+            batch_count: metrics.counter("gtm.batch.count", &[]),
+            batch_size: metrics.histogram("gtm.batch.size", &[]),
         };
         m.active_txns.set(self.active.len() as i64);
+        m.csn.set(self.csn as i64);
         self.metrics = Some(m);
     }
 
@@ -134,12 +157,38 @@ impl Gtm {
     pub fn commit(&mut self, gxid: Xid) -> Result<()> {
         self.clog.commit(gxid)?;
         self.active.remove(&gxid);
+        self.csn += 1;
         self.counters.commits += 1;
         if let Some(m) = &self.metrics {
             m.commits.inc();
+            m.csn.set(self.csn as i64);
         }
         self.sync_active_gauge();
         Ok(())
+    }
+
+    /// The current commit sequence number (visibility epoch). Reading it is
+    /// free — it models the CSN broadcast the GTM piggybacks on every reply,
+    /// which CNs use to validate their cached snapshot. A cached snapshot
+    /// taken at epoch `e` remains byte-for-byte equivalent to a fresh one
+    /// for visibility purposes while `csn() == e`: commits are the only
+    /// events that change which tuples a snapshot exposes (aborted and
+    /// still-active gxids are filtered by the commit-log check either way).
+    pub fn csn(&self) -> u64 {
+        self.csn
+    }
+
+    /// Record one served group-commit batch of `size` coalesced requests.
+    /// Timed harnesses (the fig3 simulator's batching window) call this so
+    /// the functional GTM's counters and `gtm.batch.*` metrics reflect the
+    /// amortized service events.
+    pub fn note_batch(&mut self, size: u64) {
+        self.counters.batches += 1;
+        self.counters.batched_requests += size;
+        if let Some(m) = &self.metrics {
+            m.batch_count.inc();
+            m.batch_size.record(size);
+        }
     }
 
     /// Mark a global transaction aborted and dequeue it.
@@ -230,6 +279,11 @@ impl Gtm {
             }
             gtm.next_gxid = gtm.next_gxid.max(gxid.raw() + 1);
         }
+        // Seed the recovered epoch from the number of recovered commits:
+        // monotone across the crash boundary is not required (CN caches are
+        // invalidated on crash), but a recovered GTM must publish *some*
+        // epoch so post-recovery commits keep advancing it.
+        gtm.csn = gtm.clog.committed_count() as u64;
         gtm
     }
 }
@@ -351,6 +405,80 @@ mod tests {
         assert_eq!(snap.counter("recovery.in_doubt{outcome=commit}"), 1);
         assert_eq!(snap.counter("recovery.in_doubt{outcome=abort}"), 1);
         assert_eq!(snap.gauge("gtm.active_txns"), 0);
+    }
+
+    #[test]
+    fn csn_bumps_on_commit_only() {
+        let mut gtm = Gtm::new();
+        assert_eq!(gtm.csn(), 0);
+        let a = gtm.begin();
+        let b = gtm.begin();
+        gtm.snapshot();
+        assert_eq!(gtm.csn(), 0, "begin/snapshot leave the epoch alone");
+        gtm.commit(a).unwrap();
+        assert_eq!(gtm.csn(), 1);
+        gtm.abort(b).unwrap();
+        assert_eq!(gtm.csn(), 1, "aborts change no committed-visible state");
+    }
+
+    #[test]
+    fn stale_epoch_snapshot_is_visibility_equivalent() {
+        // The cache-correctness contract: while csn() is unchanged, a cached
+        // snapshot and a fresh one agree on every *committed* gxid, so SI
+        // visibility (snapshot.sees ∧ clog.is_committed) is identical.
+        let mut gtm = Gtm::new();
+        let w = gtm.begin();
+        gtm.commit(w).unwrap();
+        let cached = gtm.snapshot();
+        let epoch = gtm.csn();
+        // New activity that does NOT commit: begins and an abort.
+        let x = gtm.begin();
+        let y = gtm.begin();
+        gtm.abort(y).unwrap();
+        assert_eq!(gtm.csn(), epoch, "no commit, epoch unchanged");
+        let fresh = gtm.snapshot();
+        for gxid in [w, x, y] {
+            assert_eq!(
+                cached.sees(gxid) && gtm.is_committed(gxid),
+                fresh.sees(gxid) && gtm.is_committed(gxid),
+                "visibility of {gxid} diverged between cached and fresh"
+            );
+        }
+    }
+
+    #[test]
+    fn csn_gauge_publishes_and_reattach_reseeds() {
+        let reg = MetricsRegistry::new();
+        let mut gtm = Gtm::new();
+        gtm.attach_telemetry(&reg);
+        let a = gtm.begin();
+        gtm.commit(a).unwrap();
+        assert_eq!(reg.snapshot().gauge("gtm.csn"), 1);
+        // A recovered GTM re-attaching to the same registry re-seeds the
+        // gauge from its own epoch, not the dead instance's last value.
+        let mut recovered = Gtm::recover_from_observations(vec![(a, true), (Xid(50), false)]);
+        recovered.attach_telemetry(&reg);
+        assert_eq!(recovered.csn(), 1, "one recovered commit seeds the epoch");
+        assert_eq!(reg.snapshot().gauge("gtm.csn"), 1);
+        let b = recovered.begin();
+        recovered.commit(b).unwrap();
+        assert_eq!(reg.snapshot().gauge("gtm.csn"), 2);
+    }
+
+    #[test]
+    fn note_batch_feeds_counters_and_metrics() {
+        let reg = MetricsRegistry::new();
+        let mut gtm = Gtm::new();
+        gtm.attach_telemetry(&reg);
+        gtm.note_batch(3);
+        gtm.note_batch(1);
+        let c = gtm.counters();
+        assert_eq!(c.batches, 2);
+        assert_eq!(c.batched_requests, 4);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("gtm.batch.count"), 2);
+        assert_eq!(snap.histograms["gtm.batch.size"].count, 2);
+        assert_eq!(snap.histograms["gtm.batch.size"].max_us, 3);
     }
 
     #[test]

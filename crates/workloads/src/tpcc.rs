@@ -7,7 +7,7 @@
 //! *specs* against warehouse-prefixed keys; the cluster engine or the
 //! discrete-event simulator executes them.
 
-use hdm_cluster::make_key;
+use hdm_cluster::{make_key, TxnOptions};
 use hdm_common::SplitMix64;
 
 /// One key operation.
@@ -173,8 +173,8 @@ pub fn run_specs(
     let mut aborted = 0;
     'spec: for spec in specs {
         let mut txn = match spec.single_prefix {
-            Some(p) => cluster.begin_single(p),
-            None => cluster.begin_multi(),
+            Some(p) => cluster.begin(TxnOptions::single(p))?,
+            None => cluster.begin(TxnOptions::multi())?,
         };
         for op in &spec.ops {
             let result = match op {

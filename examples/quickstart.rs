@@ -6,7 +6,7 @@
 //!
 //! Run: `cargo run --example quickstart`
 
-use huawei_dm::core::{make_key, FiConfig, FiMppDb};
+use huawei_dm::core::{make_key, FiConfig, FiMppDb, TxnOptions};
 
 fn main() -> hdm_common::Result<()> {
     let mut db = FiMppDb::new(FiConfig::default());
@@ -42,7 +42,7 @@ fn main() -> hdm_common::Result<()> {
     );
     // A multi-shard transfer runs 2PC through the GTM.
     let other = make_key(8, 1);
-    let mut txn = db.oltp().begin_multi();
+    let mut txn = db.oltp().begin(TxnOptions::multi())?;
     db.oltp().put(&mut txn, other, 120)?;
     db.oltp().put(&mut txn, key, 260)?;
     db.oltp().commit(txn)?;

@@ -2,7 +2,7 @@
 //! through the umbrella crate: the naive global/local snapshot merge
 //! exhibits both anomalies; Algorithm 1's UPGRADE/DOWNGRADE repairs them.
 
-use huawei_dm::cluster::anomaly::{run_anomaly1, run_anomaly2};
+use huawei_dm::cluster::anomaly::{run_anomaly1, run_anomaly2, run_torn_read};
 use huawei_dm::cluster::{make_key, Cluster, ClusterConfig, MergePolicy};
 
 #[test]
@@ -27,37 +27,17 @@ fn anomaly2_repaired_by_downgrade() {
 }
 
 /// Torn multi-shard reads never happen under Algorithm 1, across many
-/// interleavings of writer commit phases and reader arrivals.
+/// interleavings of writer commit phases and reader arrivals. The commit
+/// window is scripted by `run_torn_read` (the split 2PC steps are no
+/// longer public API).
 #[test]
 fn multi_shard_reads_are_never_torn() {
     for writers_before_read in 0..4 {
-        let mut c = Cluster::new(ClusterConfig::gtm_lite(2));
-        let (ka, kb) = (make_key(0, 1), make_key(1, 1));
-        c.bump(None, ka, 0).unwrap();
-        c.bump(None, kb, 0).unwrap();
-
-        // Writers that fully commit before the reader begins.
-        for i in 0..writers_before_read {
-            let mut w = c.begin_multi();
-            c.put(&mut w, ka, i + 1).unwrap();
-            c.put(&mut w, kb, i + 1).unwrap();
-            c.commit(w).unwrap();
-        }
-        // One writer frozen inside the commit window.
-        let mut w = c.begin_multi();
-        c.put(&mut w, ka, 100).unwrap();
-        c.put(&mut w, kb, 100).unwrap();
-        c.multi_prepare(&w).unwrap();
-        c.multi_commit_at_gtm(&w).unwrap();
-
-        // Reader: both keys must show the same version of history.
-        let mut r = c.begin_multi();
-        let a = c.get(&mut r, ka).unwrap();
-        let b = c.get(&mut r, kb).unwrap();
-        c.commit(r).unwrap();
-        assert_eq!(a, b, "torn read with {writers_before_read} prior writers");
-
-        c.multi_finish(w).unwrap();
+        let obs = run_torn_read(writers_before_read).unwrap();
+        assert!(
+            !obs.torn(),
+            "torn read with {writers_before_read} prior writers: {obs:?}"
+        );
     }
 }
 

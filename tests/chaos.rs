@@ -9,7 +9,7 @@
 //! in-doubt legs. A run is *replayable* when the same seed reproduces the
 //! identical report — event count, protocol counters and fault stats.
 
-use huawei_dm::cluster::{run_chaos, ChaosConfig};
+use huawei_dm::cluster::{make_key, run_chaos, ChaosConfig, Cluster, ClusterConfig};
 use huawei_dm::simnet::FaultConfig;
 use huawei_dm::telemetry::Telemetry;
 
@@ -88,6 +88,68 @@ fn telemetry_does_not_perturb_the_chaos_schedule() {
     let mut traced = run_chaos(cfg);
     assert!(traced.metrics.take().is_some());
     assert_eq!(bare, traced, "telemetry changed the simulation's behaviour");
+}
+
+/// The acceptance sweep again with the CN-side snapshot-epoch cache on:
+/// cached begins must stay audit-clean under GTM crashes (the cache is
+/// invalidated on crash *and* restart), and the same seed must still
+/// replay bit-for-bit with the cache in the loop.
+#[test]
+fn snapshot_cache_sweep_stays_safe_and_replays() {
+    let mut hits = 0;
+    let mut misses = 0;
+    for seed in 0..20u64 {
+        let mut cfg = ChaosConfig::standard(0xBAD_5EED + seed);
+        cfg.snapshot_cache = true;
+        let r = run_chaos(cfg.clone());
+        assert!(
+            r.violations.is_empty(),
+            "seed {seed}: cached-begin safety violations: {:?}",
+            r.violations
+        );
+        assert_eq!(r.gave_up, 0, "seed {seed}: a client livelocked");
+        hits += r.counters.snapshot_cache_hits;
+        misses += r.counters.snapshot_cache_misses;
+        if seed < 3 {
+            let b = run_chaos(cfg);
+            assert_eq!(r, b, "seed {seed}: cache-enabled replay diverged");
+        }
+    }
+    assert!(misses > 0, "the cache never engaged across the sweep");
+    assert!(hits > 0, "no concurrent begin ever reused an epoch");
+}
+
+/// Regression: after a GTM crash + restart, `attach_telemetry` must
+/// re-resolve the recovered instance's metric handles — the `gtm.csn`
+/// gauge re-seeded from the rebuilt commit log, and `gtm.batch.*` updates
+/// landing in the same series as before the crash.
+#[test]
+fn gtm_metrics_reattach_after_crash_restart() {
+    let tel = Telemetry::simulated();
+    let mut c = Cluster::new(ClusterConfig::gtm_lite(2));
+    c.attach_telemetry(&tel);
+    for i in 0..4u32 {
+        c.bump(None, make_key(i % 2, i), 1).unwrap();
+    }
+    c.note_gtm_batch(2);
+    assert_eq!(tel.metrics.snapshot().gauge("gtm.csn"), 4);
+
+    c.crash_gtm();
+    c.restart_gtm();
+    assert_eq!(
+        tel.metrics.snapshot().gauge("gtm.csn"),
+        4,
+        "recovered GTM must re-seed the gauge from its rebuilt clog"
+    );
+
+    // Post-restart activity keeps landing in the same series.
+    c.bump(None, make_key(0, 99), 1).unwrap();
+    c.note_gtm_batch(3);
+    let snap = tel.metrics.snapshot();
+    assert_eq!(snap.gauge("gtm.csn"), 5);
+    assert_eq!(snap.counter("gtm.batch.count"), 2);
+    let sizes = snap.histograms.get("gtm.batch.size").expect("batch sizes");
+    assert_eq!(sizes.count, 2);
 }
 
 /// Crank the fault rates well past the defaults: the protocol may commit
