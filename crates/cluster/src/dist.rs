@@ -1,0 +1,1119 @@
+//! Distributed SQL execution: the CN plans, the DNs run scan fragments.
+//!
+//! [`DistDb`] is the coordinator-side SQL facade over a GTM-lite
+//! [`Cluster`]. It keeps a **shadow catalog** — table schemas plus
+//! per-shard-merged statistics — plans every query with `hdm-sql`'s planner
+//! against that shadow, then *annotates* the plan for distribution: each
+//! base-table scan becomes a [`PlanOp::Exchange`] leaf whose shard list is
+//! computed by **pruning** the scan predicate against the cluster's
+//! [`ShardMap`] (an equality conjunct on the distribution column collapses
+//! the scatter to one DN leg; a top-level OR defeats pruning).
+//!
+//! Transaction scope follows the annotated plan, which is the paper's
+//! GTM-lite payoff carried up into SQL (§II-A): a statement whose every
+//! fragment lands on one shard opens a single-shard transaction — **zero GTM
+//! interactions** — while a multi-shard statement opens a global transaction
+//! whose per-DN legs get Algorithm-1 merged snapshots and whose commit runs
+//! 2PC. Fragments execute through [`DistExec`], an [`ExecBackend`] whose
+//! `scan_shards` visits each DN's MVCC storage under the leg's snapshot and
+//! wraps every fragment in a `plan.fragment` telemetry span.
+//!
+//! The learning-optimizer loop keys on **distributed** canonical text: an
+//! annotated scan renders as `EXCHANGE(SCAN(...), SHARDS(...))`, so captured
+//! cardinalities feed back into exactly the shard-pruned shape that produced
+//! them, never cross-contaminating single-node plans.
+
+use crate::engine::{Cluster, Protocol, Txn, TxnOptions};
+use crate::shard::key_prefix;
+use hdm_common::{Datum, HdmError, Result, Row, Schema, ShardId};
+use hdm_sql::ast::{BinOp, Expr, SelectStmt, Statement};
+use hdm_sql::db::{CardinalityHints, QueryResult, StepObserver, TableFunction};
+use hdm_sql::expr::{bind, BoundSchema, SExpr};
+use hdm_sql::plan::{PlanNode, PlanOp, StepObservation};
+use hdm_sql::planner::{Planner, PlanningInfo, TempRels};
+use hdm_sql::{Catalog, ExecBackend};
+use hdm_storage::heap::TupleId;
+use hdm_storage::{ColumnStats, TableStats};
+use hdm_telemetry::Telemetry;
+use hdm_txn::SnapshotVisibility;
+use std::collections::{BTreeSet, HashMap};
+use std::rc::Rc;
+
+/// How a table's rows map to shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Route {
+    /// The distribution column's value *is* the application sharding prefix
+    /// (truncated to `u32`) — the default for CN-created SQL tables.
+    HashValue,
+    /// The distribution column holds packed `make_key(prefix, local)` keys —
+    /// the built-in `kv` table's convention.
+    PackedKey,
+}
+
+/// CN-side distribution metadata for one table.
+#[derive(Debug, Clone, Copy)]
+struct DistMeta {
+    shard_col: usize,
+    route: Route,
+}
+
+/// Observable distributed-execution activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DistCounters {
+    /// Exchange leaves pruned to exactly one shard.
+    pub pruned_scans: u64,
+    /// Exchange leaves that scattered to more than one shard.
+    pub scatter_scans: u64,
+    /// Scan fragments shipped to data nodes.
+    pub fragments_run: u64,
+    /// Rows gathered from data nodes to the CN.
+    pub rows_exchanged: u64,
+    /// Statements that ran as single-shard (GTM-free) transactions.
+    pub single_shard_stmts: u64,
+    /// Statements that ran as multi-shard (GTM + 2PC) transactions.
+    pub multi_shard_stmts: u64,
+}
+
+/// The statement's transaction scope, decided from the annotated plan (or
+/// the DML rows' routing): single-shard with its sharding prefix, or multi.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Scope {
+    Single(u32),
+    Multi,
+}
+
+/// A distributed SQL database: coordinator planning over cluster storage.
+pub struct DistDb {
+    cluster: Cluster,
+    /// CN-side schemas + merged statistics. Holds no rows.
+    shadow: Catalog,
+    meta: HashMap<String, DistMeta>,
+    hints: Option<Rc<dyn CardinalityHints>>,
+    observer: Option<Rc<dyn StepObserver>>,
+    table_funcs: HashMap<String, Box<dyn TableFunction>>,
+    tel: Option<Telemetry>,
+    counters: DistCounters,
+}
+
+impl DistDb {
+    /// Wrap a GTM-lite cluster. The built-in per-shard `kv` table is
+    /// pre-registered (read-only through SQL) so its per-DN statistics feed
+    /// the distributed planner.
+    pub fn new(cluster: Cluster) -> Result<Self> {
+        if cluster.config().protocol != Protocol::GtmLite {
+            return Err(HdmError::Unsupported(
+                "DistDb requires the GTM-lite protocol".into(),
+            ));
+        }
+        let mut shadow = Catalog::new();
+        shadow.create_table(
+            "kv",
+            Schema::from_pairs(&[
+                ("k", hdm_common::DataType::Int),
+                ("v", hdm_common::DataType::Int),
+            ]),
+        )?;
+        let mut meta = HashMap::new();
+        meta.insert(
+            "kv".to_string(),
+            DistMeta {
+                shard_col: 0,
+                route: Route::PackedKey,
+            },
+        );
+        Ok(Self {
+            cluster,
+            shadow,
+            meta,
+            hints: None,
+            observer: None,
+            table_funcs: HashMap::new(),
+            tel: None,
+            counters: DistCounters::default(),
+        })
+    }
+
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    pub fn cluster_mut(&mut self) -> &mut Cluster {
+        &mut self.cluster
+    }
+
+    pub fn counters(&self) -> DistCounters {
+        self.counters
+    }
+
+    /// Install the learning plan store (consumer + producer), exactly as on
+    /// the embedded [`hdm_sql::Database`].
+    pub fn set_plan_store(
+        &mut self,
+        hints: Rc<dyn CardinalityHints>,
+        observer: Rc<dyn StepObserver>,
+    ) {
+        self.hints = Some(hints);
+        self.observer = Some(observer);
+    }
+
+    pub fn clear_plan_store(&mut self) {
+        self.hints = None;
+        self.observer = None;
+    }
+
+    /// Wire fragments (and the underlying cluster) to a telemetry bundle.
+    pub fn attach_telemetry(&mut self, tel: &Telemetry) {
+        self.cluster.attach_telemetry(tel);
+        self.tel = Some(tel.clone());
+    }
+
+    /// Execute one SQL statement on the cluster.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
+        let mut stmt = hdm_sql::parser::parse(sql)?;
+        hdm_sql::rewrite::rewrite_statement(&mut stmt);
+        self.execute_statement(&stmt)
+    }
+
+    /// Convenience: execute and return rows.
+    pub fn query(&mut self, sql: &str) -> Result<Vec<Row>> {
+        Ok(self.execute(sql)?.rows)
+    }
+
+    fn execute_statement(&mut self, stmt: &Statement) -> Result<QueryResult> {
+        match stmt {
+            Statement::CreateTable { name, columns } => self.run_create_table(name, columns),
+            Statement::CreateIndex { .. } => Err(HdmError::Unsupported(
+                "distributed CREATE INDEX is not supported".into(),
+            )),
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+            } => self.run_insert(table, columns.as_deref(), rows),
+            Statement::Update {
+                table,
+                sets,
+                where_clause,
+            } => self.run_update(table, sets, where_clause.as_ref()),
+            Statement::Delete {
+                table,
+                where_clause,
+            } => self.run_delete(table, where_clause.as_ref()),
+            Statement::Analyze { table } => self.run_analyze(table.as_deref()),
+            Statement::Select(s) => self.run_select(s),
+            Statement::Explain(inner) => {
+                let Statement::Select(s) = inner.as_ref() else {
+                    return Err(HdmError::Unsupported("EXPLAIN supports SELECT only".into()));
+                };
+                let (plan, planning, _) = self.plan_distributed(s)?;
+                let rows: Vec<Row> = plan
+                    .explain()
+                    .lines()
+                    .map(|l| Row::new(vec![Datum::Text(l.to_string())]))
+                    .collect();
+                Ok(QueryResult {
+                    columns: vec!["plan".into()],
+                    rows,
+                    affected: 0,
+                    steps: vec![],
+                    planning,
+                })
+            }
+        }
+    }
+
+    fn run_create_table(
+        &mut self,
+        name: &str,
+        columns: &[hdm_sql::ast::ColumnDef],
+    ) -> Result<QueryResult> {
+        let schema = Schema::new(
+            columns
+                .iter()
+                .map(|c| {
+                    let col = hdm_common::Column::new(c.name.clone(), c.data_type);
+                    if c.not_null {
+                        col.not_null()
+                    } else {
+                        col
+                    }
+                })
+                .collect(),
+        );
+        // Distribution column: the first column, hash-distributed by value.
+        match schema.columns().first().map(|c| c.data_type) {
+            Some(hdm_common::DataType::Int) => {}
+            _ => {
+                return Err(HdmError::Unsupported(format!(
+                    "distributed table {name} needs an INT first column (the distribution key)"
+                )))
+            }
+        }
+        self.shadow.create_table(name, schema.clone())?;
+        let canon = name.to_ascii_lowercase();
+        for shard in self.cluster.shard_map().all().collect::<Vec<_>>() {
+            self.cluster
+                .node_mut(shard)
+                .create_sql_table(&canon, schema.clone())?;
+        }
+        self.meta.insert(
+            canon,
+            DistMeta {
+                shard_col: 0,
+                route: Route::HashValue,
+            },
+        );
+        Ok(empty_result())
+    }
+
+    /// The shard a distribution-column value routes to, with the sharding
+    /// prefix that names it in [`TxnOptions::single`].
+    fn route_value(&self, meta: DistMeta, v: i64) -> (ShardId, u32) {
+        match meta.route {
+            Route::HashValue => {
+                let prefix = v as u32;
+                (self.cluster.shard_map().shard_of_prefix(prefix), prefix)
+            }
+            Route::PackedKey => {
+                let prefix = key_prefix(v);
+                (self.cluster.shard_map().shard_of_prefix(prefix), prefix)
+            }
+        }
+    }
+
+    fn dist_meta(&self, canon: &str) -> Result<DistMeta> {
+        self.meta.get(canon).copied().ok_or_else(|| {
+            HdmError::Catalog(format!("{canon} is not a distributed table"))
+        })
+    }
+
+    fn run_insert(
+        &mut self,
+        table: &str,
+        columns: Option<&[String]>,
+        rows: &[Vec<Expr>],
+    ) -> Result<QueryResult> {
+        let canon = table.to_ascii_lowercase();
+        let meta = self.dist_meta(&canon)?;
+        if meta.route == Route::PackedKey {
+            return Err(HdmError::Unsupported(
+                "the built-in kv table is read-only through SQL".into(),
+            ));
+        }
+        // Materialize every row CN-side before writing anything (same
+        // protocol as the embedded engine).
+        let t = self.shadow.get(table)?;
+        let width = t.schema().len();
+        let col_map: Vec<usize> = match columns {
+            None => (0..width).collect(),
+            Some(cols) => cols
+                .iter()
+                .map(|c| {
+                    t.schema()
+                        .index_of(c)
+                        .ok_or_else(|| HdmError::Catalog(format!("no column {c} in {table}")))
+                })
+                .collect::<Result<_>>()?,
+        };
+        let empty = BoundSchema::default();
+        let mut routed: Vec<(ShardId, u32, Row)> = Vec::with_capacity(rows.len());
+        for r in rows {
+            if r.len() != col_map.len() {
+                return Err(HdmError::Execution(format!(
+                    "INSERT row has {} values, expected {}",
+                    r.len(),
+                    col_map.len()
+                )));
+            }
+            let mut vals = vec![Datum::Null; width];
+            for (expr, &slot) in r.iter().zip(&col_map) {
+                vals[slot] = bind(expr, &empty)?.eval(&[])?;
+            }
+            let Some(dv) = vals[meta.shard_col].as_int() else {
+                return Err(HdmError::Execution(format!(
+                    "distribution column of {table} must be a non-null INT"
+                )));
+            };
+            let (shard, prefix) = self.route_value(meta, dv);
+            routed.push((shard, prefix, Row::new(vals)));
+        }
+        let shards: BTreeSet<u64> = routed.iter().map(|(s, _, _)| s.raw()).collect();
+        let scope = match (shards.len(), routed.first()) {
+            (1, Some((_, prefix, _))) => Scope::Single(*prefix),
+            _ => Scope::Multi,
+        };
+        let mut txn = self.begin_scoped(scope)?;
+        let mut n = 0u64;
+        for (shard, _, row) in routed {
+            let res = self
+                .fragment_ctx(&mut txn, shard)
+                .and_then(|(xid, snap)| {
+                    let _ = snap;
+                    self.cluster
+                        .node_mut(shard)
+                        .sql_insert(&canon, xid, row)
+                });
+            match res {
+                Ok(_) => n += 1,
+                Err(e) => {
+                    self.cluster.abort(txn)?;
+                    return Err(e);
+                }
+            }
+        }
+        self.cluster.commit(txn)?;
+        Ok(QueryResult {
+            affected: n,
+            ..empty_result()
+        })
+    }
+
+    fn run_update(
+        &mut self,
+        table: &str,
+        sets: &[(String, Expr)],
+        where_clause: Option<&Expr>,
+    ) -> Result<QueryResult> {
+        let canon = table.to_ascii_lowercase();
+        let meta = self.dist_meta(&canon)?;
+        if meta.route == Route::PackedKey {
+            return Err(HdmError::Unsupported(
+                "the built-in kv table is read-only through SQL".into(),
+            ));
+        }
+        let t = self.shadow.get(table)?;
+        let bschema = BoundSchema::from_table(&canon, &canon, t.schema());
+        let pred = where_clause.map(|w| bind(w, &bschema)).transpose()?;
+        let set_bound: Vec<(usize, SExpr)> = sets
+            .iter()
+            .map(|(c, e)| {
+                let idx = t
+                    .schema()
+                    .index_of(c)
+                    .ok_or_else(|| HdmError::Catalog(format!("no column {c} in {table}")))?;
+                Ok((idx, bind(e, &bschema)?))
+            })
+            .collect::<Result<_>>()?;
+        if set_bound.iter().any(|(idx, _)| *idx == meta.shard_col) {
+            return Err(HdmError::Unsupported(format!(
+                "updating the distribution column of {table} would move rows between shards"
+            )));
+        }
+        let name = canon.clone();
+        self.run_dml_scan(&canon, meta, pred, move |node, xid, tid, old| {
+            let mut vals = old.into_values();
+            for (idx, e) in &set_bound {
+                vals[*idx] = e.eval(&vals)?;
+            }
+            node.sql_update(&name, xid, tid, Row::new(vals)).map(|_| ())
+        })
+    }
+
+    fn run_delete(&mut self, table: &str, where_clause: Option<&Expr>) -> Result<QueryResult> {
+        let canon = table.to_ascii_lowercase();
+        let meta = self.dist_meta(&canon)?;
+        if meta.route == Route::PackedKey {
+            return Err(HdmError::Unsupported(
+                "the built-in kv table is read-only through SQL".into(),
+            ));
+        }
+        let t = self.shadow.get(table)?;
+        let bschema = BoundSchema::from_table(&canon, &canon, t.schema());
+        let pred = where_clause.map(|w| bind(w, &bschema)).transpose()?;
+        let name = canon.clone();
+        self.run_dml_scan(&canon, meta, pred, move |node, xid, tid, _old| {
+            node.sql_delete(&name, xid, tid)
+        })
+    }
+
+    /// Shared UPDATE/DELETE driver: prune target shards from the predicate,
+    /// open the narrowest transaction, then per shard collect the matching
+    /// tuples under the leg's snapshot and apply `write` to each.
+    fn run_dml_scan(
+        &mut self,
+        canon: &str,
+        meta: DistMeta,
+        pred: Option<SExpr>,
+        write: impl Fn(&mut crate::node::DataNode, hdm_common::Xid, TupleId, Row) -> Result<()>,
+    ) -> Result<QueryResult> {
+        let pruned = self.prune_shards(meta, pred.as_ref());
+        let scope = match &pruned {
+            Pruned::Single(_, prefix) => Scope::Single(*prefix),
+            Pruned::All => Scope::Multi,
+        };
+        let shards = self.pruned_list(&pruned);
+        let mut txn = self.begin_scoped(scope)?;
+        let mut n = 0u64;
+        for shard in shards {
+            let res = (|| {
+                let (xid, snap) = self.fragment_ctx(&mut txn, shard)?;
+                let node = self.cluster.node(shard);
+                let targets: Vec<(TupleId, Row)> = {
+                    let judge = SnapshotVisibility::new(&snap, node.mgr().clog(), Some(xid));
+                    let t = node.sql_table(canon)?;
+                    let mut v = Vec::new();
+                    for (tid, row) in t.scan(&judge) {
+                        let hit = match &pred {
+                            None => true,
+                            Some(p) => p.eval_filter(row.values())?,
+                        };
+                        if hit {
+                            v.push((tid, row.clone()));
+                        }
+                    }
+                    v
+                };
+                let node = self.cluster.node_mut(shard);
+                for (tid, old) in targets {
+                    write(node, xid, tid, old)?;
+                    n += 1;
+                }
+                Ok(())
+            })();
+            if let Err(e) = res {
+                self.cluster.abort(txn)?;
+                return Err(e);
+            }
+        }
+        self.cluster.commit(txn)?;
+        Ok(QueryResult {
+            affected: n,
+            ..empty_result()
+        })
+    }
+
+    /// Distributed ANALYZE: every up node recomputes its local statistics,
+    /// then the CN merges the per-shard blocks onto its shadow catalog so
+    /// the planner costs from data-node truth.
+    fn run_analyze(&mut self, table: Option<&str>) -> Result<QueryResult> {
+        let shards: Vec<ShardId> = self.cluster.shard_map().all().collect();
+        for &shard in &shards {
+            if self.cluster.is_node_up(shard) {
+                self.cluster.node_mut(shard).analyze_all();
+            }
+        }
+        let names: Vec<String> = match table {
+            Some(t) => vec![t.to_ascii_lowercase()],
+            None => self.meta.keys().cloned().collect(),
+        };
+        for name in names {
+            let mut per_shard: Vec<&TableStats> = Vec::new();
+            for &shard in &shards {
+                if !self.cluster.is_node_up(shard) {
+                    continue;
+                }
+                let node = self.cluster.node(shard);
+                let s = if name == "kv" {
+                    node.stats()
+                } else {
+                    node.sql_stats(&name)
+                };
+                if let Some(s) = s {
+                    per_shard.push(s);
+                }
+            }
+            let merged = merge_stats(&per_shard);
+            self.shadow.get_mut(&name)?.set_stats(merged);
+        }
+        Ok(empty_result())
+    }
+
+    /// Plan a SELECT and annotate it for distribution. Returns the plan,
+    /// planning info (including distributed-key hint hits), and the
+    /// transaction scope the fragments imply.
+    fn plan_distributed(&mut self, s: &SelectStmt) -> Result<(PlanNode, PlanningInfo, Scope)> {
+        // Materialize CTEs first, each as its own scoped statement.
+        let mut temp: TempRels = TempRels::new();
+        for (name, sub) in &s.with {
+            let (plan, _, scope) = self.plan_annotated(sub, &temp)?;
+            let (rows, steps) = self.execute_plan(&plan, scope)?;
+            if let Some(o) = &self.observer {
+                o.observe(&steps);
+            }
+            temp.insert(name.to_ascii_lowercase(), (plan.schema.clone(), rows));
+        }
+        self.plan_annotated(s, &temp)
+    }
+
+    fn plan_annotated(
+        &mut self,
+        s: &SelectStmt,
+        temp: &TempRels,
+    ) -> Result<(PlanNode, PlanningInfo, Scope)> {
+        let mut p = Planner::new(&self.shadow, self.hints.as_deref(), &self.table_funcs);
+        let mut plan = p.plan_select(s, temp)?;
+        let mut info = p.info;
+        let mut single: Vec<(ShardId, u32)> = Vec::new();
+        let mut scattered = false;
+        annotate(
+            &mut plan,
+            &|canon, predicate| {
+                let meta = self.meta.get(canon)?;
+                Some(match self.prune_shards(*meta, predicate) {
+                    Pruned::Single(shard, prefix) => (vec![shard.raw()], Some((shard, prefix))),
+                    Pruned::All => (
+                        self.cluster.shard_map().all().map(|s| s.raw()).collect(),
+                        None,
+                    ),
+                })
+            },
+            &mut single,
+            &mut scattered,
+        );
+        // Re-consult the hints under the *distributed* canonical key: the
+        // plan store learns EXCHANGE(...) cardinalities separately from
+        // local SCAN(...) ones.
+        if let Some(h) = &self.hints {
+            rehint_exchanges(&mut plan, h.as_ref(), &mut info);
+        }
+        let scope = match (&single[..], scattered) {
+            ([], false) => Scope::Multi, // no distributed scans at all
+            (all_single, false) => {
+                let first = all_single[0];
+                if all_single.iter().all(|(s, _)| *s == first.0) {
+                    Scope::Single(first.1)
+                } else {
+                    Scope::Multi
+                }
+            }
+            (_, true) => Scope::Multi,
+        };
+        Ok((plan, info, scope))
+    }
+
+    fn run_select(&mut self, s: &SelectStmt) -> Result<QueryResult> {
+        let (plan, planning, scope) = self.plan_distributed(s)?;
+        let (rows, steps) = self.execute_plan(&plan, scope)?;
+        if let Some(o) = &self.observer {
+            o.observe(&steps);
+        }
+        Ok(QueryResult {
+            columns: plan.schema.cols.iter().map(|c| c.name.clone()).collect(),
+            rows,
+            affected: 0,
+            steps,
+            planning,
+        })
+    }
+
+    /// Plan (and annotate) a SELECT without executing — exposes the
+    /// distributed shape to tests and the bench harness.
+    pub fn plan_only(&mut self, sql: &str) -> Result<PlanNode> {
+        let mut stmt = hdm_sql::parser::parse(sql)?;
+        hdm_sql::rewrite::rewrite_statement(&mut stmt);
+        let Statement::Select(s) = stmt else {
+            return Err(HdmError::Plan("plan_only expects SELECT".into()));
+        };
+        Ok(self.plan_distributed(&s)?.0)
+    }
+
+    fn begin_scoped(&mut self, scope: Scope) -> Result<Txn> {
+        match scope {
+            Scope::Single(prefix) => {
+                self.counters.single_shard_stmts += 1;
+                self.cluster.begin(TxnOptions::single(prefix))
+            }
+            Scope::Multi => {
+                self.counters.multi_shard_stmts += 1;
+                self.cluster.begin(TxnOptions::multi())
+            }
+        }
+    }
+
+    /// The `(local xid, snapshot)` a fragment on `shard` runs under, opening
+    /// the multi-shard leg on first touch.
+    fn fragment_ctx(
+        &mut self,
+        txn: &mut Txn,
+        shard: ShardId,
+    ) -> Result<(hdm_common::Xid, hdm_txn::Snapshot)> {
+        if !self.cluster.is_node_up(shard) {
+            return Err(HdmError::Unavailable(format!("{shard} is down")));
+        }
+        if !txn.is_single_shard() {
+            self.cluster.ensure_leg(txn, shard)?;
+        }
+        txn.lite_ctx(shard).ok_or_else(|| {
+            HdmError::TxnState(format!(
+                "fragment on {shard} outside the transaction's scope"
+            ))
+        })
+    }
+
+    fn execute_plan(
+        &mut self,
+        plan: &PlanNode,
+        scope: Scope,
+    ) -> Result<(Vec<Row>, Vec<StepObservation>)> {
+        let mut txn = self.begin_scoped(scope)?;
+        let mut steps = Vec::new();
+        let res = {
+            let mut be = DistExec {
+                cluster: &mut self.cluster,
+                txn: &mut txn,
+                tel: self.tel.as_ref(),
+                counters: &mut self.counters,
+            };
+            hdm_sql::exec::execute(plan, &mut be, &mut steps)
+        };
+        match res {
+            Ok(rows) => {
+                self.cluster.commit(txn)?;
+                Ok((rows, steps))
+            }
+            Err(e) => {
+                self.cluster.abort(txn)?;
+                Err(e)
+            }
+        }
+    }
+
+    /// Shard pruning (the tentpole rule): walk the predicate's top-level AND
+    /// conjuncts; an equality between the distribution column and an INT
+    /// literal pins the scan to one shard. A top-level OR — or no usable
+    /// conjunct — scatters to every shard.
+    fn prune_shards(&self, meta: DistMeta, predicate: Option<&SExpr>) -> Pruned {
+        let Some(pred) = predicate else {
+            return Pruned::All;
+        };
+        let mut conjuncts = Vec::new();
+        collect_conjuncts(pred, &mut conjuncts);
+        for c in conjuncts {
+            if let SExpr::Binary(BinOp::Eq, l, r) = c {
+                let col_lit = match (l.as_ref(), r.as_ref()) {
+                    (SExpr::Col(c), SExpr::Lit(Datum::Int(v)))
+                    | (SExpr::Lit(Datum::Int(v)), SExpr::Col(c)) => Some((*c, *v)),
+                    _ => None,
+                };
+                if let Some((col, v)) = col_lit {
+                    if col == meta.shard_col {
+                        let (shard, prefix) = self.route_value(meta, v);
+                        return Pruned::Single(shard, prefix);
+                    }
+                }
+            }
+        }
+        Pruned::All
+    }
+
+    fn pruned_list(&self, pruned: &Pruned) -> Vec<ShardId> {
+        match pruned {
+            Pruned::Single(s, _) => vec![*s],
+            Pruned::All => self.cluster.shard_map().all().collect(),
+        }
+    }
+}
+
+/// Pruning outcome for one scan.
+enum Pruned {
+    Single(ShardId, u32),
+    All,
+}
+
+/// Pruning oracle passed to [`annotate`]: shard list plus the single-shard
+/// pin (if the predicate pinned the scan), or `None` for non-distributed
+/// relations (CTEs, temp rels) which stay as local scans.
+type ShardsOf<'a> = dyn Fn(&str, Option<&SExpr>) -> Option<(Vec<u64>, Option<(ShardId, u32)>)> + 'a;
+
+/// Rewrite every base-table scan on a distributed table into an `Exchange`
+/// leaf, recording the single-shard pins and whether anything scattered.
+fn annotate(
+    node: &mut PlanNode,
+    shards_of: &ShardsOf<'_>,
+    single: &mut Vec<(ShardId, u32)>,
+    scattered: &mut bool,
+) {
+    for c in &mut node.children {
+        annotate(c, shards_of, single, scattered);
+    }
+    let replacement = match &node.op {
+        PlanOp::SeqScan { table, predicate } => {
+            shards_of(table, predicate.as_ref()).map(|(shards, pin)| {
+                match pin {
+                    Some(p) => single.push(p),
+                    None => *scattered = true,
+                }
+                PlanOp::Exchange {
+                    table: table.clone(),
+                    predicate: predicate.clone(),
+                    shards,
+                }
+            })
+        }
+        _ => None,
+    };
+    if let Some(op) = replacement {
+        node.op = op;
+    }
+}
+
+/// Second hint pass over the annotated plan: look each `Exchange` up under
+/// its distributed canonical text and adopt the observed cardinality.
+fn rehint_exchanges(node: &mut PlanNode, hints: &dyn CardinalityHints, info: &mut PlanningInfo) {
+    for c in &mut node.children {
+        rehint_exchanges(c, hints, info);
+    }
+    if matches!(node.op, PlanOp::Exchange { .. }) {
+        if let Some(text) = node.canonical() {
+            if let Some(actual) = hints.lookup(&text) {
+                node.est_rows = actual as f64;
+                info.hint_hits += 1;
+            }
+        }
+    }
+}
+
+fn collect_conjuncts<'a>(e: &'a SExpr, out: &mut Vec<&'a SExpr>) {
+    match e {
+        SExpr::Binary(BinOp::And, l, r) => {
+            collect_conjuncts(l, out);
+            collect_conjuncts(r, out);
+        }
+        other => out.push(other),
+    }
+}
+
+/// Merge per-shard statistics into one CN-side block: row and null counts
+/// sum, min/max widen, distinct counts sum (an upper bound — shards hash-
+/// partition rows, so a value lives on one shard and the sum is exact for
+/// the distribution column, pessimistic elsewhere) capped at the row count.
+fn merge_stats(per_shard: &[&TableStats]) -> TableStats {
+    let mut merged = TableStats::default();
+    for s in per_shard {
+        merged.row_count += s.row_count;
+        if merged.columns.len() < s.columns.len() {
+            merged.columns.resize_with(s.columns.len(), ColumnStats::default);
+        }
+        for (m, c) in merged.columns.iter_mut().zip(&s.columns) {
+            m.distinct += c.distinct;
+            m.null_count += c.null_count;
+            m.min = match (m.min.take(), c.min.clone()) {
+                (Some(a), Some(b)) => Some(if b < a { b } else { a }),
+                (a, b) => a.or(b),
+            };
+            m.max = match (m.max.take(), c.max.clone()) {
+                (Some(a), Some(b)) => Some(if b > a { b } else { a }),
+                (a, b) => a.or(b),
+            };
+        }
+    }
+    for m in &mut merged.columns {
+        m.distinct = m.distinct.min(merged.row_count);
+    }
+    merged
+}
+
+fn empty_result() -> QueryResult {
+    QueryResult {
+        columns: vec![],
+        rows: vec![],
+        affected: 0,
+        steps: vec![],
+        planning: PlanningInfo::default(),
+    }
+}
+
+/// The CN-side scatter-gather backend: `Exchange` leaves fan out to data
+/// nodes, everything above them (joins, aggregation, sorts) runs on the CN
+/// over the gathered rows.
+struct DistExec<'a> {
+    cluster: &'a mut Cluster,
+    txn: &'a mut Txn,
+    tel: Option<&'a Telemetry>,
+    counters: &'a mut DistCounters,
+}
+
+impl ExecBackend for DistExec<'_> {
+    fn scan(&mut self, table: &str, _predicate: Option<&SExpr>) -> Result<Vec<Row>> {
+        Err(HdmError::Plan(format!(
+            "un-annotated local scan of {table} reached the distributed backend"
+        )))
+    }
+
+    fn point_get(
+        &mut self,
+        table: &str,
+        _index_id: usize,
+        _key_values: &[Datum],
+        _residual: Option<&SExpr>,
+    ) -> Result<Vec<Row>> {
+        Err(HdmError::Plan(format!(
+            "index probe of {table} reached the distributed backend"
+        )))
+    }
+
+    fn scan_shards(
+        &mut self,
+        table: &str,
+        predicate: Option<&SExpr>,
+        shards: &[u64],
+    ) -> Result<Vec<Row>> {
+        if shards.len() <= 1 {
+            self.counters.pruned_scans += 1;
+        } else {
+            self.counters.scatter_scans += 1;
+        }
+        let mut out = Vec::new();
+        for &raw in shards {
+            let shard = ShardId::new(raw);
+            if !self.cluster.is_node_up(shard) {
+                return Err(HdmError::Unavailable(format!("{shard} is down")));
+            }
+            if !self.txn.is_single_shard() {
+                self.cluster.ensure_leg(self.txn, shard)?;
+            }
+            let (xid, snap) = self.txn.lite_ctx(shard).ok_or_else(|| {
+                HdmError::TxnState(format!(
+                    "fragment on {shard} outside the transaction's scope"
+                ))
+            })?;
+            let span = self.tel.map(|t| {
+                let s = t.tracer.begin("plan.fragment");
+                t.tracer.field(s, "shard", shard);
+                t.tracer.field(s, "table", table);
+                s
+            });
+            let node = self.cluster.node(shard);
+            let judge = SnapshotVisibility::new(&snap, node.mgr().clog(), Some(xid));
+            let t = if table == "kv" {
+                node.kv_table()
+            } else {
+                node.sql_table(table)?
+            };
+            let mut fragment_rows = 0u64;
+            for (_tid, row) in t.scan(&judge) {
+                let keep = match predicate {
+                    None => true,
+                    Some(p) => p.eval_filter(row.values())?,
+                };
+                if keep {
+                    out.push(row.clone());
+                    fragment_rows += 1;
+                }
+            }
+            self.counters.fragments_run += 1;
+            self.counters.rows_exchanged += fragment_rows;
+            if let (Some(t), Some(s)) = (self.tel, span) {
+                t.tracer.field(s, "rows", fragment_rows);
+                t.tracer.end(s);
+            }
+        }
+        Ok(out)
+    }
+
+    fn insert(&mut self, table: &str, _rows: Vec<Row>) -> Result<u64> {
+        Err(HdmError::Plan(format!(
+            "DML on {table} must route through DistDb, not the executor"
+        )))
+    }
+
+    fn update(
+        &mut self,
+        table: &str,
+        _sets: &[(usize, SExpr)],
+        _predicate: Option<&SExpr>,
+    ) -> Result<u64> {
+        Err(HdmError::Plan(format!(
+            "DML on {table} must route through DistDb, not the executor"
+        )))
+    }
+
+    fn delete(&mut self, table: &str, _predicate: Option<&SExpr>) -> Result<u64> {
+        Err(HdmError::Plan(format!(
+            "DML on {table} must route through DistDb, not the executor"
+        )))
+    }
+
+    fn stats(&self, _table: &str) -> Option<TableStats> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ClusterConfig;
+
+    fn dist(shards: usize) -> DistDb {
+        DistDb::new(Cluster::new(ClusterConfig::gtm_lite(shards))).unwrap()
+    }
+
+    fn seed_orders(db: &mut DistDb) {
+        db.execute("create table orders (cust int, amount int)").unwrap();
+        let values: Vec<String> = (0..200i64)
+            .map(|i| format!("({}, {})", i % 16, i * 10))
+            .collect();
+        db.execute(&format!("insert into orders values {}", values.join(", ")))
+            .unwrap();
+    }
+
+    #[test]
+    fn baseline_cluster_rejected() {
+        let c = Cluster::new(ClusterConfig::baseline(2));
+        assert!(DistDb::new(c).is_err());
+    }
+
+    #[test]
+    fn create_insert_select_roundtrip() {
+        let mut db = dist(4);
+        seed_orders(&mut db);
+        let total = db
+            .query("select count(*) from orders")
+            .unwrap()[0]
+            .get(0)
+            .and_then(Datum::as_int);
+        assert_eq!(total, Some(200));
+    }
+
+    #[test]
+    fn rows_actually_spread_across_shards() {
+        let mut db = dist(4);
+        seed_orders(&mut db);
+        let populated = db
+            .cluster()
+            .shard_map()
+            .all()
+            .filter(|&s| {
+                db.cluster()
+                    .node(s)
+                    .sql_table("orders")
+                    .unwrap()
+                    .heap()
+                    .version_count()
+                    > 0
+            })
+            .count();
+        assert!(populated > 1, "hash routing left all rows on one shard");
+    }
+
+    #[test]
+    fn shard_key_equality_prunes_to_one_leg() {
+        let mut db = dist(4);
+        seed_orders(&mut db);
+        let plan = db.plan_only("select amount from orders where cust = 3").unwrap();
+        let text = plan.explain();
+        assert!(text.contains("Exchange"), "no exchange in:\n{text}");
+        let before = db.cluster().counters().gtm_interactions;
+        let expected = (0..200i64).filter(|i| i % 16 == 3).count() as i64;
+        let rows = db
+            .query("select count(*) from orders where cust = 3")
+            .unwrap();
+        assert_eq!(rows[0].get(0).and_then(Datum::as_int), Some(expected));
+        assert_eq!(
+            db.cluster().counters().gtm_interactions,
+            before,
+            "single-shard SELECT must not visit the GTM"
+        );
+        assert!(db.counters().pruned_scans >= 1);
+    }
+
+    #[test]
+    fn multi_shard_aggregate_commits_via_2pc() {
+        let mut db = dist(4);
+        seed_orders(&mut db);
+        let before = db.cluster().counters().multi_shard_commits;
+        let rows = db.query("select sum(amount) from orders").unwrap();
+        assert_eq!(
+            rows[0].get(0).and_then(Datum::as_int),
+            Some((0..200i64).map(|i| i * 10).sum())
+        );
+        assert!(
+            db.cluster().counters().multi_shard_commits > before,
+            "scatter-gather must commit through 2PC"
+        );
+        assert!(db.counters().scatter_scans >= 1);
+    }
+
+    #[test]
+    fn update_and_delete_route_by_predicate() {
+        let mut db = dist(4);
+        seed_orders(&mut db);
+        let expected = (0..200i64).filter(|i| i % 16 == 5).count() as u64;
+        let r = db.execute("update orders set amount = 1 where cust = 5").unwrap();
+        assert_eq!(r.affected, expected);
+        let rows = db
+            .query("select sum(amount) from orders where cust = 5")
+            .unwrap();
+        assert_eq!(
+            rows[0].get(0).and_then(Datum::as_int),
+            Some(expected as i64)
+        );
+        let r = db.execute("delete from orders where cust = 5").unwrap();
+        assert_eq!(r.affected, expected);
+        let rows = db.query("select count(*) from orders").unwrap();
+        assert_eq!(
+            rows[0].get(0).and_then(Datum::as_int),
+            Some(200 - expected as i64)
+        );
+    }
+
+    #[test]
+    fn dml_abort_rolls_back_every_leg() {
+        let mut db = dist(4);
+        db.execute("create table t (k int, v int not null)").unwrap();
+        db.execute("insert into t values (1, 10), (2, 20), (3, 30)").unwrap();
+        // NULL into a NOT NULL column fails row 3 of 3 after earlier writes.
+        let err = db.execute("insert into t values (4, 40), (5, null)");
+        assert!(err.is_err());
+        let rows = db.query("select count(*) from t").unwrap();
+        assert_eq!(rows[0].get(0).and_then(Datum::as_int), Some(3));
+    }
+
+    #[test]
+    fn analyze_merges_per_shard_stats_into_planner_estimates() {
+        let mut db = dist(4);
+        seed_orders(&mut db);
+        db.execute("analyze").unwrap();
+        let stats = db.shadow.get("orders").unwrap().stats().unwrap().clone();
+        assert_eq!(stats.row_count, 200);
+        assert_eq!(stats.columns[0].distinct, 16, "hash-partitioned NDV is exact");
+        let plan = db.plan_only("select * from orders").unwrap();
+        assert_eq!(plan.est_rows, 200.0, "planner estimates from merged stats");
+    }
+
+    #[test]
+    fn kv_table_visible_and_read_only() {
+        let mut db = dist(2);
+        let mut txn = db.cluster_mut().begin(TxnOptions::multi()).unwrap();
+        let key = crate::shard::make_key(7, 1);
+        db.cluster_mut().put(&mut txn, key, 42).unwrap();
+        db.cluster_mut().commit(txn).unwrap();
+        let rows = db
+            .query(&format!("select v from kv where k = {key}"))
+            .unwrap();
+        assert_eq!(rows[0].get(0).and_then(Datum::as_int), Some(42));
+        assert!(db.execute("insert into kv values (1, 1)").is_err());
+    }
+
+    #[test]
+    fn exchange_canonical_text_names_the_shard_set() {
+        let mut db = dist(4);
+        seed_orders(&mut db);
+        let plan = db.plan_only("select * from orders where cust = 3").unwrap();
+        fn find_exchange(n: &PlanNode) -> Option<String> {
+            if matches!(n.op, PlanOp::Exchange { .. }) {
+                return n.canonical();
+            }
+            n.children.iter().find_map(find_exchange)
+        }
+        let text = find_exchange(&plan).expect("annotated plan has an exchange");
+        assert!(text.starts_with("EXCHANGE(SCAN(ORDERS"), "got {text}");
+        assert!(text.contains("SHARDS("), "got {text}");
+    }
+
+    #[test]
+    fn or_on_shard_key_defeats_pruning() {
+        let mut db = dist(4);
+        seed_orders(&mut db);
+        let plan = db
+            .plan_only("select * from orders where cust = 3 or cust = 4")
+            .unwrap();
+        fn exchange_fanout(n: &PlanNode) -> Option<usize> {
+            if let PlanOp::Exchange { shards, .. } = &n.op {
+                return Some(shards.len());
+            }
+            n.children.iter().find_map(exchange_fanout)
+        }
+        assert_eq!(exchange_fanout(&plan), Some(4), "OR must scatter");
+    }
+}

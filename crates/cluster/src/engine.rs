@@ -259,6 +259,24 @@ impl Txn {
             _ => Vec::new(),
         }
     }
+
+    /// The `(local xid, snapshot)` a GTM-lite fragment on `shard` must run
+    /// under: the single-shard txn's own context, or the opened leg's merged
+    /// view. `None` when the leg is not open (call `ensure_leg` first) or
+    /// the transaction is baseline-protocol.
+    pub(crate) fn lite_ctx(&self, shard: ShardId) -> Option<(Xid, Snapshot)> {
+        match &self.kind {
+            TxnKind::LiteSingle {
+                shard: own,
+                xid,
+                snap,
+            } => (*own == shard).then(|| (*xid, snap.clone())),
+            TxnKind::LiteMulti { legs, .. } => legs
+                .get(&shard.raw())
+                .map(|leg| (leg.xid, leg.merged.clone())),
+            TxnKind::Baseline { .. } => None,
+        }
+    }
 }
 
 /// The sharded OLTP cluster: one GTM, N data nodes.
@@ -341,6 +359,12 @@ impl Cluster {
 
     pub fn node(&self, shard: ShardId) -> &DataNode {
         &self.nodes[shard.raw() as usize]
+    }
+
+    /// Mutable node access for the in-crate distributed SQL layer (fragment
+    /// execution writes through the node's SQL tables).
+    pub(crate) fn node_mut(&mut self, shard: ShardId) -> &mut DataNode {
+        &mut self.nodes[shard.raw() as usize]
     }
 
     pub fn is_node_up(&self, shard: ShardId) -> bool {
@@ -735,7 +759,7 @@ impl Cluster {
     /// the local leg, take the local snapshot, and run Algorithm 1 (or the
     /// naive union under [`MergePolicy::Naive`]). UPGRADE waits are resolved
     /// by finishing the pending commits and re-merging.
-    fn ensure_leg(&mut self, txn: &mut Txn, shard: ShardId) -> Result<()> {
+    pub(crate) fn ensure_leg(&mut self, txn: &mut Txn, shard: ShardId) -> Result<()> {
         let TxnKind::LiteMulti { gxid, gsnap, legs } = &mut txn.kind else {
             return Err(HdmError::TxnState("ensure_leg on non-multi txn".into()));
         };

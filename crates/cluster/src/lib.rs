@@ -16,9 +16,12 @@
 //! * [`retry`] — CN-side capped-exponential backoff with seeded jitter.
 //! * [`chaos`] — the fault-injection harness: a bank-transfer workload under
 //!   seeded message faults and node/GTM crashes, with a shadow-ledger audit.
+//! * [`dist`] — distributed SQL: the CN plans shard-pruned scatter-gather
+//!   plans over the data nodes through `hdm-sql`'s pluggable backend.
 
 pub mod anomaly;
 pub mod chaos;
+pub mod dist;
 pub mod engine;
 pub mod node;
 pub mod retry;
@@ -26,6 +29,7 @@ pub mod shard;
 pub mod sim;
 
 pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
+pub use dist::{DistCounters, DistDb};
 pub use engine::{Cluster, ClusterConfig, ClusterCounters, MergePolicy, Protocol, Txn, TxnOptions};
 pub use node::DataNode;
 pub use retry::RetryPolicy;

@@ -6,20 +6,24 @@
 //! transaction that is decided-commit at the GTM but whose confirmation has
 //! not yet been applied here can be *finished* on demand by a reader.
 
-use hdm_common::{row, Datum, HdmError, Result, ShardId, Xid};
+use hdm_common::{row, Datum, HdmError, Result, Row, Schema, ShardId, Xid};
 use hdm_storage::heap::TupleId;
 use hdm_storage::mvcc::Visibility;
 use hdm_storage::{Table, TableStats};
 use hdm_txn::{LocalTxnManager, Snapshot, SnapshotVisibility};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// One undoable write.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 enum UndoOp {
     /// We inserted this version; abort neutralizes it.
     Insert(TupleId),
     /// We stamped this version dead; abort clears the stamp.
     Delete(TupleId),
+    /// Insert into a named SQL table shard.
+    SqlInsert(String, TupleId),
+    /// Delete stamp on a named SQL table shard.
+    SqlDelete(String, TupleId),
 }
 
 /// A data node holding one shard.
@@ -28,6 +32,10 @@ pub struct DataNode {
     id: ShardId,
     mgr: LocalTxnManager,
     table: Table,
+    /// Shard-local slices of distributed SQL tables, keyed by canonical
+    /// (lowercased) table name. Created by the CN's `CREATE TABLE` fan-out;
+    /// each holds only the rows routed to this shard.
+    sql: BTreeMap<String, Table>,
     /// Undo log per writing XID (local XID under GTM-lite, global XID under
     /// the baseline protocol — the node is agnostic).
     undo: HashMap<u64, Vec<UndoOp>>,
@@ -50,6 +58,7 @@ impl DataNode {
             id,
             mgr: LocalTxnManager::new(),
             table,
+            sql: BTreeMap::new(),
             undo: HashMap::new(),
             pending_commit: HashMap::new(),
         }
@@ -69,6 +78,89 @@ impl DataNode {
 
     pub fn stats(&self) -> Option<&TableStats> {
         self.table.stats()
+    }
+
+    /// The built-in kv table (exposed read-only for distributed scans).
+    pub fn kv_table(&self) -> &Table {
+        &self.table
+    }
+
+    /// Create this shard's slice of a distributed SQL table. Idempotent on
+    /// name collisions only if the existing slice is empty of versions.
+    pub fn create_sql_table(&mut self, name: &str, schema: Schema) -> Result<()> {
+        if self.sql.contains_key(name) {
+            return Err(HdmError::Catalog(format!(
+                "table {name} already exists on {}",
+                self.id
+            )));
+        }
+        self.sql
+            .insert(name.to_string(), Table::new(format!("{name}@{}", self.id), schema));
+        Ok(())
+    }
+
+    /// This shard's slice of SQL table `name`.
+    pub fn sql_table(&self, name: &str) -> Result<&Table> {
+        self.sql
+            .get(name)
+            .ok_or_else(|| HdmError::Catalog(format!("no table {name} on {}", self.id)))
+    }
+
+    /// Statistics for this shard's slice of SQL table `name` (last ANALYZE).
+    pub fn sql_stats(&self, name: &str) -> Option<&TableStats> {
+        self.sql.get(name).and_then(Table::stats)
+    }
+
+    /// Insert `row` into SQL table `name` as `xid`, with undo recorded.
+    pub fn sql_insert(&mut self, name: &str, xid: Xid, row: Row) -> Result<TupleId> {
+        let t = self
+            .sql
+            .get_mut(name)
+            .ok_or_else(|| HdmError::Catalog(format!("no table {name} on {}", self.id)))?;
+        let tid = t.insert(xid, row)?;
+        self.undo
+            .entry(xid.raw())
+            .or_default()
+            .push(UndoOp::SqlInsert(name.to_string(), tid));
+        Ok(tid)
+    }
+
+    /// Update tuple `tid` of SQL table `name` as `xid`, with undo recorded.
+    pub fn sql_update(&mut self, name: &str, xid: Xid, tid: TupleId, row: Row) -> Result<TupleId> {
+        let t = self
+            .sql
+            .get_mut(name)
+            .ok_or_else(|| HdmError::Catalog(format!("no table {name} on {}", self.id)))?;
+        let new_tid = t.update(xid, tid, row)?;
+        let u = self.undo.entry(xid.raw()).or_default();
+        u.push(UndoOp::SqlDelete(name.to_string(), tid));
+        u.push(UndoOp::SqlInsert(name.to_string(), new_tid));
+        Ok(new_tid)
+    }
+
+    /// Delete tuple `tid` of SQL table `name` as `xid`, with undo recorded.
+    pub fn sql_delete(&mut self, name: &str, xid: Xid, tid: TupleId) -> Result<()> {
+        let t = self
+            .sql
+            .get_mut(name)
+            .ok_or_else(|| HdmError::Catalog(format!("no table {name} on {}", self.id)))?;
+        t.delete(xid, tid)?;
+        self.undo
+            .entry(xid.raw())
+            .or_default()
+            .push(UndoOp::SqlDelete(name.to_string(), tid));
+        Ok(())
+    }
+
+    /// ANALYZE every table on this node (kv + SQL slices) under the node's
+    /// current local snapshot — the per-DN half of a distributed ANALYZE.
+    pub fn analyze_all(&mut self) {
+        let snap = self.mgr.local_snapshot();
+        let judge = SnapshotVisibility::new(&snap, self.mgr.clog(), None);
+        self.table.analyze(&judge);
+        for t in self.sql.values_mut() {
+            t.analyze(&judge);
+        }
     }
 
     /// Read `key` under the caller's visibility judge.
@@ -222,6 +314,16 @@ impl DataNode {
                 match op {
                     UndoOp::Insert(tid) => self.table.undo_insert(xid, tid)?,
                     UndoOp::Delete(tid) => self.table.undo_delete(xid, tid)?,
+                    UndoOp::SqlInsert(name, tid) => {
+                        if let Some(t) = self.sql.get_mut(&name) {
+                            t.undo_insert(xid, tid)?;
+                        }
+                    }
+                    UndoOp::SqlDelete(name, tid) => {
+                        if let Some(t) = self.sql.get_mut(&name) {
+                            t.undo_delete(xid, tid)?;
+                        }
+                    }
                 }
             }
         }

@@ -241,6 +241,23 @@ mod tests {
     }
 
     #[test]
+    fn distributed_and_local_step_texts_key_separately() {
+        // The CN's annotated plans render scans as EXCHANGE(SCAN(...),
+        // SHARDS(...)); a distributed cardinality must never be served for
+        // the single-node SCAN(...) key (or vice versa), and different
+        // shard sets are themselves distinct keys.
+        let mut s = PlanStore::default();
+        let local = "SCAN(ORDERS, PREDICATE(ORDERS.CUST = 3))";
+        let dist = "EXCHANGE(SCAN(ORDERS, PREDICATE(ORDERS.CUST = 3)), SHARDS(2))";
+        let scatter = "EXCHANGE(SCAN(ORDERS, PREDICATE(ORDERS.CUST = 3)), SHARDS(0,1,2,3))";
+        s.capture(&[obs(local, 1.0, 100), obs(dist, 1.0, 25), obs(scatter, 1.0, 40)]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.lookup(local), Some(100));
+        assert_eq!(s.lookup(dist), Some(25));
+        assert_eq!(s.lookup(scatter), Some(40));
+    }
+
+    #[test]
     fn big_differential_is_captured_small_is_not() {
         let mut s = PlanStore::default();
         s.capture(&[obs("SCAN(A)", 50.0, 100.0 as u64)]);

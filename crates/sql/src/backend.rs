@@ -1,0 +1,302 @@
+//! Pluggable execution backends.
+//!
+//! The executor ([`crate::exec::execute`]) is written against [`ExecBackend`]
+//! rather than against [`crate::catalog::Catalog`] directly, so the same plan
+//! tree can run over two very different storage layers:
+//!
+//! * [`LocalBackend`] — the embedded single-node heap (the original
+//!   behaviour, bit-for-bit: one statement snapshot, autocommitted local
+//!   transactions, undo-on-error);
+//! * `cluster::dist::DistExec` (in `hdm-cluster`) — the CN-side scatter-
+//!   gather backend, where `Exchange` leaves fan scan fragments out to data
+//!   nodes under a GTM-lite or 2PC transaction.
+//!
+//! The trait is the paper's CN/DN seam (§II, Fig 2): everything above it —
+//! joins, aggregation, set ops, limit, the canonical-step observations the
+//! learning optimizer feeds on — is backend-agnostic coordinator work;
+//! everything below it is shard-local storage access under some snapshot.
+
+use crate::catalog::Catalog;
+use crate::expr::SExpr;
+use hdm_common::{Datum, Result, Row};
+use hdm_storage::TableStats;
+use hdm_txn::{LocalTxnManager, Snapshot, SnapshotVisibility};
+
+/// Storage access for the executor: scans and point gets under the backend's
+/// statement snapshot, DML as autocommitted transactions, and a statistics
+/// handle for planners that want backend-truth row counts.
+pub trait ExecBackend {
+    /// Rows of `table` visible under the backend's snapshot that pass
+    /// `predicate` (all rows when `None`).
+    fn scan(&mut self, table: &str, predicate: Option<&SExpr>) -> Result<Vec<Row>>;
+
+    /// Equality index probe on `index_id` with `key_values`, filtered by the
+    /// `residual` predicate.
+    fn point_get(
+        &mut self,
+        table: &str,
+        index_id: usize,
+        key_values: &[Datum],
+        residual: Option<&SExpr>,
+    ) -> Result<Vec<Row>>;
+
+    /// Scan restricted to the given shard set — the `Exchange` fragment
+    /// entry point. Backends without a notion of placement run a plain scan.
+    fn scan_shards(
+        &mut self,
+        table: &str,
+        predicate: Option<&SExpr>,
+        shards: &[u64],
+    ) -> Result<Vec<Row>> {
+        let _ = shards;
+        self.scan(table, predicate)
+    }
+
+    /// Insert pre-materialized rows as one autocommitted transaction.
+    /// Returns the number of rows inserted.
+    fn insert(&mut self, table: &str, rows: Vec<Row>) -> Result<u64>;
+
+    /// Update rows matching `predicate`, assigning each `(column, expr)` in
+    /// `sets` (exprs evaluated over the old row). Returns rows updated.
+    fn update(
+        &mut self,
+        table: &str,
+        sets: &[(usize, SExpr)],
+        predicate: Option<&SExpr>,
+    ) -> Result<u64>;
+
+    /// Delete rows matching `predicate`. Returns rows deleted.
+    fn delete(&mut self, table: &str, predicate: Option<&SExpr>) -> Result<u64>;
+
+    /// Optimizer statistics for `table`, if the backend has any.
+    fn stats(&self, table: &str) -> Option<TableStats>;
+}
+
+/// The embedded single-node backend: the catalog's heap judged by one
+/// statement snapshot taken at construction, with DML running exactly the
+/// autocommit protocol `Database` always used (begin local → write →
+/// undo-on-error → commit).
+pub struct LocalBackend<'a> {
+    catalog: &'a mut Catalog,
+    mgr: &'a mut LocalTxnManager,
+    snap: Snapshot,
+}
+
+impl<'a> LocalBackend<'a> {
+    /// Capture the statement snapshot now; reads through this backend do not
+    /// see transactions that commit later.
+    pub fn new(catalog: &'a mut Catalog, mgr: &'a mut LocalTxnManager) -> Self {
+        let snap = mgr.local_snapshot();
+        Self { catalog, mgr, snap }
+    }
+}
+
+impl ExecBackend for LocalBackend<'_> {
+    fn scan(&mut self, table: &str, predicate: Option<&SExpr>) -> Result<Vec<Row>> {
+        let judge = SnapshotVisibility::new(&self.snap, self.mgr.clog(), None);
+        let t = self.catalog.get(table)?;
+        let mut out = Vec::new();
+        for (_tid, row) in t.scan(&judge) {
+            let keep = match predicate {
+                None => true,
+                Some(p) => p.eval_filter(row.values())?,
+            };
+            if keep {
+                out.push(row.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    fn point_get(
+        &mut self,
+        table: &str,
+        index_id: usize,
+        key_values: &[Datum],
+        residual: Option<&SExpr>,
+    ) -> Result<Vec<Row>> {
+        let judge = SnapshotVisibility::new(&self.snap, self.mgr.clog(), None);
+        let t = self.catalog.get(table)?;
+        let hits = t.probe(index_id, &key_values.to_vec(), &judge)?;
+        let mut out = Vec::new();
+        for (_tid, row) in hits {
+            let keep = match residual {
+                None => true,
+                Some(p) => p.eval_filter(row.values())?,
+            };
+            if keep {
+                out.push(row.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    fn insert(&mut self, table: &str, rows: Vec<Row>) -> Result<u64> {
+        let xid = self.mgr.begin_local();
+        let t = self.catalog.get_mut(table)?;
+        let mut inserted = Vec::new();
+        for row in rows {
+            match t.insert(xid, row) {
+                Ok(tid) => inserted.push(tid),
+                Err(e) => {
+                    for tid in inserted {
+                        t.undo_insert(xid, tid)?;
+                    }
+                    self.mgr.abort(xid)?;
+                    return Err(e);
+                }
+            }
+        }
+        self.mgr.commit(xid)?;
+        Ok(inserted.len() as u64)
+    }
+
+    fn update(
+        &mut self,
+        table: &str,
+        sets: &[(usize, SExpr)],
+        predicate: Option<&SExpr>,
+    ) -> Result<u64> {
+        let xid = self.mgr.begin_local();
+        let snap = self.mgr.local_snapshot();
+        // Collect targets first (snapshot view), then write.
+        let targets: Vec<(hdm_storage::heap::TupleId, Row)> = {
+            let judge = SnapshotVisibility::new(&snap, self.mgr.clog(), Some(xid));
+            let t = self.catalog.get(table)?;
+            let mut v = Vec::new();
+            for (tid, row) in t.scan(&judge) {
+                let hit = match predicate {
+                    None => true,
+                    Some(p) => p.eval_filter(row.values())?,
+                };
+                if hit {
+                    v.push((tid, row.clone()));
+                }
+            }
+            v
+        };
+        let t = self.catalog.get_mut(table)?;
+        let mut n = 0;
+        for (tid, old) in targets {
+            let mut vals = old.into_values();
+            for (idx, e) in sets {
+                vals[*idx] = e.eval(&vals)?;
+            }
+            match t.update(xid, tid, Row::new(vals)) {
+                Ok(_) => n += 1,
+                Err(e) => {
+                    // Write-write conflict mid-statement: abort the lot.
+                    self.mgr.abort(xid)?;
+                    return Err(e);
+                }
+            }
+        }
+        self.mgr.commit(xid)?;
+        Ok(n)
+    }
+
+    fn delete(&mut self, table: &str, predicate: Option<&SExpr>) -> Result<u64> {
+        let xid = self.mgr.begin_local();
+        let snap = self.mgr.local_snapshot();
+        let targets: Vec<hdm_storage::heap::TupleId> = {
+            let judge = SnapshotVisibility::new(&snap, self.mgr.clog(), Some(xid));
+            let t = self.catalog.get(table)?;
+            let mut v = Vec::new();
+            for (tid, row) in t.scan(&judge) {
+                let hit = match predicate {
+                    None => true,
+                    Some(p) => p.eval_filter(row.values())?,
+                };
+                if hit {
+                    v.push(tid);
+                }
+            }
+            v
+        };
+        let t = self.catalog.get_mut(table)?;
+        let mut n = 0;
+        for tid in targets {
+            match t.delete(xid, tid) {
+                Ok(()) => n += 1,
+                Err(e) => {
+                    self.mgr.abort(xid)?;
+                    return Err(e);
+                }
+            }
+        }
+        self.mgr.commit(xid)?;
+        Ok(n)
+    }
+
+    fn stats(&self, table: &str) -> Option<TableStats> {
+        self.catalog.get(table).ok().and_then(|t| t.stats().cloned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdm_common::{row, DataType, Schema};
+
+    fn setup() -> (Catalog, LocalTxnManager) {
+        let mut catalog = Catalog::new();
+        catalog
+            .create_table(
+                "t",
+                Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Int)]),
+            )
+            .unwrap();
+        (catalog, LocalTxnManager::new())
+    }
+
+    #[test]
+    fn insert_then_scan_roundtrip() {
+        let (mut catalog, mut mgr) = setup();
+        {
+            let mut be = LocalBackend::new(&mut catalog, &mut mgr);
+            assert_eq!(be.insert("t", vec![row![1, 10], row![2, 20]]).unwrap(), 2);
+        }
+        let mut be = LocalBackend::new(&mut catalog, &mut mgr);
+        let rows = be.scan("t", None).unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn snapshot_is_fixed_at_construction() {
+        let (mut catalog, mut mgr) = setup();
+        {
+            let mut be = LocalBackend::new(&mut catalog, &mut mgr);
+            be.insert("t", vec![row![1, 10]]).unwrap();
+        }
+        // A backend created before a later insert must not see it.
+        let early_snap = {
+            let be = LocalBackend::new(&mut catalog, &mut mgr);
+            be.snap.clone()
+        };
+        {
+            let mut be = LocalBackend::new(&mut catalog, &mut mgr);
+            be.insert("t", vec![row![2, 20]]).unwrap();
+        }
+        let mut be = LocalBackend::new(&mut catalog, &mut mgr);
+        be.snap = early_snap;
+        assert_eq!(be.scan("t", None).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn update_and_delete_autocommit() {
+        let (mut catalog, mut mgr) = setup();
+        let mut be = LocalBackend::new(&mut catalog, &mut mgr);
+        be.insert("t", vec![row![1, 10], row![2, 20]]).unwrap();
+        let sets = vec![(1usize, SExpr::Lit(Datum::Int(99)))];
+        let pred = SExpr::Binary(
+            crate::ast::BinOp::Eq,
+            Box::new(SExpr::Col(0)),
+            Box::new(SExpr::Lit(Datum::Int(1))),
+        );
+        assert_eq!(be.update("t", &sets, Some(&pred)).unwrap(), 1);
+        assert_eq!(be.delete("t", Some(&pred)).unwrap(), 1);
+        let mut be = LocalBackend::new(&mut catalog, &mut mgr);
+        let rows = be.scan("t", None).unwrap();
+        assert_eq!(rows, vec![row![2, 20]]);
+    }
+}

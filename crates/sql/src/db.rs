@@ -3,6 +3,7 @@
 //! plugs into (plan store consumer/producer, table functions).
 
 use crate::ast::{SelectItem, SelectStmt, Statement};
+use crate::backend::LocalBackend;
 use crate::catalog::Catalog;
 use crate::exec::execute;
 use crate::expr::{bind, BoundSchema};
@@ -207,10 +208,11 @@ impl Database {
                 );
                 (p.plan_select(sub, &temp)?, p.info)
             };
-            let snap = self.mgr.local_snapshot();
-            let judge = SnapshotVisibility::new(&snap, self.mgr.clog(), None);
             let mut obs = Vec::new();
-            let rows = execute(&plan, &self.catalog, &judge, &mut obs)?;
+            let rows = {
+                let mut be = LocalBackend::new(&mut self.catalog, &mut self.mgr);
+                execute(&plan, &mut be, &mut obs)?
+            };
             if let Some(o) = &self.observer {
                 o.observe(&obs);
             }
@@ -223,10 +225,11 @@ impl Database {
 
     fn run_select(&mut self, s: &SelectStmt) -> Result<QueryResult> {
         let (plan, planning) = self.plan_with_ctes(s)?;
-        let snap = self.mgr.local_snapshot();
-        let judge = SnapshotVisibility::new(&snap, self.mgr.clog(), None);
         let mut steps = Vec::new();
-        let rows = execute(&plan, &self.catalog, &judge, &mut steps)?;
+        let rows = {
+            let mut be = LocalBackend::new(&mut self.catalog, &mut self.mgr);
+            execute(&plan, &mut be, &mut steps)?
+        };
         if let Some(o) = &self.observer {
             o.observe(&steps);
         }
@@ -295,24 +298,10 @@ impl Database {
             materialized.push(Row::new(vals));
         }
 
-        let xid = self.mgr.begin_local();
-        let t = self.catalog.get_mut(table)?;
-        let mut inserted = Vec::new();
-        for row in materialized {
-            match t.insert(xid, row) {
-                Ok(tid) => inserted.push(tid),
-                Err(e) => {
-                    for tid in inserted {
-                        t.undo_insert(xid, tid)?;
-                    }
-                    self.mgr.abort(xid)?;
-                    return Err(e);
-                }
-            }
-        }
-        self.mgr.commit(xid)?;
+        let mut be = LocalBackend::new(&mut self.catalog, &mut self.mgr);
+        let affected = crate::backend::ExecBackend::insert(&mut be, table, materialized)?;
         Ok(QueryResult {
-            affected: inserted.len() as u64,
+            affected,
             ..QueryResult::empty()
         })
     }
@@ -341,43 +330,11 @@ impl Database {
             })
             .collect::<Result<_>>()?;
 
-        let xid = self.mgr.begin_local();
-        let snap = self.mgr.local_snapshot();
-        // Collect targets first (snapshot view), then write.
-        let targets: Vec<(hdm_storage::heap::TupleId, Row)> = {
-            let judge = SnapshotVisibility::new(&snap, self.mgr.clog(), Some(xid));
-            let t = self.catalog.get(table)?;
-            let mut v = Vec::new();
-            for (tid, row) in t.scan(&judge) {
-                let hit = match &pred {
-                    None => true,
-                    Some(p) => p.eval_filter(row.values())?,
-                };
-                if hit {
-                    v.push((tid, row.clone()));
-                }
-            }
-            v
-        };
-        let t = self.catalog.get_mut(table)?;
-        let mut n = 0;
-        for (tid, old) in targets {
-            let mut vals = old.into_values();
-            for (idx, e) in &set_bound {
-                vals[*idx] = e.eval(&vals)?;
-            }
-            match t.update(xid, tid, Row::new(vals)) {
-                Ok(_) => n += 1,
-                Err(e) => {
-                    // Write-write conflict mid-statement: abort the lot.
-                    self.mgr.abort(xid)?;
-                    return Err(e);
-                }
-            }
-        }
-        self.mgr.commit(xid)?;
+        let mut be = LocalBackend::new(&mut self.catalog, &mut self.mgr);
+        let affected =
+            crate::backend::ExecBackend::update(&mut be, table, &set_bound, pred.as_ref())?;
         Ok(QueryResult {
-            affected: n,
+            affected,
             ..QueryResult::empty()
         })
     }
@@ -394,37 +351,10 @@ impl Database {
             t.schema(),
         );
         let pred = where_clause.map(|w| bind(w, &schema)).transpose()?;
-        let xid = self.mgr.begin_local();
-        let snap = self.mgr.local_snapshot();
-        let targets: Vec<hdm_storage::heap::TupleId> = {
-            let judge = SnapshotVisibility::new(&snap, self.mgr.clog(), Some(xid));
-            let t = self.catalog.get(table)?;
-            let mut v = Vec::new();
-            for (tid, row) in t.scan(&judge) {
-                let hit = match &pred {
-                    None => true,
-                    Some(p) => p.eval_filter(row.values())?,
-                };
-                if hit {
-                    v.push(tid);
-                }
-            }
-            v
-        };
-        let t = self.catalog.get_mut(table)?;
-        let mut n = 0;
-        for tid in targets {
-            match t.delete(xid, tid) {
-                Ok(()) => n += 1,
-                Err(e) => {
-                    self.mgr.abort(xid)?;
-                    return Err(e);
-                }
-            }
-        }
-        self.mgr.commit(xid)?;
+        let mut be = LocalBackend::new(&mut self.catalog, &mut self.mgr);
+        let affected = crate::backend::ExecBackend::delete(&mut be, table, pred.as_ref())?;
         Ok(QueryResult {
-            affected: n,
+            affected,
             ..QueryResult::empty()
         })
     }

@@ -9,68 +9,43 @@
 //! here; we record everything and let the store filter, §II-C).
 
 use crate::ast::SetOpKind;
-use crate::catalog::Catalog;
+use crate::backend::ExecBackend;
 use crate::plan::{AggCall, AggFunc, PlanNode, PlanOp, StepObservation};
 use hdm_common::{Datum, HdmError, Result, Row};
-use hdm_storage::mvcc::Visibility;
 use std::collections::HashMap;
 
-/// Execute a plan, appending step observations.
+/// Execute a plan against a storage backend, appending step observations.
 pub fn execute(
     plan: &PlanNode,
-    catalog: &Catalog,
-    judge: &dyn Visibility,
+    backend: &mut dyn ExecBackend,
     obs: &mut Vec<StepObservation>,
 ) -> Result<Vec<Row>> {
-    let rows = execute_inner(plan, catalog, judge, obs)?;
+    let rows = execute_inner(plan, backend, obs)?;
     Ok(rows)
 }
 
 fn execute_inner(
     plan: &PlanNode,
-    catalog: &Catalog,
-    judge: &dyn Visibility,
+    backend: &mut dyn ExecBackend,
     obs: &mut Vec<StepObservation>,
 ) -> Result<Vec<Row>> {
     let rows = match &plan.op {
-        PlanOp::SeqScan { table, predicate } => {
-            let t = catalog.get(table)?;
-            let mut out = Vec::new();
-            for (_tid, row) in t.scan(judge) {
-                let keep = match predicate {
-                    None => true,
-                    Some(p) => p.eval_filter(row.values())?,
-                };
-                if keep {
-                    out.push(row.clone());
-                }
-            }
-            out
-        }
+        PlanOp::SeqScan { table, predicate } => backend.scan(table, predicate.as_ref())?,
         PlanOp::IndexScan {
             table,
             index_id,
             key_values,
             residual,
             ..
-        } => {
-            let t = catalog.get(table)?;
-            let hits = t.probe(*index_id, key_values, judge)?;
-            let mut out = Vec::new();
-            for (_tid, row) in hits {
-                let keep = match residual {
-                    None => true,
-                    Some(p) => p.eval_filter(row.values())?,
-                };
-                if keep {
-                    out.push(row.clone());
-                }
-            }
-            out
-        }
+        } => backend.point_get(table, *index_id, key_values, residual.as_ref())?,
+        PlanOp::Exchange {
+            table,
+            predicate,
+            shards,
+        } => backend.scan_shards(table, predicate.as_ref(), shards)?,
         PlanOp::Values { rows, .. } => rows.clone(),
         PlanOp::Filter { predicate } => {
-            let input = execute_inner(&plan.children[0], catalog, judge, obs)?;
+            let input = execute_inner(&plan.children[0], backend, obs)?;
             let mut out = Vec::new();
             for r in input {
                 if predicate.eval_filter(r.values())? {
@@ -80,8 +55,8 @@ fn execute_inner(
             out
         }
         PlanOp::NestedLoopJoin { on } => {
-            let left = execute_inner(&plan.children[0], catalog, judge, obs)?;
-            let right = execute_inner(&plan.children[1], catalog, judge, obs)?;
+            let left = execute_inner(&plan.children[0], backend, obs)?;
+            let right = execute_inner(&plan.children[1], backend, obs)?;
             let mut out = Vec::new();
             for l in &left {
                 for r in &right {
@@ -102,8 +77,8 @@ fn execute_inner(
             right_keys,
             residual,
         } => {
-            let left = execute_inner(&plan.children[0], catalog, judge, obs)?;
-            let right = execute_inner(&plan.children[1], catalog, judge, obs)?;
+            let left = execute_inner(&plan.children[0], backend, obs)?;
+            let right = execute_inner(&plan.children[1], backend, obs)?;
             // Build on the right input.
             let mut table: HashMap<Vec<Datum>, Vec<&Row>> = HashMap::new();
             for r in &right {
@@ -139,7 +114,7 @@ fn execute_inner(
             out
         }
         PlanOp::Project { exprs } => {
-            let input = execute_inner(&plan.children[0], catalog, judge, obs)?;
+            let input = execute_inner(&plan.children[0], backend, obs)?;
             let mut out = Vec::with_capacity(input.len());
             for r in input {
                 let vals: Vec<Datum> = exprs
@@ -151,11 +126,11 @@ fn execute_inner(
             out
         }
         PlanOp::HashAgg { group, aggs } => {
-            let input = execute_inner(&plan.children[0], catalog, judge, obs)?;
+            let input = execute_inner(&plan.children[0], backend, obs)?;
             run_hash_agg(group, aggs, &input)?
         }
         PlanOp::Sort { keys } => {
-            let mut input = execute_inner(&plan.children[0], catalog, judge, obs)?;
+            let mut input = execute_inner(&plan.children[0], backend, obs)?;
             // Precompute sort keys to keep comparator infallible.
             let mut keyed: Vec<(Vec<Datum>, Row)> = Vec::with_capacity(input.len());
             for r in input.drain(..) {
@@ -178,12 +153,12 @@ fn execute_inner(
             keyed.into_iter().map(|(_, r)| r).collect()
         }
         PlanOp::Limit { n } => {
-            let mut input = execute_inner(&plan.children[0], catalog, judge, obs)?;
+            let mut input = execute_inner(&plan.children[0], backend, obs)?;
             input.truncate(*n as usize);
             input
         }
         PlanOp::Distinct => {
-            let input = execute_inner(&plan.children[0], catalog, judge, obs)?;
+            let input = execute_inner(&plan.children[0], backend, obs)?;
             let mut seen = std::collections::HashSet::new();
             input
                 .into_iter()
@@ -191,8 +166,8 @@ fn execute_inner(
                 .collect()
         }
         PlanOp::SetOp { kind, all } => {
-            let left = execute_inner(&plan.children[0], catalog, judge, obs)?;
-            let right = execute_inner(&plan.children[1], catalog, judge, obs)?;
+            let left = execute_inner(&plan.children[0], backend, obs)?;
+            let right = execute_inner(&plan.children[1], backend, obs)?;
             run_set_op(*kind, *all, left, right)
         }
     };

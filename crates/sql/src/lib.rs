@@ -28,6 +28,7 @@
 //! * [`db::TableFunction`] — named table-valued functions callable in FROM.
 
 pub mod ast;
+pub mod backend;
 pub mod catalog;
 pub mod db;
 pub mod exec;
@@ -39,6 +40,7 @@ pub mod planner;
 pub mod rewrite;
 
 pub use ast::Statement;
+pub use backend::{ExecBackend, LocalBackend};
 pub use catalog::Catalog;
 pub use db::{CardinalityHints, Database, QueryResult, StepObserver, TableFunction};
 pub use plan::{PlanNode, StepKind, StepObservation};

@@ -92,6 +92,17 @@ pub enum PlanOp {
         label: String,
         rows: Vec<Row>,
     },
+    /// A scatter-gather scan fragment: the CN ships `SCAN(table, predicate)`
+    /// to every shard in `shards` and gathers the union of their results.
+    /// Produced only by distributed planners (the shard list comes from
+    /// pruning the predicate against the cluster's shard map); logically
+    /// still a SCAN, but its canonical text names the shard set so the plan
+    /// store keys distributed cardinalities separately from local ones.
+    Exchange {
+        table: String,
+        predicate: Option<SExpr>,
+        shards: Vec<u64>,
+    },
     Filter {
         predicate: SExpr,
     },
@@ -138,7 +149,9 @@ impl PlanNode {
     /// The logical step class of this operator.
     pub fn step_kind(&self) -> StepKind {
         match &self.op {
-            PlanOp::SeqScan { .. } | PlanOp::IndexScan { .. } => StepKind::Scan,
+            PlanOp::SeqScan { .. } | PlanOp::IndexScan { .. } | PlanOp::Exchange { .. } => {
+                StepKind::Scan
+            }
             PlanOp::NestedLoopJoin { .. } | PlanOp::HashJoin { .. } => StepKind::Join,
             PlanOp::HashAgg { .. } => StepKind::Agg,
             PlanOp::SetOp { .. } => StepKind::SetOp,
@@ -182,6 +195,18 @@ impl PlanNode {
             }
             PlanOp::Values { label, rows } => {
                 format!("VALUES({},{})", label.to_ascii_uppercase(), rows.len())
+            }
+            PlanOp::Exchange {
+                table,
+                predicate,
+                shards,
+            } => {
+                let shard_list: Vec<String> = shards.iter().map(u64::to_string).collect();
+                format!(
+                    "EXCHANGE({}, SHARDS({}))",
+                    canon_scan(table, predicate.as_ref(), &self.schema),
+                    shard_list.join(",")
+                )
             }
             PlanOp::Filter { predicate } => {
                 // A filter directly above X is canonicalized as part of X's
@@ -293,6 +318,17 @@ impl PlanNode {
             },
             PlanOp::IndexScan { table, .. } => format!("Index Scan on {table}"),
             PlanOp::Values { label, rows } => format!("Values {label} ({} rows)", rows.len()),
+            PlanOp::Exchange {
+                table,
+                predicate,
+                shards,
+            } => {
+                let pred = match predicate {
+                    Some(p) => format!(" (filter: {})", p.canonical(&self.schema)),
+                    None => String::new(),
+                };
+                format!("Exchange Scan on {table}{pred} (shards: {shards:?})")
+            }
             PlanOp::Filter { predicate } => format!(
                 "Filter ({})",
                 predicate.canonical(&self.children[0].schema)

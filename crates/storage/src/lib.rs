@@ -28,4 +28,4 @@ pub mod table;
 pub use batch::Batch;
 pub use heap::{HeapTable, TupleId};
 pub use mvcc::{TupleHeader, Visibility};
-pub use table::{Table, TableStats};
+pub use table::{ColumnStats, Table, TableStats};

@@ -213,6 +213,14 @@ impl Table {
         self.stats.as_ref()
     }
 
+    /// Install externally computed statistics — the CN-side path: a
+    /// coordinator merges per-shard ANALYZE results and plants the merged
+    /// block on its shadow catalog entry so the planner costs distributed
+    /// scans from data-node truth rather than defaults.
+    pub fn set_stats(&mut self, stats: TableStats) {
+        self.stats = Some(stats);
+    }
+
     /// Freeze the rows visible to `judge` into a compressed columnar
     /// snapshot — the hybrid row-column conversion: the mutable OLTP heap
     /// stays authoritative, the returned store serves analytic scans.

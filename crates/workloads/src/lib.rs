@@ -16,5 +16,5 @@ pub mod olap;
 pub mod tpcc;
 
 pub use mme::{generate_session, mme_schema_chain, MmeConfig};
-pub use olap::OlapWorkload;
+pub use olap::{DistCorpus, OlapWorkload};
 pub use tpcc::{OpSpec, TpccConfig, TpccGenerator, TxnSpec};

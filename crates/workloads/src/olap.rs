@@ -101,6 +101,122 @@ impl OlapWorkload {
     }
 }
 
+/// A shardable schema + seeded statement corpus for local-vs-distributed
+/// equivalence testing: the same DDL, loads, and queries drive both the
+/// embedded [`Database`] and the cluster's `DistDb`, and every query must
+/// return the same rows (compared as multisets — gather order differs).
+///
+/// The first column of each table is the distribution key, so the corpus
+/// exercises the whole pruning spectrum: equality pins (one DN leg), ORs on
+/// the key (scatter), key-free predicates (scatter), aggregates over the
+/// fan-out, and a CN-side join over two gathered tables.
+#[derive(Debug, Clone)]
+pub struct DistCorpus {
+    pub orders: usize,
+    pub custs: usize,
+    pub seed: u64,
+}
+
+impl Default for DistCorpus {
+    fn default() -> Self {
+        Self {
+            orders: 600,
+            custs: 40,
+            seed: 0xd157,
+        }
+    }
+}
+
+impl DistCorpus {
+    /// CREATE TABLE statements (distribution key first).
+    pub fn ddl() -> Vec<&'static str> {
+        vec![
+            "create table orders (cust int, region int, amount int)",
+            "create table custs (cust int, tier int)",
+        ]
+    }
+
+    /// Seeded INSERT statements, batched.
+    pub fn load_stmts(&self) -> Vec<String> {
+        let mut rng = SplitMix64::new(self.seed);
+        let mut out = Vec::new();
+        let mut batch: Vec<String> = Vec::new();
+        for _ in 0..self.orders {
+            batch.push(format!(
+                "({}, {}, {})",
+                rng.next_below(self.custs as u64),
+                rng.next_below(8),
+                rng.range_i64(1, 1_000)
+            ));
+            if batch.len() == 200 {
+                out.push(format!("insert into orders values {}", batch.join(",")));
+                batch.clear();
+            }
+        }
+        if !batch.is_empty() {
+            out.push(format!("insert into orders values {}", batch.join(",")));
+        }
+        let custs: Vec<String> = (0..self.custs)
+            .map(|i| format!("({i}, {})", i % 3))
+            .collect();
+        out.push(format!("insert into custs values {}", custs.join(",")));
+        out
+    }
+
+    /// ~20 seeded equivalence queries. Every query is deterministic up to
+    /// row order (LIMIT always rides on a total-order ORDER BY).
+    pub fn queries(&self) -> Vec<String> {
+        let mut rng = SplitMix64::new(self.seed ^ 0x9E37);
+        let mut q = Vec::new();
+        for _ in 0..6 {
+            // Shard-key equality: prunes to one DN leg.
+            let k = rng.next_below(self.custs as u64);
+            q.push(format!("select * from orders where cust = {k}"));
+            q.push(format!(
+                "select count(*), sum(amount) from orders where cust = {k}"
+            ));
+        }
+        for _ in 0..3 {
+            // OR on the shard key: scatters.
+            let a = rng.next_below(self.custs as u64);
+            let b = rng.next_below(self.custs as u64);
+            q.push(format!(
+                "select * from orders where cust = {a} or cust = {b}"
+            ));
+        }
+        for _ in 0..3 {
+            // Key-free predicates: scatter + CN-side filter/aggregate.
+            let t = rng.range_i64(100, 900);
+            q.push(format!("select amount from orders where amount > {t}"));
+            q.push(format!(
+                "select region, count(*) from orders where amount > {t} group by region"
+            ));
+        }
+        // Cross-shard join: both sides gathered to the CN.
+        q.push(
+            "select o.amount, c.tier from orders o, custs c \
+             where o.cust = c.cust and o.amount > 500"
+                .to_string(),
+        );
+        // Set op across scattered scans.
+        q.push(
+            "select cust from orders where region = 0 \
+             union select cust from custs where tier = 1"
+                .to_string(),
+        );
+        // Total-order LIMIT (deterministic across backends).
+        q.push(
+            "select * from orders order by amount, cust, region limit 25".to_string(),
+        );
+        // Pruned scan with a residual predicate.
+        let k = rng.next_below(self.custs as u64);
+        q.push(format!(
+            "select region from orders where cust = {k} and amount > 200"
+        ));
+        q
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

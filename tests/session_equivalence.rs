@@ -1,30 +1,16 @@
-//! Session-API equivalence: the unified `begin(TxnOptions)` facade is a
-//! drop-in for the legacy begin quartet. The same seeded workload driven
-//! through either surface must produce identical cluster counters and a
-//! byte-identical telemetry export — with the snapshot-epoch cache off and
-//! on — and the cache itself must never change what a transaction reads.
-#![allow(deprecated)]
+//! Session-API determinism: the unified `begin(TxnOptions)` facade drives a
+//! seeded workload reproducibly — identical counters, telemetry export, and
+//! visible state across runs — and the snapshot-epoch cache changes GTM
+//! traffic but never what a transaction reads.
 
 use huawei_dm::cluster::{make_key, Cluster, ClusterConfig, ClusterCounters, TxnOptions};
 use huawei_dm::common::SplitMix64;
 use huawei_dm::telemetry::Telemetry;
 
-#[derive(Clone, Copy)]
-enum Facade {
-    /// `try_begin_single` / `try_begin_multi` (deprecated shims).
-    Legacy,
-    /// `begin(TxnOptions)`.
-    Session,
-}
-
 /// Drive a fixed seeded mix of single- and multi-shard transactions
-/// (including a sprinkle of aborts) through the chosen facade; return the
+/// (including a sprinkle of aborts) through the session API; return the
 /// final counters, the telemetry JSONL export, and the visible state.
-fn drive(
-    facade: Facade,
-    snapshot_cache: bool,
-    seed: u64,
-) -> (ClusterCounters, String, Vec<(i64, i64)>) {
+fn drive(snapshot_cache: bool, seed: u64) -> (ClusterCounters, String, Vec<(i64, i64)>) {
     let tel = Telemetry::simulated();
     let mut cfg = ClusterConfig::gtm_lite(4);
     cfg.snapshot_cache = snapshot_cache;
@@ -34,11 +20,10 @@ fn drive(
     for step in 0..200u32 {
         let single = rng.chance(0.8);
         let prefix = rng.next_below(8) as u32;
-        let mut txn = match (facade, single) {
-            (Facade::Legacy, true) => c.try_begin_single(prefix).unwrap(),
-            (Facade::Legacy, false) => c.try_begin_multi().unwrap(),
-            (Facade::Session, true) => c.begin(TxnOptions::single(prefix)).unwrap(),
-            (Facade::Session, false) => c.begin(TxnOptions::multi()).unwrap(),
+        let mut txn = if single {
+            c.begin(TxnOptions::single(prefix)).unwrap()
+        } else {
+            c.begin(TxnOptions::multi()).unwrap()
         };
         let k1 = make_key(prefix, rng.next_below(64) as u32);
         let _ = c.get(&mut txn, k1).unwrap();
@@ -58,16 +43,13 @@ fn drive(
 }
 
 #[test]
-fn session_facade_matches_legacy_quartet() {
+fn session_facade_is_deterministic() {
     for cache in [false, true] {
-        let (ca, ja, sa) = drive(Facade::Legacy, cache, 0xABCD_EF01);
-        let (cb, jb, sb) = drive(Facade::Session, cache, 0xABCD_EF01);
-        assert_eq!(ca, cb, "cache={cache}: counters diverged across facades");
+        let (ca, ja, sa) = drive(cache, 0xABCD_EF01);
+        let (cb, jb, sb) = drive(cache, 0xABCD_EF01);
+        assert_eq!(ca, cb, "cache={cache}: counters diverged across runs");
         assert_eq!(sa, sb, "cache={cache}: visible state diverged");
-        assert!(
-            ja == jb,
-            "cache={cache}: telemetry JSONL diverged across facades"
-        );
+        assert!(ja == jb, "cache={cache}: telemetry JSONL diverged across runs");
     }
 }
 
@@ -76,8 +58,8 @@ fn session_facade_matches_legacy_quartet() {
 /// interactions.
 #[test]
 fn snapshot_cache_changes_traffic_not_results() {
-    let (off, _, state_off) = drive(Facade::Session, false, 0x5EED);
-    let (on, _, state_on) = drive(Facade::Session, true, 0x5EED);
+    let (off, _, state_off) = drive(false, 0x5EED);
+    let (on, _, state_on) = drive(true, 0x5EED);
     assert_eq!(state_off, state_on, "cache changed visible state");
     assert_eq!(off.single_shard_commits, on.single_shard_commits);
     assert_eq!(off.multi_shard_commits, on.multi_shard_commits);
