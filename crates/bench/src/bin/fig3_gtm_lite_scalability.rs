@@ -242,10 +242,23 @@ fn main() {
                 println!("sample distributed transaction (gxid {g}):\n{tree}");
             }
         }
-        std::fs::write(&path, tel.export_jsonl()).expect("write telemetry JSONL");
+        // The metrics snapshot rides in the same JSONL stream as the spans
+        // (histogram lines carry the p50/p95/p99 summary); print the same
+        // snapshot for humans so the percentiles are visible without jq.
+        let snap = tel.metrics.snapshot();
+        print!("{}", hdm_telemetry::export::metrics_console(&snap));
+        let jsonl = tel.export_jsonl();
+        assert!(
+            snap.histograms.is_empty() || jsonl.contains("\"p95_us\""),
+            "histogram percentiles must be part of the JSONL stream"
+        );
+        std::fs::write(&path, jsonl).expect("write telemetry JSONL");
         println!(
-            "wrote {} spans + metrics snapshot to {path} ({} committed txns)\n",
+            "wrote {} spans + metrics snapshot ({} counters, {} histograms) \
+             to {path} ({} committed txns)\n",
             spans.len(),
+            snap.counters.len(),
+            snap.histograms.len(),
             r.committed
         );
     }

@@ -16,13 +16,22 @@
 //! scatter-gather aggregate (global snapshot + 2PC). `--snapshot-cache`
 //! enables the CN's snapshot-epoch cache for the multi-shard legs.
 //!
+//! With `--profile` (distributed mode), the operator-level profiler is
+//! exercised: the loop is re-timed with profiling on to report its
+//! overhead, the Fig-6 query is shown under `EXPLAIN ANALYZE` (per-operator
+//! actuals, per-shard Exchange legs, GTM/2PC footer), and
+//! `--recorder PATH` dumps the flight recorder's JSONL there.
+//!
 //! Usage: table1_canonical_form [--sweep-threshold] [--distributed]
-//!                              [--snapshot-cache]
+//!                              [--snapshot-cache] [--profile]
+//!                              [--recorder PATH]
 
-use hdm_bench::{arg_flag, render_table};
+use hdm_bench::{arg_flag, arg_value, render_table};
 use hdm_cluster::{Cluster, ClusterConfig, DistDb};
+use hdm_common::Datum;
 use hdm_learnopt::{PlanStoreConfig, SharedPlanStore};
 use hdm_sql::Database;
+use hdm_telemetry::{RecorderConfig, SharedRecorder};
 use std::time::Instant;
 
 /// Build the OLAP.t1/OLAP.t2 world. b1 is skewed: 90% of rows sit below the
@@ -253,4 +262,49 @@ fn run_distributed(snapshot_cache: bool) {
          took a global\nsnapshot and committed through 2PC across {SHARDS} \
          shards.\n"
     );
+
+    if arg_flag("--profile") {
+        run_profiled(&mut db);
+    }
+}
+
+/// `--profile`: time the pruned point-query loop with the profiler off and
+/// on (its overhead is the whole cost story — the paper's feedback loop is
+/// only viable if observation is near-free), then show the annotated tree
+/// and optionally dump the flight recorder.
+fn run_profiled(db: &mut DistDb) {
+    const ITERS: u32 = 2_000;
+    let run_loop = |db: &mut DistDb| {
+        let t0 = Instant::now();
+        for i in 0..ITERS {
+            let k = (i as i64 * 37) % 200;
+            db.query(&format!("select * from olap.t1 where a1 = {k}"))
+                .unwrap();
+        }
+        t0.elapsed().as_micros() as u64
+    };
+    let off_us = run_loop(db);
+    db.set_profiling(true);
+    let recorder = SharedRecorder::new(RecorderConfig::default());
+    db.attach_recorder(recorder.clone());
+    let on_us = run_loop(db);
+    let overhead = (on_us as f64 / off_us.max(1) as f64 - 1.0) * 100.0;
+    println!("=== Profiler overhead ({ITERS} pruned point queries) ===");
+    println!("profiling off: {off_us}us  on: {on_us}us  overhead: {overhead:+.1}%\n");
+
+    println!("--- EXPLAIN ANALYZE (distributed) ---");
+    let res = db.execute(&format!("explain analyze {QUERY}")).unwrap();
+    for row in &res.rows {
+        if let Datum::Text(l) = &row.values()[0] {
+            println!("{l}");
+        }
+    }
+    println!();
+    if let Some(path) = arg_value("--recorder") {
+        std::fs::write(&path, recorder.to_jsonl()).unwrap();
+        println!(
+            "flight recorder: {} most recent statement profiles dumped to {path}\n",
+            recorder.len()
+        );
+    }
 }

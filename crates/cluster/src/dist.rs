@@ -31,13 +31,17 @@ use hdm_sql::db::{CardinalityHints, QueryResult, StepObserver, TableFunction};
 use hdm_sql::expr::{bind, BoundSchema, SExpr};
 use hdm_sql::plan::{PlanNode, PlanOp, StepObservation};
 use hdm_sql::planner::{Planner, PlanningInfo, TempRels};
-use hdm_sql::{Catalog, ExecBackend};
+use hdm_sql::profile::{observations, render_analyze};
+use hdm_sql::{Catalog, ExecBackend, Profiler};
 use hdm_storage::heap::TupleId;
 use hdm_storage::{ColumnStats, TableStats};
-use hdm_telemetry::Telemetry;
+use hdm_telemetry::{
+    OpProfile, ShardLeg, SharedClock, SharedRecorder, StatementProfile, Telemetry, WallClock,
+};
 use hdm_txn::SnapshotVisibility;
 use std::collections::{BTreeSet, HashMap};
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// How a table's rows map to shards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,6 +97,11 @@ pub struct DistDb {
     table_funcs: HashMap<String, Box<dyn TableFunction>>,
     tel: Option<Telemetry>,
     counters: DistCounters,
+    /// Clock the query profiler stamps operator and fragment times with.
+    clock: SharedClock,
+    recorder: Option<SharedRecorder>,
+    profiling: bool,
+    misestimate_ratio: f64,
 }
 
 impl DistDb {
@@ -130,7 +139,38 @@ impl DistDb {
             table_funcs: HashMap::new(),
             tel: None,
             counters: DistCounters::default(),
+            clock: Arc::new(WallClock::new()),
+            recorder: None,
+            profiling: false,
+            misestimate_ratio: 2.0,
         })
+    }
+
+    /// Use `clock` for profiler timestamps (share the cluster telemetry's
+    /// virtual clock for deterministic profiles).
+    pub fn set_clock(&mut self, clock: SharedClock) {
+        self.clock = clock;
+    }
+
+    /// Record every statement's profile into `recorder` (implies profiling).
+    pub fn attach_recorder(&mut self, recorder: SharedRecorder) {
+        self.recorder = Some(recorder);
+    }
+
+    /// Profile every SELECT even without a recorder attached, surfacing
+    /// [`QueryResult::profile`] with GTM/2PC counts and per-shard legs.
+    pub fn set_profiling(&mut self, on: bool) {
+        self.profiling = on;
+    }
+
+    /// Ratio at which `EXPLAIN ANALYZE` flags a misestimate (default 2.0,
+    /// the plan store's capture threshold).
+    pub fn set_misestimate_ratio(&mut self, ratio: f64) {
+        self.misestimate_ratio = ratio;
+    }
+
+    fn profiling_enabled(&self) -> bool {
+        self.profiling || self.recorder.is_some()
     }
 
     pub fn cluster(&self) -> &Cluster {
@@ -171,7 +211,7 @@ impl DistDb {
     pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
         let mut stmt = hdm_sql::parser::parse(sql)?;
         hdm_sql::rewrite::rewrite_statement(&mut stmt);
-        self.execute_statement(&stmt)
+        self.execute_statement(&stmt, Some(sql))
     }
 
     /// Convenience: execute and return rows.
@@ -179,7 +219,7 @@ impl DistDb {
         Ok(self.execute(sql)?.rows)
     }
 
-    fn execute_statement(&mut self, stmt: &Statement) -> Result<QueryResult> {
+    fn execute_statement(&mut self, stmt: &Statement, sql: Option<&str>) -> Result<QueryResult> {
         match stmt {
             Statement::CreateTable { name, columns } => self.run_create_table(name, columns),
             Statement::CreateIndex { .. } => Err(HdmError::Unsupported(
@@ -200,11 +240,30 @@ impl DistDb {
                 where_clause,
             } => self.run_delete(table, where_clause.as_ref()),
             Statement::Analyze { table } => self.run_analyze(table.as_deref()),
-            Statement::Select(s) => self.run_select(s),
-            Statement::Explain(inner) => {
-                let Statement::Select(s) = inner.as_ref() else {
+            Statement::Select(s) => self.run_select(s, sql),
+            Statement::Explain { analyze, stmt } => {
+                let Statement::Select(s) = stmt.as_ref() else {
                     return Err(HdmError::Unsupported("EXPLAIN supports SELECT only".into()));
                 };
+                if *analyze {
+                    // Execute for real (observing into the plan store as
+                    // usual) and render the annotated tree: per-operator
+                    // actuals, per-shard Exchange legs, GTM/2PC footer.
+                    let r = self.run_select_profiled(s, sql)?;
+                    let profile = r.profile.expect("profiled select carries a profile");
+                    let rows: Vec<Row> = render_analyze(&profile, self.misestimate_ratio)
+                        .into_iter()
+                        .map(|l| Row::new(vec![Datum::Text(l)]))
+                        .collect();
+                    return Ok(QueryResult {
+                        columns: vec!["plan".into()],
+                        rows,
+                        affected: 0,
+                        steps: r.steps,
+                        planning: r.planning,
+                        profile: Some(profile),
+                    });
+                }
                 let (plan, planning, _) = self.plan_distributed(s)?;
                 let rows: Vec<Row> = plan
                     .explain()
@@ -217,6 +276,7 @@ impl DistDb {
                     affected: 0,
                     steps: vec![],
                     planning,
+                    profile: None,
                 })
             }
         }
@@ -581,7 +641,10 @@ impl DistDb {
         Ok((plan, info, scope))
     }
 
-    fn run_select(&mut self, s: &SelectStmt) -> Result<QueryResult> {
+    fn run_select(&mut self, s: &SelectStmt, sql: Option<&str>) -> Result<QueryResult> {
+        if self.profiling_enabled() {
+            return self.run_select_profiled(s, sql);
+        }
         let (plan, planning, scope) = self.plan_distributed(s)?;
         let (rows, steps) = self.execute_plan(&plan, scope)?;
         if let Some(o) = &self.observer {
@@ -593,6 +656,53 @@ impl DistDb {
             affected: 0,
             steps,
             planning,
+            profile: None,
+        })
+    }
+
+    /// The profiled SELECT path: identical plan, rows and observation list
+    /// to the plain path, plus a [`StatementProfile`] carrying per-operator
+    /// actuals, per-shard Exchange legs, the statement's GTM-interaction
+    /// delta and its 2PC leg count. The plan store is fed from the
+    /// profile-derived observations — the same artifact `EXPLAIN ANALYZE`
+    /// and the flight recorder expose.
+    fn run_select_profiled(&mut self, s: &SelectStmt, sql: Option<&str>) -> Result<QueryResult> {
+        let start = self.clock.now_us();
+        let (plan, planning, scope) = self.plan_distributed(s)?;
+        let planned = self.clock.now_us();
+        let (rows, steps, stats) = self.execute_plan_profiled(&plan, scope)?;
+        let done = self.clock.now_us();
+        let profile = StatementProfile {
+            sql: sql.unwrap_or("").to_string(),
+            scope: match scope {
+                Scope::Single(_) => "single",
+                Scope::Multi => "multi",
+            }
+            .to_string(),
+            start_us: start,
+            plan_us: planned.saturating_sub(start),
+            exec_us: done.saturating_sub(planned),
+            total_us: done.saturating_sub(start),
+            rows_out: rows.len() as u64,
+            gtm_interactions: stats.gtm,
+            twopc_legs: stats.twopc_legs,
+            root: stats.root,
+        };
+        let derived = observations(profile.root.as_ref());
+        debug_assert_eq!(derived, steps, "profile must derive the executor's own observations");
+        if let Some(o) = &self.observer {
+            o.observe(&derived);
+        }
+        if let Some(r) = &self.recorder {
+            r.record(profile.clone());
+        }
+        Ok(QueryResult {
+            columns: plan.schema.cols.iter().map(|c| c.name.clone()).collect(),
+            rows,
+            affected: 0,
+            steps: derived,
+            planning,
+            profile: Some(profile),
         })
     }
 
@@ -653,6 +763,8 @@ impl DistDb {
                 txn: &mut txn,
                 tel: self.tel.as_ref(),
                 counters: &mut self.counters,
+                clock: None,
+                exchange_legs: Vec::new(),
             };
             hdm_sql::exec::execute(plan, &mut be, &mut steps)
         };
@@ -660,6 +772,55 @@ impl DistDb {
             Ok(rows) => {
                 self.cluster.commit(txn)?;
                 Ok((rows, steps))
+            }
+            Err(e) => {
+                self.cluster.abort(txn)?;
+                Err(e)
+            }
+        }
+    }
+
+    /// [`Self::execute_plan`] with the operator profiler riding along:
+    /// additionally returns the profile tree, the statement's GTM-interaction
+    /// delta (commit included) and the number of 2PC legs its commit drove.
+    fn execute_plan_profiled(
+        &mut self,
+        plan: &PlanNode,
+        scope: Scope,
+    ) -> Result<(Vec<Row>, Vec<StepObservation>, ExecStats)> {
+        let gtm_before = self.cluster.counters().gtm_interactions;
+        let mut txn = self.begin_scoped(scope)?;
+        let mut steps = Vec::new();
+        let mut prof = Profiler::new(self.clock.clone());
+        let res = {
+            let mut be = DistExec {
+                cluster: &mut self.cluster,
+                txn: &mut txn,
+                tel: self.tel.as_ref(),
+                counters: &mut self.counters,
+                clock: Some(self.clock.clone()),
+                exchange_legs: Vec::new(),
+            };
+            hdm_sql::exec::execute_with_profiler(plan, &mut be, &mut steps, &mut prof)
+        };
+        match res {
+            Ok(rows) => {
+                let twopc_legs = if txn.is_single_shard() {
+                    0
+                } else {
+                    txn.legs().len() as u64
+                };
+                self.cluster.commit(txn)?;
+                let stats = ExecStats {
+                    root: prof.finish(),
+                    gtm: self
+                        .cluster
+                        .counters()
+                        .gtm_interactions
+                        .saturating_sub(gtm_before),
+                    twopc_legs,
+                };
+                Ok((rows, steps, stats))
             }
             Err(e) => {
                 self.cluster.abort(txn)?;
@@ -810,7 +971,16 @@ fn empty_result() -> QueryResult {
         affected: 0,
         steps: vec![],
         planning: PlanningInfo::default(),
+        profile: None,
     }
+}
+
+/// Statement-level execution stats the profiled path collects around the
+/// transaction: profile tree + GTM/2PC accounting.
+struct ExecStats {
+    root: Option<OpProfile>,
+    gtm: u64,
+    twopc_legs: u64,
 }
 
 /// The CN-side scatter-gather backend: `Exchange` leaves fan out to data
@@ -821,6 +991,10 @@ struct DistExec<'a> {
     txn: &'a mut Txn,
     tel: Option<&'a Telemetry>,
     counters: &'a mut DistCounters,
+    /// Present when the statement is profiled: fragment times are stamped
+    /// on it and per-shard legs accumulate in `exchange_legs`.
+    clock: Option<SharedClock>,
+    exchange_legs: Vec<ShardLeg>,
 }
 
 impl ExecBackend for DistExec<'_> {
@@ -853,6 +1027,7 @@ impl ExecBackend for DistExec<'_> {
         } else {
             self.counters.scatter_scans += 1;
         }
+        self.exchange_legs.clear();
         let mut out = Vec::new();
         for &raw in shards {
             let shard = ShardId::new(raw);
@@ -873,6 +1048,7 @@ impl ExecBackend for DistExec<'_> {
                 t.tracer.field(s, "table", table);
                 s
             });
+            let leg_start = self.clock.as_ref().map(|c| c.now_us());
             let node = self.cluster.node(shard);
             let judge = SnapshotVisibility::new(&snap, node.mgr().clog(), Some(xid));
             let t = if table == "kv" {
@@ -893,12 +1069,23 @@ impl ExecBackend for DistExec<'_> {
             }
             self.counters.fragments_run += 1;
             self.counters.rows_exchanged += fragment_rows;
+            if let (Some(c), Some(start)) = (self.clock.as_ref(), leg_start) {
+                self.exchange_legs.push(ShardLeg {
+                    shard: raw,
+                    rows: fragment_rows,
+                    time_us: c.now_us().saturating_sub(start),
+                });
+            }
             if let (Some(t), Some(s)) = (self.tel, span) {
                 t.tracer.field(s, "rows", fragment_rows);
                 t.tracer.end(s);
             }
         }
         Ok(out)
+    }
+
+    fn take_exchange_profile(&mut self) -> Vec<ShardLeg> {
+        std::mem::take(&mut self.exchange_legs)
     }
 
     fn insert(&mut self, table: &str, _rows: Vec<Row>) -> Result<u64> {

@@ -213,6 +213,17 @@ impl SharedPlanStore {
     pub fn observer(&self) -> Rc<dyn StepObserver> {
         Rc::new(self.clone())
     }
+
+    /// Feed the store from a statement profile: derives the post-order
+    /// [`StepObservation`]s from the profile's operator tree (the same list
+    /// the executor pushes directly — distributed `EXCHANGE(...)` keys
+    /// included) and runs the usual selective capture over them. This lets
+    /// flight-recorder consumers replay captures from the exact artifact
+    /// users inspect with `EXPLAIN ANALYZE`.
+    pub fn capture_profile(&self, profile: &hdm_sql::StatementProfile) {
+        let steps = hdm_sql::profile::observations(profile.root.as_ref());
+        self.inner.borrow_mut().capture(&steps);
+    }
 }
 
 impl CardinalityHints for SharedPlanStore {
@@ -326,6 +337,41 @@ mod tests {
         assert_eq!(d[0].estimated, 50.0);
         assert_eq!(d[0].actual, 100);
         assert!(d[0].text.contains("OLAP.T1"));
+    }
+
+    #[test]
+    fn capture_profile_feeds_the_store_with_exchange_keys() {
+        use hdm_sql::{OpProfile, StatementProfile};
+        let exchange = "EXCHANGE(SCAN(ORDERS), SHARDS(0,1,2,3))";
+        let profile = StatementProfile {
+            sql: "select * from orders".into(),
+            scope: "multi".into(),
+            start_us: 0,
+            plan_us: 1,
+            exec_us: 2,
+            total_us: 3,
+            rows_out: 96,
+            gtm_interactions: 2,
+            twopc_legs: 4,
+            root: Some(OpProfile {
+                label: "Exchange Scan on orders".into(),
+                kind: "scan".into(),
+                canonical: Some(exchange.into()),
+                est_rows: 10.0,
+                rows_out: 96,
+                loops: 4,
+                time_us: 2,
+                shards: vec![],
+                children: vec![],
+            }),
+        };
+        let s = SharedPlanStore::default();
+        s.capture_profile(&profile);
+        assert_eq!(
+            s.inner().borrow_mut().lookup(exchange),
+            Some(96),
+            "misestimated distributed step captured from the profile"
+        );
     }
 
     #[test]

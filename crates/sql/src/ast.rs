@@ -267,7 +267,12 @@ pub enum Statement {
         where_clause: Option<Expr>,
     },
     Select(SelectStmt),
-    Explain(Box<Statement>),
+    Explain {
+        /// `EXPLAIN ANALYZE`: execute the statement and annotate the plan
+        /// with actual per-operator rows and timings.
+        analyze: bool,
+        stmt: Box<Statement>,
+    },
     Analyze {
         table: Option<String>,
     },

@@ -20,6 +20,7 @@ use crate::catalog::Catalog;
 use crate::expr::SExpr;
 use hdm_common::{Datum, Result, Row};
 use hdm_storage::TableStats;
+use hdm_telemetry::ShardLeg;
 use hdm_txn::{LocalTxnManager, Snapshot, SnapshotVisibility};
 
 /// Storage access for the executor: scans and point gets under the backend's
@@ -70,6 +71,14 @@ pub trait ExecBackend {
 
     /// Optimizer statistics for `table`, if the backend has any.
     fn stats(&self, table: &str) -> Option<TableStats>;
+
+    /// Drain the per-shard breakdown of the most recent [`Self::scan_shards`]
+    /// call, for the query profiler. Distributed backends fill one
+    /// [`ShardLeg`] per fragment; backends without placement (or with
+    /// profiling off) return an empty vector.
+    fn take_exchange_profile(&mut self) -> Vec<ShardLeg> {
+        Vec::new()
+    }
 }
 
 /// The embedded single-node backend: the catalog's heap judged by one

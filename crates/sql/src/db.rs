@@ -5,15 +5,18 @@
 use crate::ast::{SelectItem, SelectStmt, Statement};
 use crate::backend::LocalBackend;
 use crate::catalog::Catalog;
-use crate::exec::execute;
+use crate::exec::{execute, execute_with_profiler};
 use crate::expr::{bind, BoundSchema};
 use crate::parser::parse;
 use crate::plan::{PlanNode, StepObservation};
 use crate::planner::{Planner, PlanningInfo, TempRels};
+use crate::profile::{observations, render_analyze, Profiler};
 use hdm_common::{Datum, HdmError, Result, Row, Schema};
+use hdm_telemetry::{SharedClock, SharedRecorder, StatementProfile, WallClock};
 use hdm_txn::{LocalTxnManager, SnapshotVisibility};
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Plan-store *consumer* hook: the optimizer asks for the actual cardinality
 /// of a canonical step before trusting its own estimate (§II-C).
@@ -45,6 +48,9 @@ pub struct QueryResult {
     pub steps: Vec<StepObservation>,
     /// Hint usage during planning.
     pub planning: PlanningInfo,
+    /// Runtime profile of the statement (present when profiling is on or a
+    /// flight recorder is attached; always present for `EXPLAIN ANALYZE`).
+    pub profile: Option<StatementProfile>,
 }
 
 impl QueryResult {
@@ -55,6 +61,7 @@ impl QueryResult {
             affected: 0,
             steps: vec![],
             planning: PlanningInfo::default(),
+            profile: None,
         }
     }
 
@@ -71,6 +78,12 @@ pub struct Database {
     hints: Option<Rc<dyn CardinalityHints>>,
     observer: Option<Rc<dyn StepObserver>>,
     table_funcs: HashMap<String, Box<dyn TableFunction>>,
+    /// Clock the query profiler stamps operator times with (wall by
+    /// default; tests install a [`hdm_telemetry::VirtualClock`]).
+    clock: SharedClock,
+    recorder: Option<SharedRecorder>,
+    profiling: bool,
+    misestimate_ratio: f64,
 }
 
 impl Default for Database {
@@ -87,7 +100,38 @@ impl Database {
             hints: None,
             observer: None,
             table_funcs: HashMap::new(),
+            clock: Arc::new(WallClock::new()),
+            profiling: false,
+            recorder: None,
+            misestimate_ratio: 2.0,
         }
+    }
+
+    /// Use `clock` for profiler timestamps (deterministic profiles under a
+    /// shared [`hdm_telemetry::VirtualClock`]).
+    pub fn set_clock(&mut self, clock: SharedClock) {
+        self.clock = clock;
+    }
+
+    /// Record every statement's profile into `recorder` (implies profiling).
+    pub fn attach_recorder(&mut self, recorder: SharedRecorder) {
+        self.recorder = Some(recorder);
+    }
+
+    /// Profile every SELECT even without a recorder attached, surfacing
+    /// [`QueryResult::profile`].
+    pub fn set_profiling(&mut self, on: bool) {
+        self.profiling = on;
+    }
+
+    /// Ratio at which `EXPLAIN ANALYZE` flags a misestimate. Defaults to 2.0
+    /// — the plan store's capture threshold, so flags and captures agree.
+    pub fn set_misestimate_ratio(&mut self, ratio: f64) {
+        self.misestimate_ratio = ratio;
+    }
+
+    fn profiling_enabled(&self) -> bool {
+        self.profiling || self.recorder.is_some()
     }
 
     /// Install the learning plan store (usually one object serving both
@@ -124,7 +168,7 @@ impl Database {
     pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
         let mut stmt = parse(sql)?;
         crate::rewrite::rewrite_statement(&mut stmt);
-        self.execute_statement(&stmt)
+        self.execute_statement_inner(&stmt, Some(sql))
     }
 
     /// Convenience: execute and return rows.
@@ -133,6 +177,10 @@ impl Database {
     }
 
     pub fn execute_statement(&mut self, stmt: &Statement) -> Result<QueryResult> {
+        self.execute_statement_inner(stmt, None)
+    }
+
+    fn execute_statement_inner(&mut self, stmt: &Statement, sql: Option<&str>) -> Result<QueryResult> {
         match stmt {
             Statement::CreateTable { name, columns } => {
                 let schema = Schema::new(
@@ -191,8 +239,8 @@ impl Database {
                 }
                 Ok(QueryResult::empty())
             }
-            Statement::Select(s) => self.run_select(s),
-            Statement::Explain(inner) => self.run_explain(inner),
+            Statement::Select(s) => self.run_select(s, sql),
+            Statement::Explain { analyze, stmt } => self.run_explain(*analyze, stmt, sql),
         }
     }
 
@@ -223,7 +271,10 @@ impl Database {
         Ok((plan, p.info))
     }
 
-    fn run_select(&mut self, s: &SelectStmt) -> Result<QueryResult> {
+    fn run_select(&mut self, s: &SelectStmt, sql: Option<&str>) -> Result<QueryResult> {
+        if self.profiling_enabled() {
+            return self.run_select_profiled(s, sql);
+        }
         let (plan, planning) = self.plan_with_ctes(s)?;
         let mut steps = Vec::new();
         let rows = {
@@ -239,13 +290,83 @@ impl Database {
             affected: 0,
             steps,
             planning,
+            profile: None,
         })
     }
 
-    fn run_explain(&mut self, inner: &Statement) -> Result<QueryResult> {
+    /// The profiled SELECT path: identical plan, rows and observation list to
+    /// the plain path, plus a [`StatementProfile`] mirroring the plan tree.
+    /// The plan store is fed from the profile-derived observations — the
+    /// same artifact `EXPLAIN ANALYZE` and the flight recorder expose, so
+    /// the Fig 6 capture loop is auditable end to end.
+    fn run_select_profiled(&mut self, s: &SelectStmt, sql: Option<&str>) -> Result<QueryResult> {
+        let start = self.clock.now_us();
+        let (plan, planning) = self.plan_with_ctes(s)?;
+        let planned = self.clock.now_us();
+        let mut steps = Vec::new();
+        let mut prof = Profiler::new(self.clock.clone());
+        let rows = {
+            let mut be = LocalBackend::new(&mut self.catalog, &mut self.mgr);
+            execute_with_profiler(&plan, &mut be, &mut steps, &mut prof)?
+        };
+        let done = self.clock.now_us();
+        let profile = StatementProfile {
+            sql: sql.unwrap_or("").to_string(),
+            scope: "local".to_string(),
+            start_us: start,
+            plan_us: planned.saturating_sub(start),
+            exec_us: done.saturating_sub(planned),
+            total_us: done.saturating_sub(start),
+            rows_out: rows.len() as u64,
+            gtm_interactions: 0,
+            twopc_legs: 0,
+            root: prof.finish(),
+        };
+        let derived = observations(profile.root.as_ref());
+        debug_assert_eq!(derived, steps, "profile must derive the executor's own observations");
+        if let Some(o) = &self.observer {
+            o.observe(&derived);
+        }
+        if let Some(r) = &self.recorder {
+            r.record(profile.clone());
+        }
+        Ok(QueryResult {
+            columns: plan.schema.cols.iter().map(|c| c.name.clone()).collect(),
+            rows,
+            affected: 0,
+            steps: derived,
+            planning,
+            profile: Some(profile),
+        })
+    }
+
+    fn run_explain(
+        &mut self,
+        analyze: bool,
+        inner: &Statement,
+        sql: Option<&str>,
+    ) -> Result<QueryResult> {
         let Statement::Select(s) = inner else {
             return Err(HdmError::Unsupported("EXPLAIN supports SELECT only".into()));
         };
+        if analyze {
+            // Execute for real (observing into the plan store as usual) and
+            // render the annotated tree instead of the result rows.
+            let r = self.run_select_profiled(s, sql)?;
+            let profile = r.profile.expect("profiled select carries a profile");
+            let rows: Vec<Row> = render_analyze(&profile, self.misestimate_ratio)
+                .into_iter()
+                .map(|l| Row::new(vec![Datum::Text(l)]))
+                .collect();
+            return Ok(QueryResult {
+                columns: vec!["plan".into()],
+                rows,
+                affected: 0,
+                steps: r.steps,
+                planning: r.planning,
+                profile: Some(profile),
+            });
+        }
         let (plan, planning) = self.plan_with_ctes(s)?;
         let text = plan.explain();
         let rows: Vec<Row> = text
@@ -258,6 +379,7 @@ impl Database {
             affected: 0,
             steps: vec![],
             planning,
+            profile: None,
         })
     }
 

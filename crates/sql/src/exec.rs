@@ -11,6 +11,7 @@
 use crate::ast::SetOpKind;
 use crate::backend::ExecBackend;
 use crate::plan::{AggCall, AggFunc, PlanNode, PlanOp, StepObservation};
+use crate::profile::Profiler;
 use hdm_common::{Datum, HdmError, Result, Row};
 use std::collections::HashMap;
 
@@ -20,7 +21,21 @@ pub fn execute(
     backend: &mut dyn ExecBackend,
     obs: &mut Vec<StepObservation>,
 ) -> Result<Vec<Row>> {
-    let rows = execute_inner(plan, backend, obs)?;
+    let rows = execute_inner(plan, backend, obs, None)?;
+    Ok(rows)
+}
+
+/// Execute a plan with the operator profiler riding along. Rows, step
+/// observations and plan choice are identical to [`execute`]; the profiler
+/// only *additionally* mirrors the tree into an
+/// [`hdm_telemetry::OpProfile`] (take it with [`Profiler::finish`]).
+pub fn execute_with_profiler(
+    plan: &PlanNode,
+    backend: &mut dyn ExecBackend,
+    obs: &mut Vec<StepObservation>,
+    prof: &mut Profiler,
+) -> Result<Vec<Row>> {
+    let rows = execute_inner(plan, backend, obs, Some(prof))?;
     Ok(rows)
 }
 
@@ -28,7 +43,11 @@ fn execute_inner(
     plan: &PlanNode,
     backend: &mut dyn ExecBackend,
     obs: &mut Vec<StepObservation>,
+    mut prof: Option<&mut Profiler>,
 ) -> Result<Vec<Row>> {
+    if let Some(p) = prof.as_deref_mut() {
+        p.enter();
+    }
     let rows = match &plan.op {
         PlanOp::SeqScan { table, predicate } => backend.scan(table, predicate.as_ref())?,
         PlanOp::IndexScan {
@@ -45,7 +64,7 @@ fn execute_inner(
         } => backend.scan_shards(table, predicate.as_ref(), shards)?,
         PlanOp::Values { rows, .. } => rows.clone(),
         PlanOp::Filter { predicate } => {
-            let input = execute_inner(&plan.children[0], backend, obs)?;
+            let input = execute_inner(&plan.children[0], backend, obs, prof.as_deref_mut())?;
             let mut out = Vec::new();
             for r in input {
                 if predicate.eval_filter(r.values())? {
@@ -55,8 +74,8 @@ fn execute_inner(
             out
         }
         PlanOp::NestedLoopJoin { on } => {
-            let left = execute_inner(&plan.children[0], backend, obs)?;
-            let right = execute_inner(&plan.children[1], backend, obs)?;
+            let left = execute_inner(&plan.children[0], backend, obs, prof.as_deref_mut())?;
+            let right = execute_inner(&plan.children[1], backend, obs, prof.as_deref_mut())?;
             let mut out = Vec::new();
             for l in &left {
                 for r in &right {
@@ -77,8 +96,8 @@ fn execute_inner(
             right_keys,
             residual,
         } => {
-            let left = execute_inner(&plan.children[0], backend, obs)?;
-            let right = execute_inner(&plan.children[1], backend, obs)?;
+            let left = execute_inner(&plan.children[0], backend, obs, prof.as_deref_mut())?;
+            let right = execute_inner(&plan.children[1], backend, obs, prof.as_deref_mut())?;
             // Build on the right input.
             let mut table: HashMap<Vec<Datum>, Vec<&Row>> = HashMap::new();
             for r in &right {
@@ -114,7 +133,7 @@ fn execute_inner(
             out
         }
         PlanOp::Project { exprs } => {
-            let input = execute_inner(&plan.children[0], backend, obs)?;
+            let input = execute_inner(&plan.children[0], backend, obs, prof.as_deref_mut())?;
             let mut out = Vec::with_capacity(input.len());
             for r in input {
                 let vals: Vec<Datum> = exprs
@@ -126,11 +145,11 @@ fn execute_inner(
             out
         }
         PlanOp::HashAgg { group, aggs } => {
-            let input = execute_inner(&plan.children[0], backend, obs)?;
+            let input = execute_inner(&plan.children[0], backend, obs, prof.as_deref_mut())?;
             run_hash_agg(group, aggs, &input)?
         }
         PlanOp::Sort { keys } => {
-            let mut input = execute_inner(&plan.children[0], backend, obs)?;
+            let mut input = execute_inner(&plan.children[0], backend, obs, prof.as_deref_mut())?;
             // Precompute sort keys to keep comparator infallible.
             let mut keyed: Vec<(Vec<Datum>, Row)> = Vec::with_capacity(input.len());
             for r in input.drain(..) {
@@ -153,12 +172,12 @@ fn execute_inner(
             keyed.into_iter().map(|(_, r)| r).collect()
         }
         PlanOp::Limit { n } => {
-            let mut input = execute_inner(&plan.children[0], backend, obs)?;
+            let mut input = execute_inner(&plan.children[0], backend, obs, prof.as_deref_mut())?;
             input.truncate(*n as usize);
             input
         }
         PlanOp::Distinct => {
-            let input = execute_inner(&plan.children[0], backend, obs)?;
+            let input = execute_inner(&plan.children[0], backend, obs, prof.as_deref_mut())?;
             let mut seen = std::collections::HashSet::new();
             input
                 .into_iter()
@@ -166,12 +185,21 @@ fn execute_inner(
                 .collect()
         }
         PlanOp::SetOp { kind, all } => {
-            let left = execute_inner(&plan.children[0], backend, obs)?;
-            let right = execute_inner(&plan.children[1], backend, obs)?;
+            let left = execute_inner(&plan.children[0], backend, obs, prof.as_deref_mut())?;
+            let right = execute_inner(&plan.children[1], backend, obs, prof.as_deref_mut())?;
             run_set_op(*kind, *all, left, right)
         }
     };
 
+    if let Some(p) = prof {
+        // Exchange nodes carry the per-shard legs the backend just ran.
+        let shards = if matches!(plan.op, PlanOp::Exchange { .. }) {
+            backend.take_exchange_profile()
+        } else {
+            Vec::new()
+        };
+        p.exit(plan, rows.len() as u64, shards);
+    }
     if let Some(text) = plan.canonical() {
         obs.push(StepObservation {
             kind: plan.step_kind(),

@@ -37,6 +37,7 @@ pub mod lexer;
 pub mod parser;
 pub mod plan;
 pub mod planner;
+pub mod profile;
 pub mod rewrite;
 
 pub use ast::Statement;
@@ -44,6 +45,10 @@ pub use backend::{ExecBackend, LocalBackend};
 pub use catalog::Catalog;
 pub use db::{CardinalityHints, Database, QueryResult, StepObserver, TableFunction};
 pub use plan::{PlanNode, StepKind, StepObservation};
+pub use profile::Profiler;
+// Profile data types live in `hdm-telemetry` (the recorder owns the
+// schema); re-exported here so SQL-layer users need no extra import.
+pub use hdm_telemetry::{OpProfile, ShardLeg, StatementProfile};
 
 /// Test helper: parse a standalone scalar expression (used by unit tests in
 /// several modules; hidden from the public API surface).

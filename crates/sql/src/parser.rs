@@ -120,7 +120,13 @@ impl Parser {
                 "select" | "with" => Ok(Statement::Select(self.select_stmt()?)),
                 "explain" => {
                     self.next();
-                    Ok(Statement::Explain(Box::new(self.statement()?)))
+                    // `analyze` doubles as a statement keyword (ANALYZE t);
+                    // after EXPLAIN it is always the profiling flag.
+                    let analyze = self.eat_kw("analyze");
+                    Ok(Statement::Explain {
+                        analyze,
+                        stmt: Box::new(self.statement()?),
+                    })
                 }
                 "analyze" => {
                     self.next();
@@ -765,7 +771,11 @@ mod tests {
     fn parses_explain_and_analyze() {
         assert!(matches!(
             parse("explain select * from t").unwrap(),
-            Statement::Explain(_)
+            Statement::Explain { analyze: false, .. }
+        ));
+        assert!(matches!(
+            parse("explain analyze select * from t").unwrap(),
+            Statement::Explain { analyze: true, stmt } if matches!(*stmt, Statement::Select(_))
         ));
         assert!(matches!(
             parse("analyze olap.t1").unwrap(),

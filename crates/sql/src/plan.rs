@@ -309,9 +309,12 @@ impl PlanNode {
         out
     }
 
-    fn explain_into(&self, out: &mut String, depth: usize) {
-        let pad = "  ".repeat(depth);
-        let label = match &self.op {
+    /// One-line human label for this operator (the EXPLAIN line without
+    /// indentation or cardinality annotations). Shared by [`Self::explain`]
+    /// and the runtime profiler, so EXPLAIN and EXPLAIN ANALYZE name
+    /// operators identically.
+    pub fn describe(&self) -> String {
+        match &self.op {
             PlanOp::SeqScan { table, predicate } => match predicate {
                 Some(p) => format!("Seq Scan on {table} (filter: {})", p.canonical(&self.schema)),
                 None => format!("Seq Scan on {table}"),
@@ -343,8 +346,16 @@ impl PlanNode {
                 format!("{}{}", kind.name(), if *all { " ALL" } else { "" })
             }
             PlanOp::Distinct => "Distinct".to_string(),
-        };
-        out.push_str(&format!("{pad}{label}  (rows={:.0})\n", self.est_rows));
+        }
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        out.push_str(&format!(
+            "{pad}{}  (rows={:.0})\n",
+            self.describe(),
+            self.est_rows
+        ));
         for c in &self.children {
             c.explain_into(out, depth + 1);
         }

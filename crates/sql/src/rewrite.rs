@@ -34,7 +34,7 @@ pub fn rewrite_statement(stmt: &mut Statement) {
             rewrite_where(where_clause);
         }
         Statement::Delete { where_clause, .. } => rewrite_where(where_clause),
-        Statement::Explain(inner) => rewrite_statement(inner),
+        Statement::Explain { stmt, .. } => rewrite_statement(stmt),
         _ => {}
     }
 }

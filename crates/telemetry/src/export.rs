@@ -10,7 +10,7 @@ use crate::span::{SpanEvent, SpanRecord};
 use std::fmt::Write as _;
 
 /// Escape a string for a JSON string literal.
-fn esc(s: &str) -> String {
+pub(crate) fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -92,13 +92,35 @@ pub fn metrics_to_jsonl(snap: &MetricsSnapshot) -> String {
     for (k, h) in &snap.histograms {
         let _ = writeln!(
             out,
-            "{{\"type\":\"histogram\",\"key\":\"{}\",\"count\":{},\"mean_us\":{:.3},\"p50_us\":{},\"p99_us\":{},\"max_us\":{}}}",
+            "{{\"type\":\"histogram\",\"key\":\"{}\",\"count\":{},\"mean_us\":{:.3},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"max_us\":{}}}",
             esc(k),
             h.count,
             h.mean_us,
             h.p50_us,
+            h.p95_us,
             h.p99_us,
             h.max_us
+        );
+    }
+    out
+}
+
+/// Render a metrics snapshot for humans: counters, gauges, then histograms
+/// with their percentile summary (`p50/p95/p99/max`), one series per line in
+/// key order.
+pub fn metrics_console(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (k, v) in &snap.counters {
+        let _ = writeln!(out, "counter   {k} = {v}");
+    }
+    for (k, v) in &snap.gauges {
+        let _ = writeln!(out, "gauge     {k} = {v}");
+    }
+    for (k, h) in &snap.histograms {
+        let _ = writeln!(
+            out,
+            "histogram {k}: n={} mean={:.1}us p50={}us p95={}us p99={}us max={}us",
+            h.count, h.mean_us, h.p50_us, h.p95_us, h.p99_us, h.max_us
         );
     }
     out
@@ -245,6 +267,24 @@ mod tests {
         assert!(lines[0].starts_with("txn ["));
         assert!(lines[1].starts_with("  leg.prepare ["));
         assert!(lines[2].contains("! retry @12us"));
+    }
+
+    #[test]
+    fn metrics_console_shows_percentile_summary() {
+        let reg = crate::MetricsRegistry::new();
+        reg.counter("txn.commit", &[("path", "single")]).add(2);
+        reg.gauge("inflight", &[]).set(3);
+        let h = reg.histogram("lat", &[]);
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let text = metrics_console(&reg.snapshot());
+        assert!(text.contains("counter   txn.commit{path=single} = 2"));
+        assert!(text.contains("gauge     inflight = 3"));
+        let hist_line = text.lines().find(|l| l.starts_with("histogram lat")).unwrap();
+        for needle in ["n=100", "p50=", "p95=", "p99=", "max=100us"] {
+            assert!(hist_line.contains(needle), "missing {needle} in {hist_line}");
+        }
     }
 
     #[test]

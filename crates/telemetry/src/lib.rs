@@ -27,6 +27,7 @@
 pub mod clock;
 pub mod export;
 pub mod metrics;
+pub mod recorder;
 pub mod span;
 pub mod timeline;
 
@@ -34,6 +35,9 @@ pub use clock::{Clock, SharedClock, VirtualClock, WallClock};
 pub use metrics::{
     Counter, Gauge, HistogramHandle, HistogramSnapshot, MetricKey, MetricsRegistry,
     MetricsSnapshot,
+};
+pub use recorder::{
+    FlightRecorder, OpProfile, RecorderConfig, ShardLeg, SharedRecorder, StatementProfile,
 };
 pub use span::{SpanEvent, SpanId, SpanRecord, Tracer};
 

@@ -140,6 +140,7 @@ impl HistogramHandle {
             count: cell.hist.count(),
             mean_us: cell.summary.mean(),
             p50_us: cell.hist.percentile(0.5),
+            p95_us: cell.hist.percentile(0.95),
             p99_us: cell.hist.percentile(0.99),
             max_us: cell.summary.max() as u64,
         }
@@ -158,6 +159,7 @@ pub struct HistogramSnapshot {
     pub count: u64,
     pub mean_us: f64,
     pub p50_us: u64,
+    pub p95_us: u64,
     pub p99_us: u64,
     pub max_us: u64,
 }
@@ -341,8 +343,9 @@ mod tests {
         assert_eq!(s.count, 1_000);
         assert!((s.mean_us - 500.5).abs() < 1e-9);
         assert!((500..=1_000).contains(&s.p50_us), "p50={}", s.p50_us);
+        assert!(s.p95_us >= 950, "p95={}", s.p95_us);
         assert!(s.p99_us >= 990, "p99={}", s.p99_us);
-        assert!(s.p50_us <= s.p99_us && s.p99_us <= 1_000);
+        assert!(s.p50_us <= s.p95_us && s.p95_us <= s.p99_us && s.p99_us <= 1_000);
         assert_eq!(s.max_us, 1_000);
     }
 

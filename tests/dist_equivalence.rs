@@ -71,39 +71,55 @@ fn seeded_corpus_matches_local_engine() {
 fn pruned_point_query_skips_the_gtm() {
     let corpus = DistCorpus::default();
     let (mut local, mut dist) = build_pair(&corpus);
+    dist.set_profiling(true);
     let q = "select * from orders where cust = 7";
     let before = dist.cluster().counters();
-    let d = dist.query(q).unwrap();
+    let res = dist.execute(q).unwrap();
     let after = dist.cluster().counters();
+    // The per-statement profile attributes GTM traffic and 2PC legs to this
+    // statement alone — no global-counter delta arithmetic needed.
+    let profile = res.profile.as_ref().expect("profiling enabled");
+    assert_eq!(profile.scope, "single", "pruned to one shard");
     assert_eq!(
-        after.gtm_interactions, before.gtm_interactions,
+        profile.gtm_interactions, 0,
         "shard-key-pruned statement must not interact with the GTM"
+    );
+    assert_eq!(
+        profile.twopc_legs, 0,
+        "single-shard fast path commits without 2PC"
     );
     assert_eq!(
         after.single_shard_commits,
         before.single_shard_commits + 1,
         "pruned statement commits on the single-shard fast path"
     );
-    assert_eq!(sorted(local.query(q).unwrap()), sorted(d));
+    assert_eq!(sorted(local.query(q).unwrap()), sorted(res.rows));
 }
 
 #[test]
 fn scattered_aggregate_commits_via_2pc() {
     let corpus = DistCorpus::default();
     let (mut local, mut dist) = build_pair(&corpus);
+    dist.set_profiling(true);
     let q = "select region, sum(amount) from orders group by region";
     let before = dist.cluster().counters();
-    let d = dist.query(q).unwrap();
+    let res = dist.execute(q).unwrap();
     let after = dist.cluster().counters();
+    let profile = res.profile.as_ref().expect("profiling enabled");
+    assert_eq!(profile.scope, "multi", "scatter-gather spans shards");
+    assert_eq!(
+        profile.twopc_legs, SHARDS as u64,
+        "scatter-gather aggregate holds a 2PC leg on every shard"
+    );
+    assert!(
+        profile.gtm_interactions > 0,
+        "a global transaction visits the GTM"
+    );
     assert!(
         after.multi_shard_commits > before.multi_shard_commits,
         "scatter-gather aggregate must commit through 2PC"
     );
-    assert!(
-        after.gtm_interactions > before.gtm_interactions,
-        "a global transaction visits the GTM"
-    );
-    assert_eq!(sorted(local.query(q).unwrap()), sorted(d));
+    assert_eq!(sorted(local.query(q).unwrap()), sorted(res.rows));
 }
 
 #[test]
