@@ -22,12 +22,17 @@
 //! actuals, per-shard Exchange legs, GTM/2PC footer), and
 //! `--recorder PATH` dumps the flight recorder's JSONL there.
 //!
+//! With `--bench-json PATH` (distributed mode), the measured numbers —
+//! point/aggregate throughput, profiler overhead, and a chaos-dist failover
+//! sweep's latency decomposition — are additionally written to `PATH` as
+//! one JSON object (the committed `BENCH_6.json`).
+//!
 //! Usage: table1_canonical_form [--sweep-threshold] [--distributed]
 //!                              [--snapshot-cache] [--profile]
-//!                              [--recorder PATH]
+//!                              [--recorder PATH] [--bench-json PATH]
 
 use hdm_bench::{arg_flag, arg_value, render_table};
-use hdm_cluster::{Cluster, ClusterConfig, DistDb};
+use hdm_cluster::{run_chaos_dist, ChaosDistConfig, Cluster, ClusterConfig, DistDb};
 use hdm_common::Datum;
 use hdm_learnopt::{PlanStoreConfig, SharedPlanStore};
 use hdm_sql::Database;
@@ -263,16 +268,88 @@ fn run_distributed(snapshot_cache: bool) {
          shards.\n"
     );
 
+    let mut bench = serde_json::Map::new();
+    bench.insert("bench", "table1_distributed".into());
+    bench.insert("shards", SHARDS.into());
+    bench.insert("iters", ITERS.into());
+    bench.insert("point_kstmt_s", kqps(point_us).into());
+    bench.insert("agg_kstmt_s", kqps(agg_us).into());
+    bench.insert(
+        "point_gtm_interactions",
+        (mid.0.gtm_interactions - before.0.gtm_interactions).into(),
+    );
+    bench.insert(
+        "agg_gtm_interactions",
+        (after.0.gtm_interactions - mid.0.gtm_interactions).into(),
+    );
+
     if arg_flag("--profile") {
-        run_profiled(&mut db);
+        let overhead = run_profiled(&mut db);
+        bench.insert("profiler_overhead_pct", overhead.into());
     }
+
+    if let Some(path) = arg_value("--bench-json") {
+        bench.insert("chaos_dist_failover", run_failover_bench());
+        let json = serde_json::Value::Object(bench);
+        std::fs::write(&path, format!("{}\n", serde_json::to_string(&json).unwrap())).unwrap();
+        println!("bench metrics written to {path}\n");
+    }
+}
+
+/// One standard chaos-dist sweep, reported as the failover latency
+/// decomposition: wall time of statements that drove a promotion vs the
+/// fault-free twin's per-statement baseline, plus retry/backoff/dedup
+/// accounting.
+fn run_failover_bench() -> serde_json::Value {
+    let cfg = ChaosDistConfig::standard(0xBAD_5EED);
+    let r = run_chaos_dist(&cfg).expect("chaos-dist sweep");
+    assert_eq!(r.mismatches, 0, "sweep must be client-invisible: {r:?}");
+    assert_eq!(r.audit_diffs, 0, "sweep must lose nothing: {r:?}");
+    let avg = |us: u64, n: u64| us as f64 / n.max(1) as f64;
+    println!("=== Chaos-dist failover sweep (seed {:#x}) ===", cfg.seed);
+    println!(
+        "{} statements, {} crashes / {} restarts, {} promotions, {} rejoins",
+        r.statements, r.crashes, r.restarts, r.promotions, r.rejoins
+    );
+    println!(
+        "retries {}, dedup hits {}, simulated backoff {}us",
+        r.stmt_retries, r.dedup_hits, r.backoff_us
+    );
+    println!(
+        "failover latency: {} promoting statements avg {:.0}us vs fault-free avg {:.0}us\n",
+        r.failover_stmts,
+        avg(r.failover_wall_us, r.failover_stmts),
+        avg(r.twin_wall_us, r.statements)
+    );
+    serde_json::json!({
+        "seed": r.seed,
+        "statements": r.statements,
+        "duplicates": r.duplicates,
+        "crashes": r.crashes,
+        "restarts": r.restarts,
+        "promotions": r.promotions,
+        "rejoins": r.rejoins,
+        "cn_failovers": r.failovers,
+        "stmt_retries": r.stmt_retries,
+        "dedup_hits": r.dedup_hits,
+        "backoff_sim_us": r.backoff_us,
+        "mismatches": r.mismatches,
+        "audit_diffs": r.audit_diffs,
+        "ticks": r.ticks,
+        "twin_wall_us": r.twin_wall_us,
+        "fault_wall_us": r.fault_wall_us,
+        "failover_stmts": r.failover_stmts,
+        "failover_wall_us": r.failover_wall_us,
+        "avg_failover_stmt_us": avg(r.failover_wall_us, r.failover_stmts),
+        "avg_twin_stmt_us": avg(r.twin_wall_us, r.statements),
+    })
 }
 
 /// `--profile`: time the pruned point-query loop with the profiler off and
 /// on (its overhead is the whole cost story — the paper's feedback loop is
 /// only viable if observation is near-free), then show the annotated tree
-/// and optionally dump the flight recorder.
-fn run_profiled(db: &mut DistDb) {
+/// and optionally dump the flight recorder. Returns the overhead in %.
+fn run_profiled(db: &mut DistDb) -> f64 {
     const ITERS: u32 = 2_000;
     let run_loop = |db: &mut DistDb| {
         let t0 = Instant::now();
@@ -307,4 +384,5 @@ fn run_profiled(db: &mut DistDb) {
             recorder.len()
         );
     }
+    overhead
 }

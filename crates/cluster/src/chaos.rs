@@ -21,12 +21,56 @@ use crate::engine::{Cluster, ClusterConfig, ClusterCounters, Txn, TxnOptions};
 use crate::retry::RetryPolicy;
 use crate::shard::make_key;
 use hdm_common::{Result, ShardId, SimDuration, SimInstant, SplitMix64, Xid};
-use hdm_simnet::{FaultConfig, FaultPlan, MsgFate, Sim};
+use hdm_simnet::{CrashEvent, FaultConfig, FaultPlan, MsgFate, Sim};
 use hdm_telemetry::{MetricsSnapshot, SpanId, Telemetry};
 use std::collections::BTreeMap;
 
 /// Fixed service gap between a transaction's protocol steps.
 const STEP_GAP: SimDuration = SimDuration::from_micros(20);
+
+/// The one construction site for fault plans and crash schedules, shared by
+/// the bank-transfer harness ([`ChaosConfig`]) and the chaos-dist sweep
+/// (`chaos_dist`) — so the crash-window constants (fault mix, horizon) are
+/// never duplicated between harnesses.
+#[derive(Debug, Clone)]
+pub struct FaultPlanBuilder {
+    pub seed: u64,
+    pub faults: FaultConfig,
+    /// Horizon the crash schedule is spread over.
+    pub horizon: SimDuration,
+}
+
+impl FaultPlanBuilder {
+    /// The standard chaotic window: every fault class on, 8ms horizon.
+    pub fn standard(seed: u64) -> Self {
+        Self {
+            seed,
+            faults: FaultConfig::chaotic(),
+            horizon: SimDuration::from_millis(8),
+        }
+    }
+
+    /// Same window, data-node crash/restart cycles only — the chaos-dist
+    /// sweep's diet (its statement transport is reliable; node loss is the
+    /// fault under test).
+    pub fn dn_crashes_only(seed: u64) -> Self {
+        Self {
+            faults: FaultConfig::dn_crashes_only(),
+            ..Self::standard(seed)
+        }
+    }
+
+    /// The seeded fault plan. Attach telemetry *before* drawing schedules —
+    /// injection counters fire at sampling points.
+    pub fn plan(&self) -> FaultPlan {
+        FaultPlan::new(self.seed, self.faults.clone())
+    }
+
+    /// The crash/restart schedule for `nodes` data nodes over the window.
+    pub fn schedule(&self, plan: &mut FaultPlan, nodes: usize) -> Vec<CrashEvent> {
+        plan.crash_schedule(nodes, self.horizon)
+    }
+}
 
 /// Chaos run parameters.
 #[derive(Debug, Clone)]
@@ -56,8 +100,10 @@ pub struct ChaosConfig {
 }
 
 impl ChaosConfig {
-    /// The standard chaotic run: every fault class enabled.
+    /// The standard chaotic run: every fault class enabled, crash window
+    /// from the shared [`FaultPlanBuilder`].
     pub fn standard(seed: u64) -> Self {
+        let plan = FaultPlanBuilder::standard(seed);
         Self {
             seed,
             shards: 4,
@@ -66,10 +112,20 @@ impl ChaosConfig {
             clients: 6,
             transfers_per_client: 30,
             cross_fraction: 0.6,
-            faults: FaultConfig::chaotic(),
-            fault_horizon: SimDuration::from_millis(8),
+            faults: plan.faults,
+            fault_horizon: plan.horizon,
             snapshot_cache: false,
             telemetry: None,
+        }
+    }
+
+    /// The fault-plan builder this configuration implies (tests may have
+    /// overridden `faults`/`fault_horizon` after construction).
+    pub fn fault_plan(&self) -> FaultPlanBuilder {
+        FaultPlanBuilder {
+            seed: self.seed,
+            faults: self.faults.clone(),
+            horizon: self.fault_horizon,
         }
     }
 
@@ -488,11 +544,12 @@ pub fn run_chaos(cfg: ChaosConfig) -> ChaosReport {
         cluster.attach_telemetry(tel);
     }
 
-    let mut plan = FaultPlan::new(cfg.seed, cfg.faults.clone());
+    let builder = cfg.fault_plan();
+    let mut plan = builder.plan();
     if let Some(tel) = &cfg.telemetry {
         plan.attach_telemetry(&tel.metrics);
     }
-    let schedule = plan.crash_schedule(cfg.shards, cfg.fault_horizon);
+    let schedule = builder.schedule(&mut plan, cfg.shards);
 
     let clients = (0..cfg.clients)
         .map(|cid| {

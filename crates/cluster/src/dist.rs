@@ -24,6 +24,7 @@
 //! them, never cross-contaminating single-node plans.
 
 use crate::engine::{Cluster, Protocol, Txn, TxnOptions};
+use crate::retry::RetryPolicy;
 use crate::shard::key_prefix;
 use hdm_common::{Datum, HdmError, Result, Row, Schema, ShardId};
 use hdm_sql::ast::{BinOp, Expr, SelectStmt, Statement};
@@ -39,9 +40,38 @@ use hdm_telemetry::{
     OpProfile, ShardLeg, SharedClock, SharedRecorder, StatementProfile, Telemetry, WallClock,
 };
 use hdm_txn::SnapshotVisibility;
-use std::collections::{BTreeSet, HashMap};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::rc::Rc;
 use std::sync::Arc;
+
+/// One scripted fault against a data node, named by its raw shard id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOp {
+    /// Crash the shard's primary.
+    Crash(u64),
+    /// Restart the crashed machine (it rejoins as an empty follower when the
+    /// shard already failed over to a replica).
+    Restart(u64),
+}
+
+/// A deterministic crash/restart script keyed by CN-side *execution ticks*.
+/// A tick elapses at every fragment dispatch and every retry attempt, so
+/// scripted faults land mid-statement at exactly the same point on every
+/// same-seed run — no wall clock involved. Replication log shipping is
+/// pumped on the same tick, giving followers a bounded, deterministic lag.
+#[derive(Debug, Clone, Default)]
+pub struct FaultScript {
+    /// tick → operations applied when that tick is reached.
+    pub schedule: BTreeMap<u64, Vec<FaultOp>>,
+    /// Ticks consumed so far. A fault-free run with an empty schedule counts
+    /// ticks here, calibrating where to place faults in a scripted twin.
+    pub tick: u64,
+}
+
+/// Replication records shipped per execution tick while a fault script is
+/// installed (kept small so followers visibly lag a busy primary).
+const REPL_RECORDS_PER_TICK: usize = 4;
 
 /// How a table's rows map to shards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,6 +106,15 @@ pub struct DistCounters {
     pub single_shard_stmts: u64,
     /// Statements that ran as multi-shard (GTM + 2PC) transactions.
     pub multi_shard_stmts: u64,
+    /// Follower promotions driven by this CN (inline or between retries).
+    pub failovers: u64,
+    /// Statement attempts retried after a retryable error.
+    pub stmt_retries: u64,
+    /// Retried/duplicate statements answered from a DN's idempotence table
+    /// without re-applying writes.
+    pub dedup_hits: u64,
+    /// Simulated-time backoff served across all statement retries.
+    pub backoff_us: u64,
 }
 
 /// The statement's transaction scope, decided from the annotated plan (or
@@ -102,6 +141,16 @@ pub struct DistDb {
     recorder: Option<SharedRecorder>,
     profiling: bool,
     misestimate_ratio: f64,
+    /// Backoff schedule for [`Self::execute_idempotent`]; `None` (default)
+    /// keeps the legacy fail-fast behaviour.
+    retry: Option<RetryPolicy>,
+    /// The statement id the currently-executing statement carries for
+    /// idempotent dedup, threaded into error messages and leg tags.
+    cur_stmt: Option<u64>,
+    /// Next auto-assigned statement id for [`Self::execute_retrying`].
+    next_stmt_id: u64,
+    /// Scripted crash/restart plan ticked at every fragment dispatch.
+    faults: Option<Rc<RefCell<FaultScript>>>,
 }
 
 impl DistDb {
@@ -143,6 +192,10 @@ impl DistDb {
             recorder: None,
             profiling: false,
             misestimate_ratio: 2.0,
+            retry: None,
+            cur_stmt: None,
+            next_stmt_id: 1,
+            faults: None,
         })
     }
 
@@ -202,9 +255,31 @@ impl DistDb {
     }
 
     /// Wire fragments (and the underlying cluster) to a telemetry bundle.
+    /// An installed retry policy reports its backoffs as `cn.backoff`.
     pub fn attach_telemetry(&mut self, tel: &Telemetry) {
         self.cluster.attach_telemetry(tel);
+        if let Some(p) = &mut self.retry {
+            p.attach_telemetry(&tel.metrics);
+        }
         self.tel = Some(tel.clone());
+    }
+
+    /// Give the coordinator a retry loop: [`Self::execute_idempotent`]
+    /// retries `unavailable`/`txn_aborted` statements under this policy's
+    /// backoff, failing crashed shards over to replicas between attempts.
+    /// `None` (the default) preserves the legacy fail-fast behaviour.
+    pub fn set_retry_policy(&mut self, policy: Option<RetryPolicy>) {
+        self.retry = policy;
+        if let (Some(p), Some(tel)) = (&mut self.retry, &self.tel) {
+            p.attach_telemetry(&tel.metrics);
+        }
+    }
+
+    /// Install (or clear) a deterministic crash/restart script. The script
+    /// is shared `Rc` so the harness that built it can inspect the tick
+    /// counter afterwards.
+    pub fn set_fault_script(&mut self, script: Option<Rc<RefCell<FaultScript>>>) {
+        self.faults = script;
     }
 
     /// Execute one SQL statement on the cluster.
@@ -217,6 +292,93 @@ impl DistDb {
     /// Convenience: execute and return rows.
     pub fn query(&mut self, sql: &str) -> Result<Vec<Row>> {
         Ok(self.execute(sql)?.rows)
+    }
+
+    /// [`Self::execute_idempotent`] with an auto-assigned statement id.
+    pub fn execute_retrying(&mut self, sql: &str) -> Result<QueryResult> {
+        let id = self.next_stmt_id;
+        self.next_stmt_id += 1;
+        self.execute_idempotent(sql, id)
+    }
+
+    /// Execute one statement at-most-once under crash failover. `stmt_id`
+    /// is the statement's idempotence key: a write statement tags every leg
+    /// with `(stmt_id, total rowcount)` before commit, and a later attempt
+    /// (or an outright duplicate submission) first asks the routed shards
+    /// whether the id already committed — so a retried write is never
+    /// double-applied, and a duplicate answers with the original rowcount.
+    ///
+    /// Retries cover the `unavailable` and `txn_aborted` error classes only
+    /// (crashed/fenced shards and 2PC aborts); every attempt re-parses and
+    /// re-plans so post-failover routing takes effect. Without a retry
+    /// policy this is plain [`Self::execute`] with dedup tagging.
+    pub fn execute_idempotent(&mut self, sql: &str, stmt_id: u64) -> Result<QueryResult> {
+        let run_once = |db: &mut Self| {
+            db.cur_stmt = Some(stmt_id);
+            let r = db.execute(sql);
+            db.cur_stmt = None;
+            r
+        };
+        let Some(mut policy) = self.retry.take() else {
+            return run_once(self);
+        };
+        let mut attempt: u32 = 0;
+        let result = loop {
+            // Scripted faults and follower catch-up advance between attempts
+            // too, so a retry storm can't freeze the cluster's timeline.
+            if let Err(e) = self.tick_faults().and_then(|()| self.failover_down_shards()) {
+                break Err(e);
+            }
+            match run_once(self) {
+                Ok(r) => break Ok(r),
+                Err(e) if matches!(e.class(), "unavailable" | "txn_aborted") => {
+                    attempt += 1;
+                    if !policy.allows(attempt) {
+                        break Err(HdmError::Unavailable(format!(
+                            "{e}; gave up after {attempt} attempts"
+                        )));
+                    }
+                    self.counters.stmt_retries += 1;
+                    self.counters.backoff_us += policy.backoff(attempt - 1).micros();
+                    self.cluster.record_retry();
+                }
+                Err(e) => break Err(e),
+            }
+        };
+        self.retry = Some(policy);
+        result
+    }
+
+    /// Promote a caught-up follower for every down shard. Called between
+    /// retry attempts so the next attempt finds live primaries.
+    fn failover_down_shards(&mut self) -> Result<()> {
+        for shard in self.cluster.down_shards() {
+            if self.cluster.try_failover(shard)? {
+                self.counters.failovers += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Advance the fault script by one tick (applying any scripted
+    /// crash/restart ops) and ship a bounded batch of replication records.
+    fn tick_faults(&mut self) -> Result<()> {
+        tick_faults(&mut self.cluster, self.faults.as_ref())
+    }
+
+    /// Idempotence check for a statement about to write `shards`: if any
+    /// routed shard remembers `stmt_id` as committed, the whole statement
+    /// already applied (every leg carries the statement-*total* rowcount).
+    fn stmt_dedup(
+        &mut self,
+        shards: impl IntoIterator<Item = ShardId>,
+        stmt_id: u64,
+    ) -> Option<u64> {
+        let n = shards
+            .into_iter()
+            .find_map(|s| self.cluster.stmt_applied_on(s, stmt_id))?;
+        self.counters.dedup_hits += 1;
+        Some(n)
     }
 
     fn execute_statement(&mut self, stmt: &Statement, sql: Option<&str>) -> Result<QueryResult> {
@@ -312,9 +474,10 @@ impl DistDb {
         self.shadow.create_table(name, schema.clone())?;
         let canon = name.to_ascii_lowercase();
         for shard in self.cluster.shard_map().all().collect::<Vec<_>>() {
+            // Routed through the cluster so the DDL also lands on the
+            // shard's replication log (replicas replay it before any rows).
             self.cluster
-                .node_mut(shard)
-                .create_sql_table(&canon, schema.clone())?;
+                .create_sql_table_on(shard, &canon, schema.clone())?;
         }
         self.meta.insert(
             canon,
@@ -398,6 +561,14 @@ impl DistDb {
             routed.push((shard, prefix, Row::new(vals)));
         }
         let shards: BTreeSet<u64> = routed.iter().map(|(s, _, _)| s.raw()).collect();
+        if let Some(sid) = self.cur_stmt {
+            if let Some(n) = self.stmt_dedup(shards.iter().map(|&s| ShardId::new(s)), sid) {
+                return Ok(QueryResult {
+                    affected: n,
+                    ..empty_result()
+                });
+            }
+        }
         let scope = match (shards.len(), routed.first()) {
             (1, Some((_, prefix, _))) => Scope::Single(*prefix),
             _ => Scope::Multi,
@@ -420,6 +591,9 @@ impl DistDb {
                     return Err(e);
                 }
             }
+        }
+        if let Some(sid) = self.cur_stmt {
+            self.cluster.tag_statement(&txn, sid, n);
         }
         self.cluster.commit(txn)?;
         Ok(QueryResult {
@@ -502,6 +676,14 @@ impl DistDb {
             Pruned::All => Scope::Multi,
         };
         let shards = self.pruned_list(&pruned);
+        if let Some(sid) = self.cur_stmt {
+            if let Some(n) = self.stmt_dedup(shards.iter().copied(), sid) {
+                return Ok(QueryResult {
+                    affected: n,
+                    ..empty_result()
+                });
+            }
+        }
         let mut txn = self.begin_scoped(scope)?;
         let mut n = 0u64;
         for shard in shards {
@@ -534,6 +716,9 @@ impl DistDb {
                 self.cluster.abort(txn)?;
                 return Err(e);
             }
+        }
+        if let Some(sid) = self.cur_stmt {
+            self.cluster.tag_statement(&txn, sid, n);
         }
         self.cluster.commit(txn)?;
         Ok(QueryResult {
@@ -731,14 +916,20 @@ impl DistDb {
     }
 
     /// The `(local xid, snapshot)` a fragment on `shard` runs under, opening
-    /// the multi-shard leg on first touch.
+    /// the multi-shard leg on first touch. A down shard first gets one
+    /// inline failover chance (iff the transaction holds no leg there yet).
     fn fragment_ctx(
         &mut self,
         txn: &mut Txn,
         shard: ShardId,
     ) -> Result<(hdm_common::Xid, hdm_txn::Snapshot)> {
+        tick_faults(&mut self.cluster, self.faults.as_ref())?;
         if !self.cluster.is_node_up(shard) {
-            return Err(HdmError::Unavailable(format!("{shard} is down")));
+            if leg_failover(&mut self.cluster, txn, shard)? {
+                self.counters.failovers += 1;
+            } else {
+                return Err(shard_down(shard, self.cur_stmt));
+            }
         }
         if !txn.is_single_shard() {
             self.cluster.ensure_leg(txn, shard)?;
@@ -765,6 +956,8 @@ impl DistDb {
                 counters: &mut self.counters,
                 clock: None,
                 exchange_legs: Vec::new(),
+                cur_stmt: self.cur_stmt,
+                faults: self.faults.clone(),
             };
             hdm_sql::exec::execute(plan, &mut be, &mut steps)
         };
@@ -800,6 +993,8 @@ impl DistDb {
                 counters: &mut self.counters,
                 clock: Some(self.clock.clone()),
                 exchange_legs: Vec::new(),
+                cur_stmt: self.cur_stmt,
+                faults: self.faults.clone(),
             };
             hdm_sql::exec::execute_with_profiler(plan, &mut be, &mut steps, &mut prof)
         };
@@ -869,6 +1064,54 @@ impl DistDb {
 enum Pruned {
     Single(ShardId, u32),
     All,
+}
+
+/// The one construction site for "shard is down" errors, carrying the
+/// statement's idempotence key when the coordinator has one. Without a
+/// statement id the text is byte-identical to the pre-replication error —
+/// regression-pinned by `tests/dist_failover.rs`.
+fn shard_down(shard: ShardId, stmt: Option<u64>) -> HdmError {
+    HdmError::Unavailable(match stmt {
+        Some(id) => format!("{shard} is down (stmt {id})"),
+        None => format!("{shard} is down"),
+    })
+}
+
+/// A fragment headed for a down shard may fail over inline **iff** the
+/// transaction holds no leg there yet — an open leg's XID lives in the dead
+/// primary's local namespace and cannot migrate to the promoted replica, so
+/// such statements abort and retry instead. Returns whether a follower was
+/// promoted (with replicas disabled this is always `false`).
+fn leg_failover(cluster: &mut Cluster, txn: &Txn, shard: ShardId) -> Result<bool> {
+    if txn.lite_ctx(shard).is_some() {
+        return Ok(false);
+    }
+    cluster.try_failover(shard)
+}
+
+/// Advance an installed fault script by one execution tick: apply the ops
+/// scheduled for this tick, then ship a bounded batch of replication
+/// records so followers catch up on the same deterministic cadence.
+fn tick_faults(cluster: &mut Cluster, faults: Option<&Rc<RefCell<FaultScript>>>) -> Result<()> {
+    let Some(script) = faults else {
+        return Ok(());
+    };
+    let ops = {
+        let mut s = script.borrow_mut();
+        let t = s.tick;
+        s.tick += 1;
+        s.schedule.remove(&t)
+    };
+    if let Some(ops) = ops {
+        for op in ops {
+            match op {
+                FaultOp::Crash(s) => cluster.crash_node(ShardId::new(s)),
+                FaultOp::Restart(s) => cluster.restart_node(ShardId::new(s)),
+            }
+        }
+    }
+    cluster.pump_replication(REPL_RECORDS_PER_TICK)?;
+    Ok(())
 }
 
 /// Pruning oracle passed to [`annotate`]: shard list plus the single-shard
@@ -995,6 +1238,11 @@ struct DistExec<'a> {
     /// on it and per-shard legs accumulate in `exchange_legs`.
     clock: Option<SharedClock>,
     exchange_legs: Vec<ShardLeg>,
+    /// The statement's idempotence key, threaded into `shard is down`
+    /// errors so retried statements are traceable end to end.
+    cur_stmt: Option<u64>,
+    /// Fault script ticked per fragment dispatch (shared with the DistDb).
+    faults: Option<Rc<RefCell<FaultScript>>>,
 }
 
 impl ExecBackend for DistExec<'_> {
@@ -1031,8 +1279,13 @@ impl ExecBackend for DistExec<'_> {
         let mut out = Vec::new();
         for &raw in shards {
             let shard = ShardId::new(raw);
+            tick_faults(self.cluster, self.faults.as_ref())?;
             if !self.cluster.is_node_up(shard) {
-                return Err(HdmError::Unavailable(format!("{shard} is down")));
+                if leg_failover(self.cluster, self.txn, shard)? {
+                    self.counters.failovers += 1;
+                } else {
+                    return Err(shard_down(shard, self.cur_stmt));
+                }
             }
             if !self.txn.is_single_shard() {
                 self.cluster.ensure_leg(self.txn, shard)?;

@@ -35,8 +35,9 @@
 //! visibility-equivalent and saving the snapshot interaction per begin.
 
 use crate::node::DataNode;
+use crate::replica::{Follower, LogRecord, ReplOp, ReplicaSet};
 use crate::shard::ShardMap;
-use hdm_common::{HdmError, Result, ShardId, Xid};
+use hdm_common::{HdmError, Result, Schema, ShardId, Xid};
 use hdm_telemetry::{Counter, Telemetry};
 use hdm_txn::{
     merge_with_manager, Decision, Gtm, Snapshot, SnapshotVisibility, TwoPcCoordinator, TxnStatus,
@@ -75,6 +76,11 @@ pub struct ClusterConfig {
     /// skipping the per-begin snapshot interaction. Off by default so the
     /// legacy interaction counts stay bit-identical.
     pub snapshot_cache: bool,
+    /// Log-shipped followers per shard (0 = replication off, the legacy
+    /// single-copy behaviour: a crashed DN stays `Unavailable` until its
+    /// scheduled restart). With replicas, a crashed primary can be failed
+    /// over via [`Cluster::try_failover`].
+    pub replicas: usize,
 }
 
 impl ClusterConfig {
@@ -85,6 +91,7 @@ impl ClusterConfig {
             merge_policy: MergePolicy::Full,
             lco_prune_horizon: 0,
             snapshot_cache: false,
+            replicas: 0,
         }
     }
 
@@ -95,6 +102,7 @@ impl ClusterConfig {
             merge_policy: MergePolicy::Full,
             lco_prune_horizon: 0,
             snapshot_cache: false,
+            replicas: 0,
         }
     }
 }
@@ -177,6 +185,11 @@ pub struct ClusterCounters {
     /// [`ClusterConfig::snapshot_cache`] is on.
     pub snapshot_cache_hits: u64,
     pub snapshot_cache_misses: u64,
+    /// Followers promoted to primary after a crash / crashed ex-primaries
+    /// re-seeded as empty followers. Both zero unless
+    /// [`ClusterConfig::replicas`] > 0.
+    pub promotions: u64,
+    pub rejoins: u64,
 }
 
 /// Pre-resolved metric handles + the tracer, attached once via
@@ -199,6 +212,11 @@ struct EngineTelemetry {
     retries: Counter,
     snap_cache_hit: Counter,
     snap_cache_miss: Counter,
+    /// Registered only when replication is on, so legacy configurations
+    /// export a byte-identical metric set.
+    promote: Option<Counter>,
+    rejoin: Option<Counter>,
+    replica_apply: Option<Counter>,
 }
 
 /// One leg of a multi-shard GTM-lite transaction on a particular DN.
@@ -206,6 +224,10 @@ struct EngineTelemetry {
 struct Leg {
     xid: Xid,
     merged: Snapshot,
+    /// The shard's primary epoch when the leg opened. A promotion bumps the
+    /// epoch, fencing the leg: its local XID belongs to the dead primary's
+    /// namespace and must never be replayed against the promoted node.
+    epoch: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -219,6 +241,8 @@ enum TxnKind {
         shard: ShardId,
         xid: Xid,
         snap: Snapshot,
+        /// Primary epoch at begin — same fencing rule as [`Leg::epoch`].
+        epoch: u64,
     },
     LiteMulti {
         gxid: Xid,
@@ -270,6 +294,7 @@ impl Txn {
                 shard: own,
                 xid,
                 snap,
+                ..
             } => (*own == shard).then(|| (*xid, snap.clone())),
             TxnKind::LiteMulti { legs, .. } => legs
                 .get(&shard.raw())
@@ -295,13 +320,30 @@ pub struct Cluster {
     snap_cache: Option<(u64, Snapshot)>,
     counters: ClusterCounters,
     tel: Option<EngineTelemetry>,
+    /// Per-shard replication state: the commit log + log-shipped followers.
+    /// Present but empty-followed when [`ClusterConfig::replicas`] is 0.
+    replicas: Vec<ReplicaSet>,
+    /// Per-shard primary epoch, bumped by each promotion. Stays 0 for every
+    /// shard when replication is off, so legacy behaviour is bit-identical.
+    epochs: Vec<u64>,
+    /// Shards whose scheduled restart should re-seed the returning machine
+    /// as an empty follower (a promotion already replaced it as primary).
+    rejoining: Vec<bool>,
 }
 
 impl Cluster {
     pub fn new(cfg: ClusterConfig) -> Self {
         let map = ShardMap::new(cfg.shards);
-        let nodes: Vec<DataNode> = map.all().map(DataNode::new).collect();
+        let mut nodes: Vec<DataNode> = map.all().map(DataNode::new).collect();
+        if cfg.replicas > 0 {
+            for node in &mut nodes {
+                node.set_record_redo(true);
+            }
+        }
+        let replicas = map.all().map(|s| ReplicaSet::new(s, cfg.replicas)).collect();
         let down = vec![false; nodes.len()];
+        let epochs = vec![0; nodes.len()];
+        let rejoining = vec![false; nodes.len()];
         Self {
             cfg,
             map,
@@ -312,6 +354,9 @@ impl Cluster {
             snap_cache: None,
             counters: ClusterCounters::default(),
             tel: None,
+            replicas,
+            epochs,
+            rejoining,
         }
     }
 
@@ -337,6 +382,10 @@ impl Cluster {
             retries: m.counter("cn.retry", &[]),
             snap_cache_hit: m.counter("gtm.snapshot_cache", &[("result", "hit")]),
             snap_cache_miss: m.counter("gtm.snapshot_cache", &[("result", "miss")]),
+            promote: (self.cfg.replicas > 0).then(|| m.counter("replica.promote", &[])),
+            rejoin: (self.cfg.replicas > 0).then(|| m.counter("replica.rejoin", &[])),
+            replica_apply: (self.cfg.replicas > 0)
+                .then(|| m.counter("replica.apply", &[])),
         });
         self.gtm.attach_telemetry(m);
     }
@@ -389,6 +438,20 @@ impl Cluster {
         Ok(())
     }
 
+    /// Fencing: a local XID minted by a since-replaced primary must never be
+    /// replayed against the promoted node (it would alias a fresh XID in the
+    /// new primary's namespace). Stale transactions fail over by retrying
+    /// from `begin`. No-op while replication is off (epochs never move).
+    fn check_epoch(&self, shard: ShardId, epoch: u64) -> Result<()> {
+        if self.cfg.replicas > 0 && self.epochs[shard.raw() as usize] != epoch {
+            return Err(HdmError::Unavailable(format!(
+                "{shard} failed over (epoch {} fences leg epoch {epoch})",
+                self.epochs[shard.raw() as usize]
+            )));
+        }
+        Ok(())
+    }
+
     /// Kill a data node's process. In-progress transactions there die with
     /// their volatile state (writes undone, locks released); prepared legs
     /// survive durably as in-doubt. The node rejects requests until
@@ -416,6 +479,25 @@ impl Cluster {
     /// them.
     pub fn restart_node(&mut self, shard: ShardId) {
         let i = shard.raw() as usize;
+        if self.rejoining[i] {
+            // A promotion already replaced this machine as primary; the
+            // returning process discards its stale state and rejoins as an
+            // empty follower, re-seeding from the shard log.
+            self.rejoining[i] = false;
+            self.counters.dn_restarts += 1;
+            self.counters.rejoins += 1;
+            self.replicas[i].followers.push(Follower::new(shard));
+            if let Some(t) = &self.tel {
+                t.restart_dn.inc();
+                if let Some(c) = &t.rejoin {
+                    c.inc();
+                }
+                t.tel
+                    .tracer
+                    .instant("replica.rejoin", &[("shard", &i.to_string())]);
+            }
+            return;
+        }
         if !self.down[i] {
             return;
         }
@@ -444,6 +526,11 @@ impl Cluster {
             self.nodes[i]
                 .resolve_in_doubt(local, commit)
                 .expect("in-doubt leg is resolvable");
+            if self.cfg.replicas > 0 {
+                if let Some(g) = gxid {
+                    self.replicas[i].resolve(g, commit);
+                }
+            }
             if commit {
                 self.counters.in_doubt_commits += 1;
             } else {
@@ -519,6 +606,150 @@ impl Cluster {
         }
     }
 
+    /// Promote the most caught-up follower of a down shard to primary:
+    /// replay the shard log to its head (so no committed write is lost),
+    /// reconstruct in-doubt 2PC legs from the shipped `Prepare` records,
+    /// bump the shard's epoch (fencing every leg opened against the dead
+    /// primary), and resolve the reconstructed in-doubt legs against the
+    /// GTM. The dead machine rejoins as an empty follower at its scheduled
+    /// restart. Returns `true` if a promotion happened; `false` when the
+    /// shard is up, replication is off, or no follower exists.
+    pub fn try_failover(&mut self, shard: ShardId) -> Result<bool> {
+        let i = shard.raw() as usize;
+        if self.cfg.replicas == 0 || !self.down[i] {
+            return Ok(false);
+        }
+        let Some((follower, replayed)) = self.replicas[i].take_promoted()? else {
+            return Ok(false);
+        };
+        let mut node = follower.node;
+        node.set_record_redo(true);
+        let in_doubt = node.in_doubt_legs().len();
+        self.nodes[i] = node;
+        self.down[i] = false;
+        self.epochs[i] += 1;
+        self.rejoining[i] = true;
+        self.counters.promotions += 1;
+        if let Some(t) = &self.tel {
+            if let Some(c) = &t.promote {
+                c.inc();
+            }
+            t.tel.tracer.instant(
+                "replica.promote",
+                &[
+                    ("shard", &i.to_string()),
+                    ("replayed", &replayed.to_string()),
+                    ("in_doubt", &in_doubt.to_string()),
+                ],
+            );
+        }
+        if self.gtm_up {
+            self.resolve_in_doubt_on(i);
+        }
+        Ok(true)
+    }
+
+    /// Ship up to `budget` log records to each follower of every shard —
+    /// the asynchronous log-shipping step, driven by harnesses at
+    /// deterministic points (0 = unbounded, i.e. catch every follower up to
+    /// the log head). Returns the number of records applied.
+    pub fn pump_replication(&mut self, budget: usize) -> Result<u64> {
+        let mut applied = 0;
+        for rs in &mut self.replicas {
+            applied += rs.pump(budget)?;
+        }
+        if applied > 0 {
+            if let Some(t) = &self.tel {
+                if let Some(c) = &t.replica_apply {
+                    c.add(applied);
+                }
+            }
+        }
+        Ok(applied)
+    }
+
+    /// Per-shard follower CSNs (applied log-prefix lengths) — outer index
+    /// is the shard, inner the follower. Empty inner vecs when replication
+    /// is off.
+    pub fn replica_csns(&self) -> Vec<Vec<u64>> {
+        self.replicas.iter().map(|r| r.csns()).collect()
+    }
+
+    /// Per-shard commit-log heads.
+    pub fn log_heads(&self) -> Vec<u64> {
+        self.replicas.iter().map(|r| r.log.head()).collect()
+    }
+
+    /// Every shard currently rejecting requests.
+    pub fn down_shards(&self) -> Vec<ShardId> {
+        self.map
+            .all()
+            .filter(|s| self.down[s.raw() as usize])
+            .collect()
+    }
+
+    /// The current primary epoch of `shard` (0 until a promotion).
+    pub fn epoch_of(&self, shard: ShardId) -> u64 {
+        self.epochs[shard.raw() as usize]
+    }
+
+    /// Tag every open leg of `txn` with the statement identity `(stmt_id,
+    /// rows)` — the idempotence key published to the DN's dedup table at
+    /// commit, and shipped to followers so a promoted primary still answers
+    /// duplicates. `rows` is the statement-*total* rowcount: any single
+    /// surviving leg can answer a duplicate in full.
+    pub(crate) fn tag_statement(&mut self, txn: &Txn, stmt_id: u64, rows: u64) {
+        match &txn.kind {
+            TxnKind::LiteSingle { shard, xid, epoch, .. } => {
+                let i = shard.raw() as usize;
+                if !self.down[i] && self.epochs[i] == *epoch {
+                    self.nodes[i].tag_statement(*xid, stmt_id, rows);
+                }
+            }
+            TxnKind::LiteMulti { legs, .. } => {
+                for (&s, leg) in legs {
+                    let i = s as usize;
+                    if !self.down[i] && self.epochs[i] == leg.epoch {
+                        self.nodes[i].tag_statement(leg.xid, stmt_id, rows);
+                    }
+                }
+            }
+            TxnKind::Baseline { .. } => {}
+        }
+    }
+
+    /// Did a previously-committed statement with this ID land on `shard`?
+    /// Returns the statement-total rowcount it reported. `None` while the
+    /// shard is down (the retry loop fails over first, then re-asks).
+    pub(crate) fn stmt_applied_on(&self, shard: ShardId, stmt_id: u64) -> Option<u64> {
+        let i = shard.raw() as usize;
+        if self.down[i] {
+            return None;
+        }
+        self.nodes[i].stmt_applied(stmt_id)
+    }
+
+    /// Create a SQL table on `shard`'s primary and replicate the DDL so
+    /// followers (and future rejoiners) converge on the same schema.
+    pub(crate) fn create_sql_table_on(
+        &mut self,
+        shard: ShardId,
+        name: &str,
+        schema: Schema,
+    ) -> Result<()> {
+        self.check_node(shard)?;
+        self.nodes[shard.raw() as usize].create_sql_table(name, schema.clone())?;
+        if self.cfg.replicas > 0 {
+            self.replicas[shard.raw() as usize].append(LogRecord::Ddl {
+                op: ReplOp::CreateSqlTable {
+                    table: name.to_string(),
+                    schema,
+                },
+            });
+        }
+        Ok(())
+    }
+
     /// Begin a transaction. This is the single entry point of the session
     /// API: [`TxnOptions`] selects the scope (single- vs multi-shard) and
     /// whether to precheck coordinator liveness (on by default, so a
@@ -542,11 +773,12 @@ impl Cluster {
                 Ok(match self.cfg.protocol {
                     Protocol::Baseline => self.begin_baseline(),
                     Protocol::GtmLite => {
+                        let epoch = self.epochs[shard.raw() as usize];
                         let node = &mut self.nodes[shard.raw() as usize];
                         let xid = node.mgr_mut().begin_local();
                         let snap = node.local_snapshot();
                         Txn {
-                            kind: TxnKind::LiteSingle { shard, xid, snap },
+                            kind: TxnKind::LiteSingle { shard, xid, snap, epoch },
                         }
                     }
                 })
@@ -668,12 +900,15 @@ impl Cluster {
                 shard: own_shard,
                 xid,
                 snap,
+                epoch,
             } => {
                 if shard != *own_shard {
                     return Err(HdmError::TxnState(format!(
                         "single-shard transaction on {own_shard} touched key {key} on {shard}"
                     )));
                 }
+                let epoch = *epoch;
+                self.check_epoch(shard, epoch)?;
                 self.nodes[shard.raw() as usize].get_local(snap, Some(*xid), key)
             }
             TxnKind::LiteMulti { .. } => {
@@ -729,13 +964,15 @@ impl Cluster {
                 shard: own_shard,
                 xid,
                 snap,
+                epoch,
             } => {
                 if shard != *own_shard {
                     return Err(HdmError::TxnState(format!(
                         "single-shard transaction on {own_shard} touched key {key} on {shard}"
                     )));
                 }
-                let (xid, snap) = (*xid, snap.clone());
+                let (xid, snap, epoch) = (*xid, snap.clone(), *epoch);
+                self.check_epoch(shard, epoch)?;
                 self.nodes[shard.raw() as usize].put_local(&snap, Some(xid), xid, key, val)
             }
             TxnKind::LiteMulti { .. } => {
@@ -763,8 +1000,10 @@ impl Cluster {
         let TxnKind::LiteMulti { gxid, gsnap, legs } = &mut txn.kind else {
             return Err(HdmError::TxnState("ensure_leg on non-multi txn".into()));
         };
-        if legs.contains_key(&shard.raw()) {
-            return Ok(());
+        if let Some(leg) = legs.get(&shard.raw()) {
+            // A leg that predates a promotion is fenced: its XID belongs to
+            // the dead primary's namespace.
+            return self.check_epoch(shard, leg.epoch);
         }
         // Opening a leg consults the GTM (UPGRADE classifies pending commits
         // against its clog); during a GTM outage the statement fails fast and
@@ -772,6 +1011,8 @@ impl Cluster {
         if !self.gtm_up {
             return Err(HdmError::Unavailable("GTM is down".into()));
         }
+        let epoch = self.epochs[shard.raw() as usize];
+        let mut upgraded: Vec<Xid> = Vec::new();
         let node = &mut self.nodes[shard.raw() as usize];
         let xid = node.mgr_mut().begin_global(*gxid);
 
@@ -821,12 +1062,23 @@ impl Cluster {
                                 "UPGRADE wait on {w} which is not pending-commit"
                             )));
                         }
-                        node.finish_commit(w)?;
+                        if node.finish_commit(w)? {
+                            upgraded.push(w);
+                        }
                     }
                 }
             }
         };
-        legs.insert(shard.raw(), Leg { xid, merged });
+        legs.insert(shard.raw(), Leg { xid, merged, epoch });
+        // The reader just closed some other transaction's commit window;
+        // that resolution must reach the shard's followers too.
+        if self.cfg.replicas > 0 {
+            for w in upgraded {
+                if let Some(g) = self.nodes[shard.raw() as usize].mgr().gxid_of(w) {
+                    self.replicas[shard.raw() as usize].resolve(g, true);
+                }
+            }
+        }
         Ok(())
     }
 
@@ -834,11 +1086,17 @@ impl Cluster {
     pub fn commit(&mut self, txn: Txn) -> Result<()> {
         match txn.kind {
             TxnKind::Baseline { .. } => self.commit_baseline(txn),
-            TxnKind::LiteSingle { shard, xid, .. } => {
+            TxnKind::LiteSingle {
+                shard, xid, epoch, ..
+            } => {
                 self.check_node(shard)?;
+                self.check_epoch(shard, epoch)?;
                 let node = &mut self.nodes[shard.raw() as usize];
-                node.mgr_mut().commit(xid)?;
-                node.clear_undo(xid);
+                let (ops, stmt) = node.commit_local(xid)?;
+                if self.cfg.replicas > 0 && (!ops.is_empty() || stmt.is_some()) {
+                    self.replicas[shard.raw() as usize]
+                        .append(LogRecord::Commit { ops, stmt });
+                }
                 self.counters.single_shard_commits += 1;
                 if let Some(t) = &self.tel {
                     t.commit_single.inc();
@@ -883,7 +1141,7 @@ impl Cluster {
 
     /// 2PC phase 1 for a GTM-lite multi-shard transaction: prepare every leg.
     pub(crate) fn multi_prepare(&mut self, txn: &Txn) -> Result<()> {
-        let TxnKind::LiteMulti { legs, .. } = &txn.kind else {
+        let TxnKind::LiteMulti { gxid, legs, .. } = &txn.kind else {
             return Err(HdmError::TxnState("multi_prepare on non-multi txn".into()));
         };
         if legs.is_empty() {
@@ -893,10 +1151,26 @@ impl Cluster {
             legs.keys().map(|&s| ShardId::new(s)).collect();
         let mut coord = TwoPcCoordinator::new(participants.clone());
         for (&s, leg) in legs {
-            // A down participant cannot vote: the prepare times out and the
+            // A down (or fenced — its primary was replaced mid-transaction)
+            // participant cannot vote: the prepare times out and the
             // coordinator counts the missing vote as a no (presumed abort).
-            let vote_yes = !self.down[s as usize]
-                && self.nodes[s as usize].mgr_mut().prepare(leg.xid).is_ok();
+            let reachable = !self.down[s as usize]
+                && (self.cfg.replicas == 0 || self.epochs[s as usize] == leg.epoch);
+            let mut vote_yes = false;
+            if reachable {
+                if let Ok((ops, stmt)) = self.nodes[s as usize].prepare_leg(leg.xid) {
+                    vote_yes = true;
+                    // Prepares ship their ops Raft-style: a promoted
+                    // follower reconstructs the in-doubt leg from the log.
+                    if self.cfg.replicas > 0 {
+                        self.replicas[s as usize].append(LogRecord::Prepare {
+                            gxid: *gxid,
+                            ops,
+                            stmt,
+                        });
+                    }
+                }
+            }
             if let Some(t) = &self.tel {
                 if vote_yes {
                     t.prepare_yes.inc();
@@ -932,9 +1206,12 @@ impl Cluster {
             t.commit_distributed.inc();
         }
         for (&s, leg) in legs {
-            // A down leg cannot receive the decision message; its durable
-            // prepare record resolves through the clog at restart instead.
-            if !self.down[s as usize] {
+            // A down or fenced leg cannot receive the decision message; its
+            // durable prepare record resolves through the clog at restart
+            // (or through the promoted primary's in-doubt pass) instead.
+            if !self.down[s as usize]
+                && (self.cfg.replicas == 0 || self.epochs[s as usize] == leg.epoch)
+            {
                 self.nodes[s as usize].mark_pending_commit(leg.xid);
             }
         }
@@ -945,23 +1222,28 @@ impl Cluster {
     /// window. Idempotent per leg (a reader's UPGRADE may have finished some
     /// legs already).
     pub(crate) fn multi_finish(&mut self, txn: Txn) -> Result<()> {
-        let TxnKind::LiteMulti { legs, .. } = txn.kind else {
+        let TxnKind::LiteMulti { gxid, legs, .. } = txn.kind else {
             return Err(HdmError::TxnState("multi_finish on non-multi txn".into()));
         };
         for (&s, leg) in &legs {
-            // The decision is durable at the GTM; a down leg completes via
-            // in-doubt recovery when it restarts, so skipping it here
-            // cannot lose the commit.
-            if self.down[s as usize] {
+            // The decision is durable at the GTM; a down or fenced leg
+            // completes via in-doubt recovery when it restarts (or on the
+            // promoted primary), so skipping it here cannot lose the commit.
+            if self.down[s as usize]
+                || (self.cfg.replicas > 0 && self.epochs[s as usize] != leg.epoch)
+            {
                 continue;
             }
             let node = &mut self.nodes[s as usize];
-            node.finish_commit(leg.xid)?;
+            let flipped = node.finish_commit(leg.xid)?;
             if self.cfg.lco_prune_horizon > 0 {
                 node.mgr_mut().prune_lco(self.cfg.lco_prune_horizon);
             }
             if let Some(t) = &self.tel {
                 t.leg_finish.inc();
+            }
+            if flipped && self.cfg.replicas > 0 {
+                self.replicas[s as usize].resolve(gxid, true);
             }
         }
         self.counters.multi_shard_commits += 1;
@@ -975,13 +1257,18 @@ impl Cluster {
     pub(crate) fn finish_leg(&mut self, shard: ShardId, local_xid: Xid) -> Result<()> {
         self.check_node(shard)?;
         let node = &mut self.nodes[shard.raw() as usize];
-        node.finish_commit(local_xid)?;
+        let flipped = node.finish_commit(local_xid)?;
         if self.cfg.lco_prune_horizon > 0 {
             let horizon = self.cfg.lco_prune_horizon;
             node.mgr_mut().prune_lco(horizon);
         }
         if let Some(t) = &self.tel {
             t.leg_finish.inc();
+        }
+        if flipped && self.cfg.replicas > 0 {
+            if let Some(g) = self.nodes[shard.raw() as usize].mgr().gxid_of(local_xid) {
+                self.replicas[shard.raw() as usize].resolve(g, true);
+            }
         }
         Ok(())
     }
@@ -1007,11 +1294,17 @@ impl Cluster {
                 self.counters.gtm_interactions += 1;
                 Ok(())
             }
-            TxnKind::LiteSingle { shard, xid, .. } => {
-                if self.down[shard.raw() as usize] {
+            TxnKind::LiteSingle {
+                shard, xid, epoch, ..
+            } => {
+                let i = shard.raw() as usize;
+                if self.down[i] || (self.cfg.replicas > 0 && self.epochs[i] != epoch) {
+                    // Died with the crash (a fenced xid never reached the
+                    // promoted primary, and its volatile state died with the
+                    // old one).
                     return Ok(());
                 }
-                let node = &mut self.nodes[shard.raw() as usize];
+                let node = &mut self.nodes[i];
                 if node.mgr().is_active(xid) {
                     node.rollback_writes(xid)?;
                     node.mgr_mut().abort(xid)?;
@@ -1020,16 +1313,22 @@ impl Cluster {
             }
             TxnKind::LiteMulti { gxid, legs, .. } => {
                 for (&s, leg) in &legs {
-                    if self.down[s as usize] {
+                    if self.down[s as usize]
+                        || (self.cfg.replicas > 0 && self.epochs[s as usize] != leg.epoch)
+                    {
                         continue;
                     }
                     let node = &mut self.nodes[s as usize];
-                    if matches!(
-                        node.mgr().status(leg.xid),
-                        TxnStatus::InProgress | TxnStatus::Prepared
-                    ) {
+                    let status = node.mgr().status(leg.xid);
+                    if matches!(status, TxnStatus::InProgress | TxnStatus::Prepared) {
                         node.rollback_writes(leg.xid)?;
                         node.mgr_mut().abort(leg.xid)?;
+                        // A prepared leg shipped a Prepare record; followers
+                        // must learn the abort or the leg stays in doubt on
+                        // a future promoted primary.
+                        if status == TxnStatus::Prepared && self.cfg.replicas > 0 {
+                            self.replicas[s as usize].resolve(gxid, false);
+                        }
                     }
                 }
                 if self.gtm_up {

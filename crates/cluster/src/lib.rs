@@ -18,20 +18,28 @@
 //!   seeded message faults and node/GTM crashes, with a shadow-ledger audit.
 //! * [`dist`] — distributed SQL: the CN plans shard-pruned scatter-gather
 //!   plans over the data nodes through `hdm-sql`'s pluggable backend.
+//! * [`replica`] — per-shard log-shipped followers (replica CSN, promotion
+//!   catch-up, in-doubt reconstruction) backing automatic DN failover.
+//! * [`chaos_dist`] — the chaos-dist sweep: the dist_equivalence corpus under
+//!   scripted DN crash/restart with a fault-free twin as shadow ledger.
 
 pub mod anomaly;
 pub mod chaos;
+pub mod chaos_dist;
 pub mod dist;
 pub mod engine;
 pub mod node;
+pub mod replica;
 pub mod retry;
 pub mod shard;
 pub mod sim;
 
-pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
-pub use dist::{DistCounters, DistDb};
+pub use chaos::{run_chaos, ChaosConfig, ChaosReport, FaultPlanBuilder};
+pub use chaos_dist::{run_chaos_dist, ChaosDistConfig, ChaosDistReport};
+pub use dist::{DistCounters, DistDb, FaultOp, FaultScript};
 pub use engine::{Cluster, ClusterConfig, ClusterCounters, MergePolicy, Protocol, Txn, TxnOptions};
 pub use node::DataNode;
+pub use replica::{Follower, LogRecord, ReplOp, ReplicaSet, ShardLog};
 pub use retry::RetryPolicy;
 pub use shard::{key_local, key_prefix, make_key, ShardMap};
 pub use sim::{SimConfig, SimReport, WorkloadMix};

@@ -6,6 +6,12 @@
 //! transaction that is decided-commit at the GTM but whose confirmation has
 //! not yet been applied here can be *finished* on demand by a reader.
 
+use crate::replica::ReplOp;
+
+/// Redo drained from a finished transaction for the shard's replication
+/// log: the logical ops plus the statement idempotence tag
+/// `(stmt_id, rowcount)`, if the statement asked for one.
+pub type DrainedRedo = (Vec<ReplOp>, Option<(u64, u64)>);
 use hdm_common::{row, Datum, HdmError, Result, Row, Schema, ShardId, Xid};
 use hdm_storage::heap::TupleId;
 use hdm_storage::mvcc::Visibility;
@@ -42,6 +48,19 @@ pub struct DataNode {
     /// Local XIDs prepared here whose global decision is commit, awaiting
     /// the confirmation message. Readers' UPGRADE may finish them early.
     pending_commit: HashMap<u64, ()>,
+    /// Logical redo per writing XID, recorded only while `record_redo` is on
+    /// (the shard has log-shipped followers). Drained into the replication
+    /// log at commit (single-shard) or prepare (2PC leg) time.
+    redo: HashMap<u64, Vec<ReplOp>>,
+    record_redo: bool,
+    /// CN statement tag per writing XID: (statement id, statement rowcount).
+    /// Moves into `applied_stmts` when the transaction commits; dropped on
+    /// abort. This is the DN half of idempotent statement retry.
+    stmt_tags: HashMap<u64, (u64, u64)>,
+    /// Statement id -> rowcount for statements that committed here. A
+    /// retried write leg that finds its id here is a duplicate and must not
+    /// re-apply.
+    applied_stmts: HashMap<u64, u64>,
 }
 
 impl DataNode {
@@ -61,6 +80,47 @@ impl DataNode {
             sql: BTreeMap::new(),
             undo: HashMap::new(),
             pending_commit: HashMap::new(),
+            redo: HashMap::new(),
+            record_redo: false,
+            stmt_tags: HashMap::new(),
+            applied_stmts: HashMap::new(),
+        }
+    }
+
+    /// Turn logical redo recording on (the shard has followers to ship to).
+    /// Off by default so replication-free clusters pay nothing on the write
+    /// path.
+    pub fn set_record_redo(&mut self, on: bool) {
+        self.record_redo = on;
+    }
+
+    fn push_redo(&mut self, xid: Xid, op: ReplOp) {
+        if self.record_redo {
+            self.redo.entry(xid.raw()).or_default().push(op);
+        }
+    }
+
+    /// Tag `xid`'s writes with the CN's idempotence key: statement id plus
+    /// the statement's total rowcount (the same total on every leg, so any
+    /// surviving leg can answer a duplicate in full).
+    pub fn tag_statement(&mut self, xid: Xid, stmt_id: u64, rows: u64) {
+        self.stmt_tags.insert(xid.raw(), (stmt_id, rows));
+    }
+
+    /// Rowcount of `stmt_id` if a transaction carrying it committed here.
+    pub fn stmt_applied(&self, stmt_id: u64) -> Option<u64> {
+        self.applied_stmts.get(&stmt_id).copied()
+    }
+
+    /// Record a committed statement directly (follower apply path).
+    pub fn note_stmt_applied(&mut self, stmt_id: u64, rows: u64) {
+        self.applied_stmts.insert(stmt_id, rows);
+    }
+
+    /// Publish `xid`'s statement tag into the committed-statement table.
+    fn publish_stmt(&mut self, xid: Xid) {
+        if let Some((sid, rows)) = self.stmt_tags.remove(&xid.raw()) {
+            self.applied_stmts.insert(sid, rows);
         }
     }
 
@@ -117,11 +177,18 @@ impl DataNode {
             .sql
             .get_mut(name)
             .ok_or_else(|| HdmError::Catalog(format!("no table {name} on {}", self.id)))?;
-        let tid = t.insert(xid, row)?;
+        let tid = t.insert(xid, row.clone())?;
         self.undo
             .entry(xid.raw())
             .or_default()
             .push(UndoOp::SqlInsert(name.to_string(), tid));
+        self.push_redo(
+            xid,
+            ReplOp::SqlInsert {
+                table: name.to_string(),
+                row,
+            },
+        );
         Ok(tid)
     }
 
@@ -131,10 +198,25 @@ impl DataNode {
             .sql
             .get_mut(name)
             .ok_or_else(|| HdmError::Catalog(format!("no table {name} on {}", self.id)))?;
-        let new_tid = t.update(xid, tid, row)?;
+        let old_row = if self.record_redo {
+            Some(t.heap().row(tid)?.clone())
+        } else {
+            None
+        };
+        let new_tid = t.update(xid, tid, row.clone())?;
         let u = self.undo.entry(xid.raw()).or_default();
         u.push(UndoOp::SqlDelete(name.to_string(), tid));
         u.push(UndoOp::SqlInsert(name.to_string(), new_tid));
+        if let Some(old) = old_row {
+            self.push_redo(
+                xid,
+                ReplOp::SqlUpdate {
+                    table: name.to_string(),
+                    old,
+                    new: row,
+                },
+            );
+        }
         Ok(new_tid)
     }
 
@@ -144,12 +226,42 @@ impl DataNode {
             .sql
             .get_mut(name)
             .ok_or_else(|| HdmError::Catalog(format!("no table {name} on {}", self.id)))?;
+        let row = if self.record_redo {
+            Some(t.heap().row(tid)?.clone())
+        } else {
+            None
+        };
         t.delete(xid, tid)?;
         self.undo
             .entry(xid.raw())
             .or_default()
             .push(UndoOp::SqlDelete(name.to_string(), tid));
+        if let Some(row) = row {
+            self.push_redo(
+                xid,
+                ReplOp::SqlDelete {
+                    table: name.to_string(),
+                    row,
+                },
+            );
+        }
         Ok(())
+    }
+
+    /// The visible tuple of `name` whose row equals `row`, judged by the
+    /// node's current snapshot (plus `own`-xid visibility) — the follower's
+    /// value-addressed lookup for replicated updates and deletes.
+    pub fn sql_find_by_row(
+        &self,
+        name: &str,
+        own: Option<Xid>,
+        row: &Row,
+    ) -> Result<Option<TupleId>> {
+        let snap = self.mgr.local_snapshot();
+        let judge = SnapshotVisibility::new(&snap, self.mgr.clog(), own);
+        let t = self.sql_table(name)?;
+        let found = t.scan(&judge).find(|(_, r)| *r == row).map(|(tid, _)| tid);
+        Ok(found)
     }
 
     /// ANALYZE every table on this node (kv + SQL slices) under the node's
@@ -208,6 +320,7 @@ impl DataNode {
             Some(tid) => {
                 self.table.delete(xid, tid)?;
                 self.undo.entry(xid.raw()).or_default().push(UndoOp::Delete(tid));
+                self.push_redo(xid, ReplOp::Del { key });
                 Ok(true)
             }
         }
@@ -286,6 +399,7 @@ impl DataNode {
             Some(tid) => {
                 self.table.delete(xid, tid)?;
                 self.undo.entry(xid.raw()).or_default().push(UndoOp::Delete(tid));
+                self.push_redo(xid, ReplOp::Del { key });
                 Ok(true)
             }
         }
@@ -304,11 +418,14 @@ impl DataNode {
                 self.undo.entry(xid.raw()).or_default().push(UndoOp::Insert(tid));
             }
         }
+        self.push_redo(xid, ReplOp::Put { key, val });
         Ok(())
     }
 
     /// Roll back every write `xid` made here.
     pub fn rollback_writes(&mut self, xid: Xid) -> Result<()> {
+        self.redo.remove(&xid.raw());
+        self.stmt_tags.remove(&xid.raw());
         if let Some(ops) = self.undo.remove(&xid.raw()) {
             for op in ops.into_iter().rev() {
                 match op {
@@ -335,6 +452,32 @@ impl DataNode {
         self.undo.remove(&xid.raw());
     }
 
+    /// Commit a single-shard transaction here: clog commit, undo released,
+    /// logical redo drained for the shard's replication log, and the
+    /// statement tag (if any) published to the dedup table. Returns the
+    /// drained `(ops, stmt_tag)` for the `Commit` log record.
+    pub fn commit_local(&mut self, xid: Xid) -> Result<DrainedRedo> {
+        self.mgr.commit(xid)?;
+        self.clear_undo(xid);
+        let ops = self.redo.remove(&xid.raw()).unwrap_or_default();
+        let stmt = self.stmt_tags.remove(&xid.raw());
+        if let Some((sid, rows)) = stmt {
+            self.applied_stmts.insert(sid, rows);
+        }
+        Ok((ops, stmt))
+    }
+
+    /// 2PC phase one on this shard: prepare the leg and drain its redo for
+    /// the `Prepare` log record — the leg's ops ship to followers at
+    /// prepare time, so a promoted follower holds the leg in doubt. The
+    /// statement tag stays here until the decision resolves it.
+    pub fn prepare_leg(&mut self, xid: Xid) -> Result<DrainedRedo> {
+        self.mgr.prepare(xid)?;
+        let ops = self.redo.remove(&xid.raw()).unwrap_or_default();
+        let stmt = self.stmt_tags.get(&xid.raw()).copied();
+        Ok((ops, stmt))
+    }
+
     /// Record that `local_xid` (prepared here) is decided-commit globally but
     /// unconfirmed locally — the Anomaly-1 window for this node.
     pub fn mark_pending_commit(&mut self, local_xid: Xid) {
@@ -343,12 +486,16 @@ impl DataNode {
 
     /// Apply the commit confirmation for `local_xid`. Idempotent: a reader's
     /// UPGRADE wait and the writer's own confirmation may race benignly.
-    pub fn finish_commit(&mut self, local_xid: Xid) -> Result<()> {
+    /// Returns whether this call performed the transition (so the caller
+    /// appends exactly one `Resolve` record to the replication log).
+    pub fn finish_commit(&mut self, local_xid: Xid) -> Result<bool> {
         if self.pending_commit.remove(&local_xid.raw()).is_some() {
             self.mgr.commit(local_xid)?;
             self.clear_undo(local_xid);
+            self.publish_stmt(local_xid);
+            return Ok(true);
         }
-        Ok(())
+        Ok(false)
     }
 
     /// Is this local XID in the decided-but-unconfirmed window?
@@ -381,6 +528,13 @@ impl DataNode {
                 hdm_txn::TxnStatus::InProgress | hdm_txn::TxnStatus::Prepared
             )
         });
+        // Volatile redo dies with the process; prepared legs' redo already
+        // shipped in their Prepare log records. Statement tags of prepared
+        // legs are durable (they rode the prepare record); the committed-
+        // statement dedup table is durable state.
+        self.redo.retain(|&xid, _| mgr.status(Xid(xid)) == hdm_txn::TxnStatus::Prepared);
+        self.stmt_tags
+            .retain(|&xid, _| mgr.status(Xid(xid)) == hdm_txn::TxnStatus::Prepared);
     }
 
     /// The in-doubt transactions after a restart: local XIDs prepared here
@@ -409,6 +563,7 @@ impl DataNode {
         if commit {
             self.mgr.commit(local_xid)?;
             self.clear_undo(local_xid);
+            self.publish_stmt(local_xid);
         } else {
             self.rollback_writes(local_xid)?;
             self.mgr.abort(local_xid)?;

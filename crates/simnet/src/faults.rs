@@ -61,6 +61,19 @@ impl FaultConfig {
         }
     }
 
+    /// Data-node crash/restart cycles only: [`Self::chaotic`]'s crash rate
+    /// and downtimes with every message fault and GTM loss switched off.
+    /// Isolates node loss from transport loss — the failover sweeps' diet.
+    pub fn dn_crashes_only() -> Self {
+        Self {
+            drop_p: 0.0,
+            duplicate_p: 0.0,
+            delay_p: 0.0,
+            gtm_crashes: 0.0,
+            ..Self::chaotic()
+        }
+    }
+
     fn validate(&self) {
         for (name, p) in [
             ("drop_p", self.drop_p),

@@ -43,6 +43,13 @@ pub trait ExecBackend {
 
     /// Scan restricted to the given shard set — the `Exchange` fragment
     /// entry point. Backends without a notion of placement run a plain scan.
+    ///
+    /// Replica-aware routing contract: `shards` names *logical* shards, not
+    /// machines. A backend with replicated placement may serve a fragment
+    /// from whichever replica currently acts as the shard's primary (e.g. a
+    /// follower promoted after a crash), provided the rows come from a
+    /// snapshot consistent with the fragment's transaction. Planners above
+    /// this seam must not assume a shard id pins a physical node.
     fn scan_shards(
         &mut self,
         table: &str,

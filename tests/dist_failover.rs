@@ -1,0 +1,156 @@
+//! DN replication + automatic leg failover under chaos.
+//!
+//! The contracts pinned here:
+//! * a single-DN crash mid-sweep is invisible to a retrying client — every
+//!   corpus query returns the same multiset as a fault-free twin;
+//! * when retries exhaust, the client-visible error names the shard and the
+//!   attempt count;
+//! * the 20-seed chaos-dist sweep (≥1 replica per shard) sees zero
+//!   client-visible failures, zero lost or double-applied rows, and replays
+//!   byte-identically under the same seed;
+//! * with replication disabled the cluster degrades to the legacy fail-fast
+//!   `Unavailable` behaviour, error text included (regression pin).
+
+use huawei_dm::cluster::{
+    run_chaos_dist, ChaosDistConfig, Cluster, ClusterConfig, DistDb, FaultOp, FaultScript,
+    RetryPolicy,
+};
+use huawei_dm::common::{Row, ShardId, SimDuration};
+use huawei_dm::workloads::DistCorpus;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+const SHARDS: usize = 4;
+
+fn replicated_db(replicas: usize) -> DistDb {
+    let mut cfg = ClusterConfig::gtm_lite(SHARDS);
+    cfg.replicas = replicas;
+    DistDb::new(Cluster::new(cfg)).unwrap()
+}
+
+fn load_corpus(db: &mut DistDb, corpus: &DistCorpus) {
+    for ddl in DistCorpus::ddl() {
+        db.execute(ddl).unwrap();
+    }
+    for stmt in corpus.load_stmts() {
+        db.execute(&stmt).unwrap();
+    }
+    db.execute("analyze").unwrap();
+    db.cluster_mut().pump_replication(0).unwrap();
+}
+
+/// Multiset comparison: sort by debug rendering (Datum has no total Ord).
+fn sorted(rows: Vec<Row>) -> Vec<String> {
+    let mut out: Vec<String> = rows.into_iter().map(|r| format!("{r:?}")).collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn single_dn_crash_mid_sweep_is_invisible_to_a_retrying_client() {
+    let corpus = DistCorpus::default();
+    let mut clean = replicated_db(1);
+    let mut faulted = replicated_db(1);
+    load_corpus(&mut clean, &corpus);
+    load_corpus(&mut faulted, &corpus);
+    faulted.set_retry_policy(Some(RetryPolicy::chaos(0x0FF_5EED)));
+    // Crash shard 1's primary a few fragment dispatches into the sweep and
+    // bring the machine back much later — several scattered queries must
+    // cross the dead shard and fail over to its follower mid-statement.
+    let script = Rc::new(RefCell::new(FaultScript::default()));
+    script
+        .borrow_mut()
+        .schedule
+        .insert(3, vec![FaultOp::Crash(1)]);
+    script
+        .borrow_mut()
+        .schedule
+        .insert(60, vec![FaultOp::Restart(1)]);
+    faulted.set_fault_script(Some(script));
+    for (i, q) in corpus.queries().iter().enumerate() {
+        let want = sorted(clean.query(q).unwrap());
+        let got = faulted
+            .execute_idempotent(q, i as u64 + 1)
+            .unwrap_or_else(|e| panic!("faulted run failed on {q}: {e}"));
+        assert_eq!(want, sorted(got.rows), "results diverged for: {q}");
+    }
+    assert!(
+        faulted.cluster().counters().promotions >= 1,
+        "the crash window must have driven a follower promotion"
+    );
+    assert_eq!(
+        faulted.cluster().epoch_of(ShardId::new(1)),
+        1,
+        "promotion bumps the shard's fencing epoch"
+    );
+}
+
+#[test]
+fn retry_exhaustion_names_the_shard_and_attempt_count() {
+    // No replicas: a crashed shard cannot fail over, so retries must
+    // exhaust and surface a diagnosable error.
+    let mut db = replicated_db(0);
+    db.execute("create table t (k int, v int)").unwrap();
+    db.execute("insert into t values (0,0),(1,1),(2,2),(3,3),(4,4),(5,5),(6,6),(7,7)")
+        .unwrap();
+    db.set_retry_policy(Some(RetryPolicy::new(
+        SimDuration::from_micros(10),
+        SimDuration::from_micros(100),
+        3,
+        1,
+    )));
+    db.cluster_mut().crash_node(ShardId::new(0));
+    let err = db
+        .execute_idempotent("select count(*) from t", 9)
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("shard:0 is down"), "no shard in: {err}");
+    assert!(err.contains("(stmt 9)"), "no statement id in: {err}");
+    assert!(
+        err.contains("gave up after 3 attempts"),
+        "no attempt count in: {err}"
+    );
+}
+
+#[test]
+fn twenty_seed_chaos_dist_sweep_loses_nothing_and_replays_bit_identical() {
+    for seed in 0..20u64 {
+        let mut cfg = ChaosDistConfig::standard(0xBAD_5EED + seed);
+        // Trimmed sizes keep the 20×2 runs debug-friendly; the CI release
+        // sweep runs the full standard shape.
+        cfg.orders = 160;
+        cfg.statements = 36;
+        let r1 = run_chaos_dist(&cfg).unwrap();
+        assert_eq!(
+            r1.mismatches, 0,
+            "seed {seed}: client-visible divergence under chaos: {r1:?}"
+        );
+        assert_eq!(
+            r1.audit_diffs, 0,
+            "seed {seed}: lost or double-applied rows: {r1:?}"
+        );
+        assert!(r1.crashes > 0, "seed {seed}: no crashes scheduled");
+        let r2 = run_chaos_dist(&cfg).unwrap();
+        assert_eq!(r1, r2, "seed {seed}: same-seed replay diverged");
+    }
+}
+
+#[test]
+fn replication_disabled_degrades_to_legacy_unavailable() {
+    // No replicas, no retry policy: exactly the pre-replication behaviour,
+    // error text included.
+    let mut db = replicated_db(0);
+    db.execute("create table t (k int, v int)").unwrap();
+    db.execute("insert into t values (0,0),(1,1),(2,2),(3,3),(4,4),(5,5),(6,6),(7,7)")
+        .unwrap();
+    db.cluster_mut().crash_node(ShardId::new(2));
+    let err = db.query("select count(*) from t").unwrap_err();
+    assert_eq!(err.to_string(), "unavailable: shard:2 is down");
+    assert_eq!(
+        db.cluster().epoch_of(ShardId::new(2)),
+        0,
+        "no replication, no promotion, no epoch movement"
+    );
+    // try_failover is an explicit no-op without followers.
+    assert!(!db.cluster_mut().try_failover(ShardId::new(2)).unwrap());
+}
