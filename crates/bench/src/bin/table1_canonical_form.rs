@@ -23,9 +23,12 @@
 //! `--recorder PATH` dumps the flight recorder's JSONL there.
 //!
 //! With `--bench-json PATH` (distributed mode), the measured numbers —
-//! point/aggregate throughput, profiler overhead, and a chaos-dist failover
-//! sweep's latency decomposition — are additionally written to `PATH` as
-//! one JSON object (the committed `BENCH_6.json`).
+//! point/aggregate throughput, `sys.*` view-query throughput, profiler
+//! overhead, and a chaos-dist failover sweep's latency decomposition — are
+//! additionally written to `PATH` as one JSON object (the committed
+//! `BENCH_7.json`). When a `BENCH_6.json` sits in the working directory the
+//! run also asserts the profiling-off point-query path stayed within noise
+//! of it — the introspection plane must cost nothing when unused.
 //!
 //! Usage: table1_canonical_form [--sweep-threshold] [--distributed]
 //!                              [--snapshot-cache] [--profile]
@@ -268,12 +271,28 @@ fn run_distributed(snapshot_cache: bool) {
          shards.\n"
     );
 
+    // The introspection plane: a sys.* SELECT snapshots cluster state at
+    // statement start and serves it through the same executor. Measured so
+    // BENCH_7 pins what a monitoring poll loop would cost.
+    let t0 = Instant::now();
+    for _ in 0..ITERS {
+        let rows = db.query("select shard, lag from sys.shards").unwrap();
+        assert_eq!(rows.len(), SHARDS);
+    }
+    let sysq_us = t0.elapsed().as_micros() as u64;
+    println!(
+        "--- sys.* views: {ITERS} x `select shard, lag from sys.shards`: \
+         {:.1} kstmt/s ---\n",
+        kqps(sysq_us)
+    );
+
     let mut bench = serde_json::Map::new();
     bench.insert("bench", "table1_distributed".into());
     bench.insert("shards", SHARDS.into());
     bench.insert("iters", ITERS.into());
     bench.insert("point_kstmt_s", kqps(point_us).into());
     bench.insert("agg_kstmt_s", kqps(agg_us).into());
+    bench.insert("sys_view_kstmt_s", kqps(sysq_us).into());
     bench.insert(
         "point_gtm_interactions",
         (mid.0.gtm_interactions - before.0.gtm_interactions).into(),
@@ -289,6 +308,23 @@ fn run_distributed(snapshot_cache: bool) {
     }
 
     if let Some(path) = arg_value("--bench-json") {
+        // Regression gate against the previous committed bench: sys-view
+        // plumbing is pay-per-use, so the profiling-off point-query path
+        // must stay within (generous, CI-noise-tolerant) range of BENCH_6.
+        if let Some(prev) = std::fs::read_to_string("BENCH_6.json")
+            .ok()
+            .and_then(|s| serde_json::from_str(&s).ok())
+            .and_then(|v| v.get("point_kstmt_s").and_then(|x| x.as_f64()))
+        {
+            let now = kqps(point_us);
+            assert!(
+                now > prev * 0.5,
+                "profiling-off point throughput regressed: {now:.1} vs BENCH_6 {prev:.1} kstmt/s"
+            );
+            println!(
+                "profiling-off point path: {now:.1} kstmt/s vs BENCH_6 {prev:.1} (within noise)\n"
+            );
+        }
         bench.insert("chaos_dist_failover", run_failover_bench());
         let json = serde_json::Value::Object(bench);
         std::fs::write(&path, format!("{}\n", serde_json::to_string(&json).unwrap())).unwrap();

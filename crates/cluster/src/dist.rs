@@ -33,6 +33,7 @@ use hdm_sql::expr::{bind, BoundSchema, SExpr};
 use hdm_sql::plan::{PlanNode, PlanOp, StepObservation};
 use hdm_sql::planner::{Planner, PlanningInfo, TempRels};
 use hdm_sql::profile::{observations, render_analyze};
+use hdm_sql::sys::{self, PlanStoreDump, SysSnapshot};
 use hdm_sql::{Catalog, ExecBackend, Profiler};
 use hdm_storage::heap::TupleId;
 use hdm_storage::{ColumnStats, TableStats};
@@ -151,6 +152,8 @@ pub struct DistDb {
     next_stmt_id: u64,
     /// Scripted crash/restart plan ticked at every fragment dispatch.
     faults: Option<Rc<RefCell<FaultScript>>>,
+    /// Learned-cardinality dump served through the `sys.plan_store` view.
+    sys_plan_store: Option<Rc<dyn PlanStoreDump>>,
 }
 
 impl DistDb {
@@ -196,6 +199,7 @@ impl DistDb {
             cur_stmt: None,
             next_stmt_id: 1,
             faults: None,
+            sys_plan_store: None,
         })
     }
 
@@ -252,6 +256,12 @@ impl DistDb {
     pub fn clear_plan_store(&mut self) {
         self.hints = None;
         self.observer = None;
+    }
+
+    /// Expose a plan-store dump through the `sys.plan_store` view (usually
+    /// the same shared store installed with [`Self::set_plan_store`]).
+    pub fn attach_sys_plan_store(&mut self, dump: Rc<dyn PlanStoreDump>) {
+        self.sys_plan_store = Some(dump);
     }
 
     /// Wire fragments (and the underlying cluster) to a telemetry bundle.
@@ -426,7 +436,8 @@ impl DistDb {
                         profile: Some(profile),
                     });
                 }
-                let (plan, planning, _) = self.plan_distributed(s)?;
+                let sys_snap = self.sys_snapshot_for(s);
+                let (plan, planning, _) = self.plan_distributed(s, sys_snap.as_ref())?;
                 let rows: Vec<Row> = plan
                     .explain()
                     .lines()
@@ -449,6 +460,11 @@ impl DistDb {
         name: &str,
         columns: &[hdm_sql::ast::ColumnDef],
     ) -> Result<QueryResult> {
+        if sys::is_sys_name(name) {
+            return Err(HdmError::Catalog(format!(
+                "the sys. namespace is reserved for system views (cannot create {name})"
+            )));
+        }
         let schema = Schema::new(
             columns
                 .iter()
@@ -516,6 +532,7 @@ impl DistDb {
         columns: Option<&[String]>,
         rows: &[Vec<Expr>],
     ) -> Result<QueryResult> {
+        sys::check_read_only(table)?;
         let canon = table.to_ascii_lowercase();
         let meta = self.dist_meta(&canon)?;
         if meta.route == Route::PackedKey {
@@ -608,6 +625,7 @@ impl DistDb {
         sets: &[(String, Expr)],
         where_clause: Option<&Expr>,
     ) -> Result<QueryResult> {
+        sys::check_read_only(table)?;
         let canon = table.to_ascii_lowercase();
         let meta = self.dist_meta(&canon)?;
         if meta.route == Route::PackedKey {
@@ -644,6 +662,7 @@ impl DistDb {
     }
 
     fn run_delete(&mut self, table: &str, where_clause: Option<&Expr>) -> Result<QueryResult> {
+        sys::check_read_only(table)?;
         let canon = table.to_ascii_lowercase();
         let meta = self.dist_meta(&canon)?;
         if meta.route == Route::PackedKey {
@@ -763,29 +782,142 @@ impl DistDb {
         Ok(empty_result())
     }
 
+    /// Materialize the `sys.*` views a SELECT references, frozen from live
+    /// cluster state at statement start. `None` when the statement touches
+    /// no system view — the common case, which pays nothing.
+    fn sys_snapshot_for(&self, s: &SelectStmt) -> Option<SysSnapshot> {
+        let wanted = sys::referenced_views_in_select(s);
+        if wanted.is_empty() {
+            return None;
+        }
+        let mut snap = SysSnapshot::new();
+        for view in wanted {
+            let rows = match view.as_str() {
+                "sys.metrics" => self
+                    .tel
+                    .as_ref()
+                    .map(|t| sys::metrics_rows(&t.metrics.snapshot()))
+                    .unwrap_or_default(),
+                "sys.statements" => self
+                    .recorder
+                    .as_ref()
+                    .map(sys::statement_rows)
+                    .unwrap_or_default(),
+                "sys.shards" => self.shard_rows(),
+                "sys.txns" => self.txn_rows(),
+                "sys.events" => self.event_rows(),
+                "sys.plan_store" => self
+                    .sys_plan_store
+                    .as_ref()
+                    .map(|d| sys::plan_store_rows(d.as_ref()))
+                    .unwrap_or_default(),
+                _ => Vec::new(),
+            };
+            snap.insert(&view, rows);
+        }
+        Some(snap)
+    }
+
+    /// `sys.shards` rows: per-shard liveness, primary epoch, replication log
+    /// head, follower count, slowest-follower CSN and the derived lag.
+    /// `replica_csn` is NULL with replication off (nothing ships a log).
+    fn shard_rows(&self) -> Vec<Row> {
+        let heads = self.cluster.log_heads();
+        let csns = self.cluster.replica_csns();
+        let lags = self.cluster.shard_lags();
+        self.cluster
+            .shard_map()
+            .all()
+            .map(|shard| {
+                let i = shard.raw() as usize;
+                let followers = csns.get(i).map_or(0, |f| f.len());
+                let slowest = csns.get(i).and_then(|f| f.iter().min().copied());
+                Row::new(vec![
+                    Datum::Int(shard.raw() as i64),
+                    Datum::Int(self.cluster.is_node_up(shard) as i64),
+                    Datum::Int(self.cluster.epoch_of(shard) as i64),
+                    Datum::Int(heads.get(i).copied().unwrap_or(0) as i64),
+                    Datum::Int(followers as i64),
+                    slowest.map_or(Datum::Null, |c| Datum::Int(c as i64)),
+                    Datum::Int(lags.get(i).copied().unwrap_or(0) as i64),
+                ])
+            })
+            .collect()
+    }
+
+    /// `sys.txns` rows: every data node's in-flight local transactions with
+    /// their 2PC state and global transaction id (NULL for single-shard).
+    fn txn_rows(&self) -> Vec<Row> {
+        let mut out = Vec::new();
+        for shard in self.cluster.shard_map().all() {
+            let mgr = self.cluster.node(shard).mgr();
+            for xid in &mgr.local_snapshot().active {
+                let state = match mgr.status(*xid) {
+                    hdm_txn::TxnStatus::InProgress => "in_progress",
+                    hdm_txn::TxnStatus::Prepared => "prepared",
+                    hdm_txn::TxnStatus::Committed => "committed",
+                    hdm_txn::TxnStatus::Aborted => "aborted",
+                };
+                let gxid = mgr
+                    .gxid_of(*xid)
+                    .map(|g| Datum::Int(g.raw() as i64))
+                    .unwrap_or(Datum::Null);
+                out.push(Row::new(vec![
+                    Datum::Int(shard.raw() as i64),
+                    Datum::Int(xid.raw() as i64),
+                    gxid,
+                    Datum::Text(state.into()),
+                ]));
+            }
+        }
+        out
+    }
+
+    /// `sys.events` rows from the engine's crash/recovery journal.
+    fn event_rows(&self) -> Vec<Row> {
+        self.cluster
+            .events()
+            .map(|e| {
+                Row::new(vec![
+                    Datum::Int(e.seq as i64),
+                    Datum::Int(e.time_us as i64),
+                    Datum::Text(e.kind.clone()),
+                    e.shard.map_or(Datum::Null, |s| Datum::Int(s as i64)),
+                    Datum::Text(e.detail.clone()),
+                ])
+            })
+            .collect()
+    }
+
     /// Plan a SELECT and annotate it for distribution. Returns the plan,
     /// planning info (including distributed-key hint hits), and the
     /// transaction scope the fragments imply.
-    fn plan_distributed(&mut self, s: &SelectStmt) -> Result<(PlanNode, PlanningInfo, Scope)> {
+    fn plan_distributed(
+        &mut self,
+        s: &SelectStmt,
+        sys_snap: Option<&SysSnapshot>,
+    ) -> Result<(PlanNode, PlanningInfo, Scope)> {
         // Materialize CTEs first, each as its own scoped statement.
         let mut temp: TempRels = TempRels::new();
         for (name, sub) in &s.with {
-            let (plan, _, scope) = self.plan_annotated(sub, &temp)?;
-            let (rows, steps) = self.execute_plan(&plan, scope)?;
+            let (plan, _, scope) = self.plan_annotated(sub, &temp, sys_snap)?;
+            let (rows, steps) = self.execute_plan(&plan, scope, sys_snap)?;
             if let Some(o) = &self.observer {
                 o.observe(&steps);
             }
             temp.insert(name.to_ascii_lowercase(), (plan.schema.clone(), rows));
         }
-        self.plan_annotated(s, &temp)
+        self.plan_annotated(s, &temp, sys_snap)
     }
 
     fn plan_annotated(
         &mut self,
         s: &SelectStmt,
         temp: &TempRels,
+        sys_snap: Option<&SysSnapshot>,
     ) -> Result<(PlanNode, PlanningInfo, Scope)> {
-        let mut p = Planner::new(&self.shadow, self.hints.as_deref(), &self.table_funcs);
+        let mut p = Planner::new(&self.shadow, self.hints.as_deref(), &self.table_funcs)
+            .with_sys(sys_snap);
         let mut plan = p.plan_select(s, temp)?;
         let mut info = p.info;
         let mut single: Vec<(ShardId, u32)> = Vec::new();
@@ -830,8 +962,9 @@ impl DistDb {
         if self.profiling_enabled() {
             return self.run_select_profiled(s, sql);
         }
-        let (plan, planning, scope) = self.plan_distributed(s)?;
-        let (rows, steps) = self.execute_plan(&plan, scope)?;
+        let sys_snap = self.sys_snapshot_for(s);
+        let (plan, planning, scope) = self.plan_distributed(s, sys_snap.as_ref())?;
+        let (rows, steps) = self.execute_plan(&plan, scope, sys_snap.as_ref())?;
         if let Some(o) = &self.observer {
             o.observe(&steps);
         }
@@ -853,9 +986,10 @@ impl DistDb {
     /// and the flight recorder expose.
     fn run_select_profiled(&mut self, s: &SelectStmt, sql: Option<&str>) -> Result<QueryResult> {
         let start = self.clock.now_us();
-        let (plan, planning, scope) = self.plan_distributed(s)?;
+        let sys_snap = self.sys_snapshot_for(s);
+        let (plan, planning, scope) = self.plan_distributed(s, sys_snap.as_ref())?;
         let planned = self.clock.now_us();
-        let (rows, steps, stats) = self.execute_plan_profiled(&plan, scope)?;
+        let (rows, steps, stats) = self.execute_plan_profiled(&plan, scope, sys_snap.as_ref())?;
         let done = self.clock.now_us();
         let profile = StatementProfile {
             sql: sql.unwrap_or("").to_string(),
@@ -899,7 +1033,8 @@ impl DistDb {
         let Statement::Select(s) = stmt else {
             return Err(HdmError::Plan("plan_only expects SELECT".into()));
         };
-        Ok(self.plan_distributed(&s)?.0)
+        let sys_snap = self.sys_snapshot_for(&s);
+        Ok(self.plan_distributed(&s, sys_snap.as_ref())?.0)
     }
 
     fn begin_scoped(&mut self, scope: Scope) -> Result<Txn> {
@@ -945,6 +1080,7 @@ impl DistDb {
         &mut self,
         plan: &PlanNode,
         scope: Scope,
+        sys_snap: Option<&SysSnapshot>,
     ) -> Result<(Vec<Row>, Vec<StepObservation>)> {
         let mut txn = self.begin_scoped(scope)?;
         let mut steps = Vec::new();
@@ -958,6 +1094,7 @@ impl DistDb {
                 exchange_legs: Vec::new(),
                 cur_stmt: self.cur_stmt,
                 faults: self.faults.clone(),
+                sys: sys_snap,
             };
             hdm_sql::exec::execute(plan, &mut be, &mut steps)
         };
@@ -980,6 +1117,7 @@ impl DistDb {
         &mut self,
         plan: &PlanNode,
         scope: Scope,
+        sys_snap: Option<&SysSnapshot>,
     ) -> Result<(Vec<Row>, Vec<StepObservation>, ExecStats)> {
         let gtm_before = self.cluster.counters().gtm_interactions;
         let mut txn = self.begin_scoped(scope)?;
@@ -995,6 +1133,7 @@ impl DistDb {
                 exchange_legs: Vec::new(),
                 cur_stmt: self.cur_stmt,
                 faults: self.faults.clone(),
+                sys: sys_snap,
             };
             hdm_sql::exec::execute_with_profiler(plan, &mut be, &mut steps, &mut prof)
         };
@@ -1243,10 +1382,18 @@ struct DistExec<'a> {
     cur_stmt: Option<u64>,
     /// Fault script ticked per fragment dispatch (shared with the DistDb).
     faults: Option<Rc<RefCell<FaultScript>>>,
+    /// The statement's frozen `sys.*` snapshot; sys scans stay CN-local
+    /// (they never annotate into Exchange legs) and are served from here.
+    sys: Option<&'a SysSnapshot>,
 }
 
 impl ExecBackend for DistExec<'_> {
-    fn scan(&mut self, table: &str, _predicate: Option<&SExpr>) -> Result<Vec<Row>> {
+    fn scan(&mut self, table: &str, predicate: Option<&SExpr>) -> Result<Vec<Row>> {
+        if let Some(snapshot) = self.sys {
+            if sys::is_sys_view(table) {
+                return hdm_sql::backend::scan_sys_rows(snapshot, table, predicate);
+            }
+        }
         Err(HdmError::Plan(format!(
             "un-annotated local scan of {table} reached the distributed backend"
         )))

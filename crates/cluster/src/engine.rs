@@ -34,11 +34,12 @@
 //! so begins/aborts cancel out), making the cached snapshot
 //! visibility-equivalent and saving the snapshot interaction per begin.
 
+use crate::health::{EventJournal, HealthMonitor, SysEvent};
 use crate::node::DataNode;
 use crate::replica::{Follower, LogRecord, ReplOp, ReplicaSet};
 use crate::shard::ShardMap;
 use hdm_common::{HdmError, Result, Schema, ShardId, Xid};
-use hdm_telemetry::{Counter, Telemetry};
+use hdm_telemetry::{Counter, Gauge, Telemetry};
 use hdm_txn::{
     merge_with_manager, Decision, Gtm, Snapshot, SnapshotVisibility, TwoPcCoordinator, TxnStatus,
 };
@@ -81,6 +82,11 @@ pub struct ClusterConfig {
     /// scheduled restart). With replicas, a crashed primary can be failed
     /// over via [`Cluster::try_failover`].
     pub replicas: usize,
+    /// Derive per-shard replication-lag and health gauges on every
+    /// [`Cluster::pump_replication`] tick, journaling health transitions
+    /// into `sys.events`. Strictly observation-only (no control-flow
+    /// impact); off by default so legacy telemetry stays byte-identical.
+    pub health_monitor: bool,
 }
 
 impl ClusterConfig {
@@ -92,6 +98,7 @@ impl ClusterConfig {
             lco_prune_horizon: 0,
             snapshot_cache: false,
             replicas: 0,
+            health_monitor: false,
         }
     }
 
@@ -103,6 +110,7 @@ impl ClusterConfig {
             lco_prune_horizon: 0,
             snapshot_cache: false,
             replicas: 0,
+            health_monitor: false,
         }
     }
 }
@@ -217,6 +225,14 @@ struct EngineTelemetry {
     promote: Option<Counter>,
     rejoin: Option<Counter>,
     replica_apply: Option<Counter>,
+    /// Worst-shard replication lag (log head − slowest follower CSN),
+    /// refreshed on every `pump_replication` tick. Registered only when
+    /// replication is on.
+    replica_lag: Option<Gauge>,
+    /// Per-shard lag and health (1 = healthy) gauges — the
+    /// [`ClusterConfig::health_monitor`] plane; absent when it is off.
+    shard_lag: Option<Vec<Gauge>>,
+    shard_health: Option<Vec<Gauge>>,
 }
 
 /// One leg of a multi-shard GTM-lite transaction on a particular DN.
@@ -329,6 +345,11 @@ pub struct Cluster {
     /// Shards whose scheduled restart should re-seed the returning machine
     /// as an empty follower (a promotion already replaced it as primary).
     rejoining: Vec<bool>,
+    /// Bounded crash/recovery/promotion journal — the `sys.events` source.
+    journal: EventJournal,
+    /// Per-shard health classifier, present when
+    /// [`ClusterConfig::health_monitor`] is on.
+    health: Option<HealthMonitor>,
 }
 
 impl Cluster {
@@ -344,6 +365,7 @@ impl Cluster {
         let down = vec![false; nodes.len()];
         let epochs = vec![0; nodes.len()];
         let rejoining = vec![false; nodes.len()];
+        let health = cfg.health_monitor.then(|| HealthMonitor::new(nodes.len()));
         Self {
             cfg,
             map,
@@ -357,7 +379,15 @@ impl Cluster {
             replicas,
             epochs,
             rejoining,
+            journal: EventJournal::default(),
+            health,
         }
+    }
+
+    /// The telemetry clock's current reading, for journal timestamps (0
+    /// without telemetry — deterministic either way).
+    fn journal_now_us(&self) -> u64 {
+        self.tel.as_ref().map(|t| t.tel.now_us()).unwrap_or(0)
     }
 
     /// Wire this cluster (and its GTM) to a [`Telemetry`] bundle. Metric
@@ -386,6 +416,19 @@ impl Cluster {
             rejoin: (self.cfg.replicas > 0).then(|| m.counter("replica.rejoin", &[])),
             replica_apply: (self.cfg.replicas > 0)
                 .then(|| m.counter("replica.apply", &[])),
+            replica_lag: (self.cfg.replicas > 0).then(|| m.gauge("replica.lag", &[])),
+            shard_lag: self.cfg.health_monitor.then(|| {
+                self.map
+                    .all()
+                    .map(|s| m.gauge("replica.lag", &[("shard", &s.raw().to_string())]))
+                    .collect()
+            }),
+            shard_health: self.cfg.health_monitor.then(|| {
+                self.map
+                    .all()
+                    .map(|s| m.gauge("shard.health", &[("shard", &s.raw().to_string())]))
+                    .collect()
+            }),
         });
         self.gtm.attach_telemetry(m);
     }
@@ -464,6 +507,9 @@ impl Cluster {
         self.down[i] = true;
         self.counters.dn_crashes += 1;
         self.nodes[i].crash();
+        let now = self.journal_now_us();
+        self.journal
+            .append(now, "crash", Some(i as u64), "dn process killed".into());
         if let Some(t) = &self.tel {
             t.tel
                 .tracer
@@ -487,6 +533,13 @@ impl Cluster {
             self.counters.dn_restarts += 1;
             self.counters.rejoins += 1;
             self.replicas[i].followers.push(Follower::new(shard));
+            let now = self.journal_now_us();
+            self.journal.append(
+                now,
+                "rejoin",
+                Some(i as u64),
+                "ex-primary re-seeded as empty follower".into(),
+            );
             if let Some(t) = &self.tel {
                 t.restart_dn.inc();
                 if let Some(c) = &t.rejoin {
@@ -503,6 +556,9 @@ impl Cluster {
         }
         self.down[i] = false;
         self.counters.dn_restarts += 1;
+        let now = self.journal_now_us();
+        self.journal
+            .append(now, "restart", Some(i as u64), "dn restarted".into());
         if let Some(t) = &self.tel {
             t.restart_dn.inc();
             t.tel
@@ -536,6 +592,13 @@ impl Cluster {
             } else {
                 self.counters.in_doubt_aborts += 1;
             }
+            let now = self.journal_now_us();
+            self.journal.append(
+                now,
+                "in_doubt.resolved",
+                Some(i as u64),
+                format!("outcome={}", if commit { "commit" } else { "abort" }),
+            );
             if let Some(t) = &self.tel {
                 t.tel.tracer.instant(
                     "in_doubt.resolved",
@@ -559,6 +622,9 @@ impl Cluster {
         // The epoch the cache was validated against died with the GTM.
         self.snap_cache = None;
         self.counters.gtm_crashes += 1;
+        let now = self.journal_now_us();
+        self.journal
+            .append(now, "crash", None, "gtm process killed".into());
         if let Some(t) = &self.tel {
             t.tel.tracer.instant("crash", &[("target", "gtm")]);
         }
@@ -592,6 +658,9 @@ impl Cluster {
         // snapshot from the previous incarnation against it.
         self.snap_cache = None;
         self.counters.gtm_restarts += 1;
+        let now = self.journal_now_us();
+        self.journal
+            .append(now, "restart", None, "gtm recovered from dn clogs".into());
         if let Some(t) = &self.tel {
             // The recovered instance is a fresh `Gtm`: re-resolve its metric
             // handles so its interactions keep landing in the same series.
@@ -630,6 +699,16 @@ impl Cluster {
         self.epochs[i] += 1;
         self.rejoining[i] = true;
         self.counters.promotions += 1;
+        let now = self.journal_now_us();
+        self.journal.append(
+            now,
+            "promote",
+            Some(i as u64),
+            format!(
+                "replayed={replayed} in_doubt={in_doubt} epoch={}",
+                self.epochs[i]
+            ),
+        );
         if let Some(t) = &self.tel {
             if let Some(c) = &t.promote {
                 c.inc();
@@ -665,7 +744,71 @@ impl Cluster {
                 }
             }
         }
+        if self.cfg.replicas > 0 {
+            self.health_tick();
+        }
         Ok(applied)
+    }
+
+    /// The per-tick health plane: refresh the worst-shard `replica.lag`
+    /// gauge, and (with [`ClusterConfig::health_monitor`] on) the per-shard
+    /// lag/health gauges plus journal entries for health transitions.
+    /// Observation-only by construction — nothing here feeds back into
+    /// routing or recovery.
+    fn health_tick(&mut self) {
+        let lags = self.shard_lags();
+        if let Some(t) = &self.tel {
+            if let Some(g) = &t.replica_lag {
+                g.set(lags.iter().copied().max().unwrap_or(0) as i64);
+            }
+        }
+        let Some(mut health) = self.health.take() else {
+            return;
+        };
+        for (i, &lag) in lags.iter().enumerate() {
+            let up = !self.down[i];
+            let transition = health.observe(i, up, lag);
+            if let Some(t) = &self.tel {
+                if let Some(gs) = &t.shard_lag {
+                    gs[i].set(lag as i64);
+                }
+                if let Some(gs) = &t.shard_health {
+                    gs[i].set(health.is_healthy(i) as i64);
+                }
+            }
+            if let Some(now_ok) = transition {
+                let now = self.journal_now_us();
+                self.journal.append(
+                    now,
+                    if now_ok {
+                        "health.recovered"
+                    } else {
+                        "health.degraded"
+                    },
+                    Some(i as u64),
+                    format!("lag={lag} up={up}"),
+                );
+            }
+        }
+        self.health = Some(health);
+    }
+
+    /// Per-shard replication lag: log head minus the slowest follower's
+    /// CSN (0 with no followers — nothing is waiting on replication).
+    pub fn shard_lags(&self) -> Vec<u64> {
+        self.replicas
+            .iter()
+            .map(|r| {
+                let head = r.log.head();
+                let slowest = r.csns().into_iter().min().unwrap_or(head);
+                head.saturating_sub(slowest)
+            })
+            .collect()
+    }
+
+    /// The crash/recovery/promotion journal (the `sys.events` source).
+    pub fn events(&self) -> impl Iterator<Item = &SysEvent> {
+        self.journal.iter()
     }
 
     /// Per-shard follower CSNs (applied log-prefix lengths) — outer index

@@ -1,0 +1,158 @@
+//! The cluster health plane: a bounded event journal (the source of the
+//! `sys.events` view) and the per-shard health classification the
+//! `HealthMonitor` derives on each `pump_replication` tick.
+//!
+//! Everything here is **observation-only**: the journal and the health
+//! gauges never influence routing, failover, retries, or any other control
+//! flow, which is what lets the chaos-dist perturbation test pin that
+//! enabling the monitor leaves a faulted sweep's replay byte-identical.
+//! Event timestamps come from the attached telemetry clock (0 when no
+//! telemetry is attached), so runs under a `VirtualClock` are golden-file
+//! pinnable.
+
+use std::collections::VecDeque;
+
+/// One recorded cluster life-cycle moment (crash, restart, promotion,
+/// rejoin, in-doubt resolution, health transition).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SysEvent {
+    /// Monotonic journal sequence (survives eviction: older events fall off
+    /// the ring but sequence numbers keep climbing).
+    pub seq: u64,
+    /// Telemetry-clock timestamp at append (0 without telemetry).
+    pub time_us: u64,
+    /// Event class: `crash` / `restart` / `rejoin` / `promote` /
+    /// `in_doubt.resolved` / `health.degraded` / `health.recovered`.
+    pub kind: String,
+    /// The shard involved, when the event is shard-scoped (GTM events are
+    /// cluster-scoped).
+    pub shard: Option<u64>,
+    /// Free-form detail (e.g. `replayed=4 in_doubt=1` for a promotion).
+    pub detail: String,
+}
+
+/// Default journal capacity: enough for every event of a 20-seed chaos
+/// sweep's worst run while staying a bounded ring.
+pub const EVENT_JOURNAL_CAP: usize = 256;
+
+/// A bounded ring of [`SysEvent`]s, appended by the engine at crash /
+/// recovery / promotion moments (always) and by the health monitor at
+/// state transitions (when enabled).
+#[derive(Debug, Clone)]
+pub struct EventJournal {
+    cap: usize,
+    next_seq: u64,
+    events: VecDeque<SysEvent>,
+}
+
+impl Default for EventJournal {
+    fn default() -> Self {
+        Self::new(EVENT_JOURNAL_CAP)
+    }
+}
+
+impl EventJournal {
+    pub fn new(cap: usize) -> Self {
+        Self {
+            cap: cap.max(1),
+            next_seq: 0,
+            events: VecDeque::new(),
+        }
+    }
+
+    /// Append one event, evicting the oldest when the ring is full.
+    pub fn append(&mut self, time_us: u64, kind: &str, shard: Option<u64>, detail: String) {
+        if self.events.len() == self.cap {
+            self.events.pop_front();
+        }
+        self.events.push_back(SysEvent {
+            seq: self.next_seq,
+            time_us,
+            kind: kind.to_string(),
+            shard,
+            detail,
+        });
+        self.next_seq += 1;
+    }
+
+    /// Retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &SysEvent> {
+        self.events.iter()
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Replication lag (log records not yet applied by the slowest follower) at
+/// or above which a shard is classified degraded. Small enough that a shard
+/// that stops applying shows up within a few ticks, large enough that the
+/// steady-state pump (which catches followers up every tick) never flaps.
+pub const HEALTH_LAG_THRESHOLD: u64 = 8;
+
+/// Per-shard health classification, re-derived on every
+/// `pump_replication` tick: a shard is healthy while its primary is up and
+/// its slowest follower lags by less than [`HEALTH_LAG_THRESHOLD`] records.
+/// State *transitions* (not levels) feed the event journal.
+#[derive(Debug, Clone)]
+pub struct HealthMonitor {
+    healthy: Vec<bool>,
+}
+
+impl HealthMonitor {
+    pub fn new(shards: usize) -> Self {
+        Self {
+            healthy: vec![true; shards],
+        }
+    }
+
+    /// Classify shard `i` given its liveness and current lag; returns
+    /// `Some(now_healthy)` on a transition (to be journaled), `None` while
+    /// the state is unchanged.
+    pub fn observe(&mut self, i: usize, up: bool, lag: u64) -> Option<bool> {
+        let ok = up && lag < HEALTH_LAG_THRESHOLD;
+        if ok == self.healthy[i] {
+            return None;
+        }
+        self.healthy[i] = ok;
+        Some(ok)
+    }
+
+    pub fn is_healthy(&self, i: usize) -> bool {
+        self.healthy[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn journal_is_a_bounded_ring_with_monotonic_seqs() {
+        let mut j = EventJournal::new(3);
+        for i in 0..5u64 {
+            j.append(i * 10, "crash", Some(i), format!("n={i}"));
+        }
+        assert_eq!(j.len(), 3);
+        let seqs: Vec<u64> = j.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+        assert_eq!(j.iter().next().unwrap().time_us, 20);
+    }
+
+    #[test]
+    fn monitor_reports_transitions_only() {
+        let mut m = HealthMonitor::new(2);
+        assert_eq!(m.observe(0, true, 0), None);
+        assert_eq!(m.observe(0, true, HEALTH_LAG_THRESHOLD), Some(false));
+        assert_eq!(m.observe(0, true, HEALTH_LAG_THRESHOLD + 5), None);
+        assert_eq!(m.observe(0, true, 0), Some(true));
+        assert_eq!(m.observe(1, false, 0), Some(false));
+        assert!(!m.is_healthy(1));
+        assert!(m.is_healthy(0));
+    }
+}

@@ -22,12 +22,16 @@
 //!   catch-up, in-doubt reconstruction) backing automatic DN failover.
 //! * [`chaos_dist`] — the chaos-dist sweep: the dist_equivalence corpus under
 //!   scripted DN crash/restart with a fault-free twin as shadow ledger.
+//! * [`health`] — the cluster health plane: the bounded `sys.events`
+//!   journal and the per-shard lag/health monitor driven by
+//!   `pump_replication` ticks.
 
 pub mod anomaly;
 pub mod chaos;
 pub mod chaos_dist;
 pub mod dist;
 pub mod engine;
+pub mod health;
 pub mod node;
 pub mod replica;
 pub mod retry;
@@ -38,6 +42,7 @@ pub use chaos::{run_chaos, ChaosConfig, ChaosReport, FaultPlanBuilder};
 pub use chaos_dist::{run_chaos_dist, ChaosDistConfig, ChaosDistReport};
 pub use dist::{DistCounters, DistDb, FaultOp, FaultScript};
 pub use engine::{Cluster, ClusterConfig, ClusterCounters, MergePolicy, Protocol, Txn, TxnOptions};
+pub use health::{EventJournal, HealthMonitor, SysEvent};
 pub use node::DataNode;
 pub use replica::{Follower, LogRecord, ReplOp, ReplicaSet, ShardLog};
 pub use retry::RetryPolicy;

@@ -1,7 +1,9 @@
 //! The plan store: an MD5-keyed cardinality cache with selective capture.
 
 use hdm_common::md5::{md5_str, Md5Digest};
-use hdm_sql::{CardinalityHints, StepObserver, StepKind, StepObservation};
+use hdm_sql::{
+    CardinalityHints, PlanStoreDump, PlanStoreEntry, StepKind, StepObservation, StepObserver,
+};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -214,6 +216,12 @@ impl SharedPlanStore {
         Rc::new(self.clone())
     }
 
+    /// The introspection handle for `attach_sys_plan_store`: the same store
+    /// dumped (MRU-first) through the `sys.plan_store` view.
+    pub fn sys_dump(&self) -> Rc<dyn PlanStoreDump> {
+        Rc::new(self.clone())
+    }
+
     /// Feed the store from a statement profile: derives the post-order
     /// [`StepObservation`]s from the profile's operator tree (the same list
     /// the executor pushes directly — distributed `EXCHANGE(...)` keys
@@ -235,6 +243,35 @@ impl CardinalityHints for SharedPlanStore {
 impl StepObserver for SharedPlanStore {
     fn observe(&self, steps: &[StepObservation]) {
         self.inner.borrow_mut().capture(steps);
+    }
+}
+
+/// Stable lowercase step-kind name for the `sys.plan_store` view.
+fn step_kind_name(kind: StepKind) -> &'static str {
+    match kind {
+        StepKind::Scan => "scan",
+        StepKind::Join => "join",
+        StepKind::Agg => "agg",
+        StepKind::SetOp => "setop",
+        StepKind::Limit => "limit",
+        StepKind::Other => "other",
+    }
+}
+
+impl PlanStoreDump for SharedPlanStore {
+    fn dump_entries(&self) -> Vec<PlanStoreEntry> {
+        self.inner
+            .borrow()
+            .dump()
+            .into_iter()
+            .map(|s| PlanStoreEntry {
+                step: s.text,
+                kind: step_kind_name(s.kind).to_string(),
+                estimated: s.estimated,
+                actual: s.actual,
+                hits: s.hits,
+            })
+            .collect()
     }
 }
 

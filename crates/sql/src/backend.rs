@@ -18,6 +18,7 @@
 
 use crate::catalog::Catalog;
 use crate::expr::SExpr;
+use crate::sys::{self, SysSnapshot};
 use hdm_common::{Datum, Result, Row};
 use hdm_storage::TableStats;
 use hdm_telemetry::ShardLeg;
@@ -96,6 +97,9 @@ pub struct LocalBackend<'a> {
     catalog: &'a mut Catalog,
     mgr: &'a mut LocalTxnManager,
     snap: Snapshot,
+    /// Statement-start `sys.*` view state; scans of sys names serve these
+    /// frozen rows instead of touching the catalog.
+    sys: Option<&'a SysSnapshot>,
 }
 
 impl<'a> LocalBackend<'a> {
@@ -103,12 +107,48 @@ impl<'a> LocalBackend<'a> {
     /// see transactions that commit later.
     pub fn new(catalog: &'a mut Catalog, mgr: &'a mut LocalTxnManager) -> Self {
         let snap = mgr.local_snapshot();
-        Self { catalog, mgr, snap }
+        Self {
+            catalog,
+            mgr,
+            snap,
+            sys: None,
+        }
     }
+
+    /// Serve `sys.*` scans from `snapshot` (frozen at statement start).
+    pub fn with_sys(mut self, snapshot: Option<&'a SysSnapshot>) -> Self {
+        self.sys = snapshot;
+        self
+    }
+}
+
+/// Filter a sys view's frozen rows through the scan predicate — shared by
+/// both backends so the two engines agree on sys-view semantics.
+pub fn scan_sys_rows(
+    snapshot: &SysSnapshot,
+    table: &str,
+    predicate: Option<&SExpr>,
+) -> Result<Vec<Row>> {
+    let mut out = Vec::new();
+    for row in snapshot.rows(table) {
+        let keep = match predicate {
+            None => true,
+            Some(p) => p.eval_filter(row.values())?,
+        };
+        if keep {
+            out.push(row.clone());
+        }
+    }
+    Ok(out)
 }
 
 impl ExecBackend for LocalBackend<'_> {
     fn scan(&mut self, table: &str, predicate: Option<&SExpr>) -> Result<Vec<Row>> {
+        if let Some(snapshot) = self.sys {
+            if sys::is_sys_view(table) {
+                return scan_sys_rows(snapshot, table, predicate);
+            }
+        }
         let judge = SnapshotVisibility::new(&self.snap, self.mgr.clog(), None);
         let t = self.catalog.get(table)?;
         let mut out = Vec::new();

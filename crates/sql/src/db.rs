@@ -11,9 +11,10 @@ use crate::parser::parse;
 use crate::plan::{PlanNode, StepObservation};
 use crate::planner::{Planner, PlanningInfo, TempRels};
 use crate::profile::{observations, render_analyze, Profiler};
+use crate::sys::{self, PlanStoreDump, SysSnapshot};
 use hdm_common::{Datum, HdmError, Result, Row, Schema};
-use hdm_telemetry::{SharedClock, SharedRecorder, StatementProfile, WallClock};
-use hdm_txn::{LocalTxnManager, SnapshotVisibility};
+use hdm_telemetry::{MetricsRegistry, SharedClock, SharedRecorder, StatementProfile, WallClock};
+use hdm_txn::{LocalTxnManager, SnapshotVisibility, TxnStatus};
 use std::collections::HashMap;
 use std::rc::Rc;
 use std::sync::Arc;
@@ -84,6 +85,10 @@ pub struct Database {
     recorder: Option<SharedRecorder>,
     profiling: bool,
     misestimate_ratio: f64,
+    /// Registry backing `sys.metrics` (scans empty when none is attached).
+    metrics: Option<MetricsRegistry>,
+    /// Learned-cardinality source backing `sys.plan_store`.
+    sys_plan_store: Option<Rc<dyn PlanStoreDump>>,
 }
 
 impl Default for Database {
@@ -104,6 +109,8 @@ impl Database {
             profiling: false,
             recorder: None,
             misestimate_ratio: 2.0,
+            metrics: None,
+            sys_plan_store: None,
         }
     }
 
@@ -114,8 +121,23 @@ impl Database {
     }
 
     /// Record every statement's profile into `recorder` (implies profiling).
+    /// The recorder also backs `sys.statements`.
     pub fn attach_recorder(&mut self, recorder: SharedRecorder) {
         self.recorder = Some(recorder);
+    }
+
+    /// Serve `sys.metrics` from `registry` (cheap: the registry handle is a
+    /// shared `Arc`; a snapshot is only taken when a statement references
+    /// the view).
+    pub fn attach_metrics(&mut self, registry: MetricsRegistry) {
+        self.metrics = Some(registry);
+    }
+
+    /// Serve `sys.plan_store` from `dump` (usually the same
+    /// `SharedPlanStore` installed via [`Self::set_plan_store`]; kept as a
+    /// separate hook so the plan-store API is unchanged).
+    pub fn attach_sys_plan_store(&mut self, dump: Rc<dyn PlanStoreDump>) {
+        self.sys_plan_store = Some(dump);
     }
 
     /// Profile every SELECT even without a recorder attached, surfacing
@@ -183,6 +205,11 @@ impl Database {
     fn execute_statement_inner(&mut self, stmt: &Statement, sql: Option<&str>) -> Result<QueryResult> {
         match stmt {
             Statement::CreateTable { name, columns } => {
+                if sys::is_sys_name(name) {
+                    return Err(HdmError::Catalog(format!(
+                        "the sys. namespace is reserved for system views (cannot create {name})"
+                    )));
+                }
                 let schema = Schema::new(
                     columns
                         .iter()
@@ -244,7 +271,76 @@ impl Database {
         }
     }
 
-    fn plan_with_ctes(&mut self, s: &SelectStmt) -> Result<(PlanNode, PlanningInfo)> {
+    /// Freeze the statement-start state of every `sys.*` view `s`
+    /// references. `None` (the overwhelmingly common case) means the
+    /// statement never touches the introspection plane and pays nothing.
+    fn sys_snapshot_for(&self, s: &SelectStmt) -> Option<SysSnapshot> {
+        let wanted = sys::referenced_views_in_select(s);
+        if wanted.is_empty() {
+            return None;
+        }
+        let mut snap = SysSnapshot::new();
+        for view in wanted {
+            let rows = match view.as_str() {
+                "sys.metrics" => self
+                    .metrics
+                    .as_ref()
+                    .map(|m| sys::metrics_rows(&m.snapshot()))
+                    .unwrap_or_default(),
+                "sys.statements" => self
+                    .recorder
+                    .as_ref()
+                    .map(sys::statement_rows)
+                    .unwrap_or_default(),
+                "sys.txns" => self.txn_rows(),
+                "sys.plan_store" => self
+                    .sys_plan_store
+                    .as_ref()
+                    .map(|d| sys::plan_store_rows(d.as_ref()))
+                    .unwrap_or_default(),
+                // The embedded engine has no shards, replicas, or event
+                // journal: those views exist (same schema as distributed)
+                // but scan empty.
+                _ => Vec::new(),
+            };
+            snap.insert(&view, rows);
+        }
+        Some(snap)
+    }
+
+    /// `sys.txns` rows for the embedded engine: the local manager's active
+    /// transactions (shard is NULL — there is no placement here).
+    fn txn_rows(&self) -> Vec<Row> {
+        let snap = self.mgr.local_snapshot();
+        snap.active
+            .iter()
+            .map(|xid| {
+                let state = match self.mgr.status(*xid) {
+                    TxnStatus::InProgress => "in_progress",
+                    TxnStatus::Prepared => "prepared",
+                    TxnStatus::Committed => "committed",
+                    TxnStatus::Aborted => "aborted",
+                };
+                let gxid = self
+                    .mgr
+                    .gxid_of(*xid)
+                    .map(|g| Datum::Int(g.raw() as i64))
+                    .unwrap_or(Datum::Null);
+                Row::new(vec![
+                    Datum::Null,
+                    Datum::Int(xid.raw() as i64),
+                    gxid,
+                    Datum::Text(state.into()),
+                ])
+            })
+            .collect()
+    }
+
+    fn plan_with_ctes(
+        &mut self,
+        s: &SelectStmt,
+        sys_snap: Option<&SysSnapshot>,
+    ) -> Result<(PlanNode, PlanningInfo)> {
         // Materialize CTEs in order; later CTEs may reference earlier ones.
         let mut temp: TempRels = TempRels::new();
         for (name, sub) in &s.with {
@@ -253,12 +349,14 @@ impl Database {
                     &self.catalog,
                     self.hints.as_deref(),
                     &self.table_funcs,
-                );
+                )
+                .with_sys(sys_snap);
                 (p.plan_select(sub, &temp)?, p.info)
             };
             let mut obs = Vec::new();
             let rows = {
-                let mut be = LocalBackend::new(&mut self.catalog, &mut self.mgr);
+                let mut be =
+                    LocalBackend::new(&mut self.catalog, &mut self.mgr).with_sys(sys_snap);
                 execute(&plan, &mut be, &mut obs)?
             };
             if let Some(o) = &self.observer {
@@ -266,7 +364,8 @@ impl Database {
             }
             temp.insert(name.to_ascii_lowercase(), (plan.schema.clone(), rows));
         }
-        let mut p = Planner::new(&self.catalog, self.hints.as_deref(), &self.table_funcs);
+        let mut p = Planner::new(&self.catalog, self.hints.as_deref(), &self.table_funcs)
+            .with_sys(sys_snap);
         let plan = p.plan_select(s, &temp)?;
         Ok((plan, p.info))
     }
@@ -275,10 +374,12 @@ impl Database {
         if self.profiling_enabled() {
             return self.run_select_profiled(s, sql);
         }
-        let (plan, planning) = self.plan_with_ctes(s)?;
+        let sys_snap = self.sys_snapshot_for(s);
+        let (plan, planning) = self.plan_with_ctes(s, sys_snap.as_ref())?;
         let mut steps = Vec::new();
         let rows = {
-            let mut be = LocalBackend::new(&mut self.catalog, &mut self.mgr);
+            let mut be =
+                LocalBackend::new(&mut self.catalog, &mut self.mgr).with_sys(sys_snap.as_ref());
             execute(&plan, &mut be, &mut steps)?
         };
         if let Some(o) = &self.observer {
@@ -301,12 +402,14 @@ impl Database {
     /// the Fig 6 capture loop is auditable end to end.
     fn run_select_profiled(&mut self, s: &SelectStmt, sql: Option<&str>) -> Result<QueryResult> {
         let start = self.clock.now_us();
-        let (plan, planning) = self.plan_with_ctes(s)?;
+        let sys_snap = self.sys_snapshot_for(s);
+        let (plan, planning) = self.plan_with_ctes(s, sys_snap.as_ref())?;
         let planned = self.clock.now_us();
         let mut steps = Vec::new();
         let mut prof = Profiler::new(self.clock.clone());
         let rows = {
-            let mut be = LocalBackend::new(&mut self.catalog, &mut self.mgr);
+            let mut be =
+                LocalBackend::new(&mut self.catalog, &mut self.mgr).with_sys(sys_snap.as_ref());
             execute_with_profiler(&plan, &mut be, &mut steps, &mut prof)?
         };
         let done = self.clock.now_us();
@@ -367,7 +470,8 @@ impl Database {
                 profile: Some(profile),
             });
         }
-        let (plan, planning) = self.plan_with_ctes(s)?;
+        let sys_snap = self.sys_snapshot_for(s);
+        let (plan, planning) = self.plan_with_ctes(s, sys_snap.as_ref())?;
         let text = plan.explain();
         let rows: Vec<Row> = text
             .lines()
@@ -389,6 +493,7 @@ impl Database {
         columns: Option<&[String]>,
         rows: &[Vec<crate::ast::Expr>],
     ) -> Result<QueryResult> {
+        sys::check_read_only(table)?;
         // Evaluate all rows before writing anything.
         let t = self.catalog.get(table)?;
         let width = t.schema().len();
@@ -434,6 +539,7 @@ impl Database {
         sets: &[(String, crate::ast::Expr)],
         where_clause: Option<&crate::ast::Expr>,
     ) -> Result<QueryResult> {
+        sys::check_read_only(table)?;
         let t = self.catalog.get(table)?;
         let schema = BoundSchema::from_table(
             &table.to_ascii_lowercase(),
@@ -466,6 +572,7 @@ impl Database {
         table: &str,
         where_clause: Option<&crate::ast::Expr>,
     ) -> Result<QueryResult> {
+        sys::check_read_only(table)?;
         let t = self.catalog.get(table)?;
         let schema = BoundSchema::from_table(
             &table.to_ascii_lowercase(),
@@ -489,7 +596,8 @@ impl Database {
         let Statement::Select(s) = stmt else {
             return Err(HdmError::Plan("plan_only expects SELECT".into()));
         };
-        Ok(self.plan_with_ctes(&s)?.0)
+        let sys_snap = self.sys_snapshot_for(&s);
+        Ok(self.plan_with_ctes(&s, sys_snap.as_ref())?.0)
     }
 }
 

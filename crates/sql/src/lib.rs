@@ -39,6 +39,7 @@ pub mod plan;
 pub mod planner;
 pub mod profile;
 pub mod rewrite;
+pub mod sys;
 
 pub use ast::Statement;
 pub use backend::{ExecBackend, LocalBackend};
@@ -46,6 +47,7 @@ pub use catalog::Catalog;
 pub use db::{CardinalityHints, Database, QueryResult, StepObserver, TableFunction};
 pub use plan::{PlanNode, StepKind, StepObservation};
 pub use profile::Profiler;
+pub use sys::{PlanStoreDump, PlanStoreEntry, SysSnapshot};
 // Profile data types live in `hdm-telemetry` (the recorder owns the
 // schema); re-exported here so SQL-layer users need no extra import.
 pub use hdm_telemetry::{OpProfile, ShardLeg, StatementProfile};

@@ -14,6 +14,7 @@ use crate::catalog::Catalog;
 use crate::db::{CardinalityHints, TableFunction};
 use crate::expr::{bind, BoundColumn, BoundSchema, SExpr};
 use crate::plan::{AggCall, AggFunc, PlanNode, PlanOp};
+use crate::sys::SysSnapshot;
 use hdm_common::{DataType, Datum, HdmError, Result, Row};
 use std::collections::HashMap;
 
@@ -39,6 +40,10 @@ pub struct Planner<'a> {
     pub hints: Option<&'a dyn CardinalityHints>,
     pub table_funcs: &'a HashMap<String, Box<dyn TableFunction>>,
     pub info: PlanningInfo,
+    /// Statement-start `sys.*` view state. When set, a FROM reference to a
+    /// served view plans as an ordinary `SeqScan` of the frozen rows (no
+    /// catalog entry, no index probing, no shard annotation).
+    pub sys: Option<&'a SysSnapshot>,
 }
 
 /// One base relation during join planning.
@@ -57,7 +62,15 @@ impl<'a> Planner<'a> {
             hints,
             table_funcs,
             info: PlanningInfo::default(),
+            sys: None,
         }
+    }
+
+    /// Plan `sys.*` references against `snapshot` (frozen at statement
+    /// start). Without this, sys names resolve like any other missing table.
+    pub fn with_sys(mut self, snapshot: Option<&'a SysSnapshot>) -> Self {
+        self.sys = snapshot;
+        self
     }
 
     /// Plan a SELECT (CTEs must already be materialized into `temp`).
@@ -273,6 +286,26 @@ impl<'a> Planner<'a> {
                         },
                     });
                     return Ok(());
+                }
+                if let Some(snapshot) = self.sys {
+                    if let Some(vschema) = crate::sys::view_schema(&key) {
+                        // A system view scans its statement-start snapshot:
+                        // est_rows is the frozen count (exact, the snapshot
+                        // cannot change mid-statement).
+                        let schema = BoundSchema::from_table(&key, &refq, &vschema);
+                        rels.push(Rel {
+                            node: PlanNode {
+                                op: PlanOp::SeqScan {
+                                    table: key.clone(),
+                                    predicate: None,
+                                },
+                                children: vec![],
+                                est_rows: snapshot.rows(&key).len() as f64,
+                                schema,
+                            },
+                        });
+                        return Ok(());
+                    }
                 }
                 let table = self.catalog.get(name)?;
                 let schema = BoundSchema::from_table(&key, &refq, table.schema());

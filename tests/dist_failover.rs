@@ -117,9 +117,11 @@ fn twenty_seed_chaos_dist_sweep_loses_nothing_and_replays_bit_identical() {
     for seed in 0..20u64 {
         let mut cfg = ChaosDistConfig::standard(0xBAD_5EED + seed);
         // Trimmed sizes keep the 20×2 runs debug-friendly; the CI release
-        // sweep runs the full standard shape.
+        // sweep runs the full standard shape. The health monitor rides along
+        // on every seed: it must observe without perturbing the replay.
         cfg.orders = 160;
         cfg.statements = 36;
+        cfg.health_monitor = true;
         let r1 = run_chaos_dist(&cfg).unwrap();
         assert_eq!(
             r1.mismatches, 0,
