@@ -22,22 +22,31 @@
 //! actuals, per-shard Exchange legs, GTM/2PC footer), and
 //! `--recorder PATH` dumps the flight recorder's JSONL there.
 //!
+//! With `--prepared` (distributed mode), the pruned point query is also
+//! driven through the prepared-statement path — `prepare` once, then
+//! `execute(params)` per iteration — which serves every statement from the
+//! plan cache and the flat fast-scan program, skipping the lexer, parser
+//! and planner entirely. The run asserts the prepared loop beats the raw
+//! text loop.
+//!
 //! With `--bench-json PATH` (distributed mode), the measured numbers —
-//! point/aggregate throughput, `sys.*` view-query throughput, profiler
-//! overhead, and a chaos-dist failover sweep's latency decomposition — are
-//! additionally written to `PATH` as one JSON object (the committed
-//! `BENCH_7.json`). When a `BENCH_6.json` sits in the working directory the
-//! run also asserts the profiling-off point-query path stayed within noise
-//! of it — the introspection plane must cost nothing when unused.
+//! point/aggregate/prepared throughput, `sys.*` view-query throughput,
+//! profiler overhead, and a chaos-dist failover sweep's latency
+//! decomposition — are additionally written to `PATH` as one JSON object
+//! (the committed `BENCH_8.json`). When a `BENCH_7.json` sits in the
+//! working directory the run also asserts the profiling-off raw point-query
+//! path stayed within noise of it — the plan cache must not tax statements
+//! that miss it.
 //!
 //! Usage: table1_canonical_form [--sweep-threshold] [--distributed]
-//!                              [--snapshot-cache] [--profile]
+//!                              [--snapshot-cache] [--profile] [--prepared]
 //!                              [--recorder PATH] [--bench-json PATH]
 
 use hdm_bench::{arg_flag, arg_value, render_table};
 use hdm_cluster::{run_chaos_dist, ChaosDistConfig, Cluster, ClusterConfig, DistDb};
 use hdm_common::Datum;
 use hdm_learnopt::{PlanStoreConfig, SharedPlanStore};
+use hdm_sql::prepared::QueryApi;
 use hdm_sql::Database;
 use hdm_telemetry::{RecorderConfig, SharedRecorder};
 use std::time::Instant;
@@ -213,20 +222,42 @@ fn run_distributed(snapshot_cache: bool) {
     let t0 = Instant::now();
     for i in 0..ITERS {
         let k = (i as i64 * 37) % 200;
-        db.query(&format!("select * from olap.t1 where a1 = {k}"))
+        db.execute(&format!("select * from olap.t1 where a1 = {k}"))
             .unwrap();
     }
     let point_us = t0.elapsed().as_micros() as u64;
     let mid = (db.cluster().counters(), db.counters());
     let t0 = Instant::now();
     for _ in 0..ITERS {
-        db.query("select sum(b1) from olap.t1").unwrap();
+        db.execute("select sum(b1) from olap.t1").unwrap();
     }
     let agg_us = t0.elapsed().as_micros() as u64;
     let after = (db.cluster().counters(), db.counters());
 
+    // The prepared path: one prepare, then bind-and-execute per iteration.
+    // Every statement is a plan-cache hit served by the flat fast-scan
+    // program — no lexing, no parsing, no planning.
+    let prepared_us = arg_flag("--prepared").then(|| {
+        let handle = db
+            .prepare_handle("select * from olap.t1 where a1 = ?")
+            .unwrap();
+        let gtm_before = db.cluster().counters().gtm_interactions;
+        let t0 = Instant::now();
+        for i in 0..ITERS {
+            let k = (i as i64 * 37) % 200;
+            db.execute_prepared(&handle, &[Datum::Int(k)]).unwrap();
+        }
+        let us = t0.elapsed().as_micros() as u64;
+        assert_eq!(
+            db.cluster().counters().gtm_interactions,
+            gtm_before,
+            "prepared pruned point queries must stay off the GTM"
+        );
+        us
+    });
+
     let kqps = |us: u64| ITERS as f64 / (us.max(1) as f64 / 1e6) / 1_000.0;
-    let table = vec![
+    let mut table = vec![
         vec![
             "statement".to_string(),
             "kstmt/s".to_string(),
@@ -255,6 +286,15 @@ fn run_distributed(snapshot_cache: bool) {
             ),
         ],
     ];
+    if let Some(us) = prepared_us {
+        table.push(vec![
+            "point query (prepared, a1 = ?)".to_string(),
+            format!("{:.1}", kqps(us)),
+            "0".to_string(),
+            ITERS.to_string(),
+            format!("{ITERS} single-shard"),
+        ]);
+    }
     println!("--- {ITERS} statements each ---");
     println!("{}", render_table(&table));
     println!(
@@ -270,13 +310,24 @@ fn run_distributed(snapshot_cache: bool) {
          took a global\nsnapshot and committed through 2PC across {SHARDS} \
          shards.\n"
     );
+    if let Some(us) = prepared_us {
+        assert!(
+            us < point_us,
+            "the prepared path must beat raw text execution: {us}us vs {point_us}us"
+        );
+        println!(
+            "prepared point path: {:.1} kstmt/s — {:.1}x over the raw text loop\n",
+            kqps(us),
+            point_us as f64 / us.max(1) as f64
+        );
+    }
 
     // The introspection plane: a sys.* SELECT snapshots cluster state at
     // statement start and serves it through the same executor. Measured so
     // BENCH_7 pins what a monitoring poll loop would cost.
     let t0 = Instant::now();
     for _ in 0..ITERS {
-        let rows = db.query("select shard, lag from sys.shards").unwrap();
+        let rows = db.execute("select shard, lag from sys.shards").unwrap().rows;
         assert_eq!(rows.len(), SHARDS);
     }
     let sysq_us = t0.elapsed().as_micros() as u64;
@@ -293,6 +344,9 @@ fn run_distributed(snapshot_cache: bool) {
     bench.insert("point_kstmt_s", kqps(point_us).into());
     bench.insert("agg_kstmt_s", kqps(agg_us).into());
     bench.insert("sys_view_kstmt_s", kqps(sysq_us).into());
+    if let Some(us) = prepared_us {
+        bench.insert("point_prepared_kstmt_s", kqps(us).into());
+    }
     bench.insert(
         "point_gtm_interactions",
         (mid.0.gtm_interactions - before.0.gtm_interactions).into(),
@@ -308,22 +362,34 @@ fn run_distributed(snapshot_cache: bool) {
     }
 
     if let Some(path) = arg_value("--bench-json") {
-        // Regression gate against the previous committed bench: sys-view
-        // plumbing is pay-per-use, so the profiling-off point-query path
-        // must stay within (generous, CI-noise-tolerant) range of BENCH_6.
-        if let Some(prev) = std::fs::read_to_string("BENCH_6.json")
+        // Regression gate against the previous committed bench: the plan
+        // cache must not tax the raw-text path, so the profiling-off point
+        // loop must stay within (generous, CI-noise-tolerant) range of
+        // BENCH_7 — and the prepared path, when measured, is reported
+        // against the same baseline (the ISSUE's 5x bar is asserted by the
+        // CI release smoke over the committed BENCH_8.json).
+        if let Some(prev) = std::fs::read_to_string("BENCH_7.json")
             .ok()
             .and_then(|s| serde_json::from_str(&s).ok())
-            .and_then(|v| v.get("point_kstmt_s").and_then(|x| x.as_f64()))
+            .and_then(|v: serde_json::Value| {
+                v.get("point_kstmt_s").and_then(|x| x.as_f64())
+            })
         {
             let now = kqps(point_us);
             assert!(
                 now > prev * 0.5,
-                "profiling-off point throughput regressed: {now:.1} vs BENCH_6 {prev:.1} kstmt/s"
+                "profiling-off point throughput regressed: {now:.1} vs BENCH_7 {prev:.1} kstmt/s"
             );
             println!(
-                "profiling-off point path: {now:.1} kstmt/s vs BENCH_6 {prev:.1} (within noise)\n"
+                "profiling-off point path: {now:.1} kstmt/s vs BENCH_7 {prev:.1} (within noise)\n"
             );
+            if let Some(us) = prepared_us {
+                let prep = kqps(us);
+                println!(
+                    "prepared point path: {prep:.1} kstmt/s = {:.1}x BENCH_7\n",
+                    prep / prev
+                );
+            }
         }
         bench.insert("chaos_dist_failover", run_failover_bench());
         let json = serde_json::Value::Object(bench);
@@ -391,7 +457,7 @@ fn run_profiled(db: &mut DistDb) -> f64 {
         let t0 = Instant::now();
         for i in 0..ITERS {
             let k = (i as i64 * 37) % 200;
-            db.query(&format!("select * from olap.t1 where a1 = {k}"))
+            db.execute(&format!("select * from olap.t1 where a1 = {k}"))
                 .unwrap();
         }
         t0.elapsed().as_micros() as u64

@@ -28,6 +28,7 @@ use crate::dist::{DistDb, FaultOp, FaultScript};
 use crate::engine::{Cluster, ClusterConfig};
 use crate::retry::RetryPolicy;
 use hdm_common::{Result, Row, SplitMix64};
+use hdm_sql::prepared::{ExecOptions, QueryApi};
 use hdm_simnet::CrashTarget;
 use hdm_telemetry::Telemetry;
 use std::cell::RefCell;
@@ -297,9 +298,9 @@ fn run_script(
     for s in script {
         let promos_before = db.cluster().counters().promotions;
         let start = timed.then(Instant::now);
-        let mut res = db.execute_idempotent(&s.sql, s.id);
+        let mut res = db.execute_opts(&s.sql, ExecOptions::idempotent(s.id));
         if s.duplicate {
-            let dup = db.execute_idempotent(&s.sql, s.id);
+            let dup = db.execute_opts(&s.sql, ExecOptions::idempotent(s.id));
             // The duplicate's answer must agree with the original's; keep
             // whichever succeeded so a crash between the two submissions
             // still records the committed outcome.
@@ -428,8 +429,8 @@ pub fn run_chaos_dist(cfg: &ChaosDistConfig) -> Result<ChaosDistReport> {
 /// Full contents of both corpus tables as sorted multisets.
 fn audit_tables(db: &mut DistDb) -> Result<Vec<Vec<String>>> {
     Ok(vec![
-        sorted(db.query("select * from orders")?),
-        sorted(db.query("select * from custs")?),
+        sorted(db.execute("select * from orders")?.rows),
+        sorted(db.execute("select * from custs")?.rows),
     ])
 }
 

@@ -26,22 +26,26 @@
 use crate::engine::{Cluster, Protocol, Txn, TxnOptions};
 use crate::retry::RetryPolicy;
 use crate::shard::key_prefix;
-use hdm_common::{Datum, HdmError, Result, Row, Schema, ShardId};
+use hdm_common::{DataType, Datum, HdmError, Result, Row, Schema, ShardId, Xid};
 use hdm_sql::ast::{BinOp, Expr, SelectStmt, Statement};
 use hdm_sql::db::{CardinalityHints, QueryResult, StepObserver, TableFunction};
 use hdm_sql::expr::{bind, BoundSchema, SExpr};
-use hdm_sql::plan::{PlanNode, PlanOp, StepObservation};
+use hdm_sql::plan::{PlanNode, PlanOp, StepKind, StepObservation};
 use hdm_sql::planner::{Planner, PlanningInfo, TempRels};
+use hdm_sql::prepared::{
+    bind_slots, canonicalize, collect_param_types, count_params, rehint_plan,
+    substitute_statement_params, ExecOptions, PlanCache, QueryApi, StmtHandle, PLAN_CACHE_CAP,
+};
 use hdm_sql::profile::{observations, render_analyze};
 use hdm_sql::sys::{self, PlanStoreDump, SysSnapshot};
 use hdm_sql::{Catalog, ExecBackend, Profiler};
 use hdm_storage::heap::TupleId;
-use hdm_storage::{ColumnStats, TableStats};
+use hdm_storage::{ColumnStats, TableStats, Visibility};
 use hdm_telemetry::{
     OpProfile, ShardLeg, SharedClock, SharedRecorder, StatementProfile, Telemetry, WallClock,
 };
 use hdm_txn::SnapshotVisibility;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::rc::Rc;
 use std::sync::Arc;
@@ -126,6 +130,50 @@ enum Scope {
     Multi,
 }
 
+/// One cached distributed statement: the **pre-annotation** logical plan
+/// (shard pruning re-runs per execution once parameters are bound — the
+/// shard list is a function of the bound values, not the statement text),
+/// the inferred parameter types, and a fast program for linear scan shapes.
+struct CachedDistStmt {
+    plan: PlanNode,
+    param_types: Vec<Option<DataType>>,
+    fast: Option<FastSelect>,
+}
+
+/// A compiled linear SELECT (`Project? → SeqScan` of one distributed
+/// table): everything the scatter/gather loop needs without walking a plan
+/// tree through the boxed executor.
+struct FastSelect {
+    table: String,
+    meta: DistMeta,
+    /// Scan predicate template (may reference parameters).
+    pred: Option<SExpr>,
+    /// The whole predicate pre-lowered to `column = ?N`: execution then
+    /// needs no expression substitution and no generic pruning walk at all —
+    /// the bound datum routes the shard and filters rows directly.
+    param_eq: Option<(usize, u16)>,
+    /// Projection expressions over the scan schema, if any.
+    project: Option<Vec<SExpr>>,
+    /// Canonical text of the un-annotated scan; the `EXCHANGE(..)` plan-store
+    /// key is assembled around it per execution once the shard list is known.
+    scan_canon: String,
+    /// Pre-rendered `EXCHANGE(.., SHARDS(..))` observation texts: one per
+    /// single-shard outcome (keyed by raw shard id) plus the scatter form.
+    ex_single: Vec<(u64, String)>,
+    ex_all: String,
+    /// The planner's compile-time scan estimate (rehinted before each run).
+    est_rows: f64,
+    columns: Vec<String>,
+}
+
+impl FastSelect {
+    /// Op count surfaced by `sys.prepared`: the scan plus an optional
+    /// projection.
+    fn op_count(&self) -> usize {
+        1 + self.project.is_some() as usize
+    }
+}
+
 /// A distributed SQL database: coordinator planning over cluster storage.
 pub struct DistDb {
     cluster: Cluster,
@@ -154,6 +202,9 @@ pub struct DistDb {
     faults: Option<Rc<RefCell<FaultScript>>>,
     /// Learned-cardinality dump served through the `sys.plan_store` view.
     sys_plan_store: Option<Rc<dyn PlanStoreDump>>,
+    /// Canonical text → cached logical plan + fast program, invalidated on
+    /// DDL and ANALYZE (merged statistics change plan choices).
+    cache: PlanCache<Rc<CachedDistStmt>>,
 }
 
 impl DistDb {
@@ -200,6 +251,7 @@ impl DistDb {
             next_stmt_id: 1,
             faults: None,
             sys_plan_store: None,
+            cache: PlanCache::new(PLAN_CACHE_CAP),
         })
     }
 
@@ -292,23 +344,34 @@ impl DistDb {
         self.faults = script;
     }
 
-    /// Execute one SQL statement on the cluster.
+    /// Execute one SQL statement on the cluster. Cacheable SELECTs are
+    /// canonicalized (literals lifted to parameters) and served through the
+    /// plan cache, skipping the parser and planner on repeats.
     pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
+        if let Some(c) = canonicalize(sql)? {
+            return self.execute_canonical(&c.text, &c.slots, &[], sql);
+        }
         let mut stmt = hdm_sql::parser::parse(sql)?;
         hdm_sql::rewrite::rewrite_statement(&mut stmt);
         self.execute_statement(&stmt, Some(sql))
     }
 
     /// Convenience: execute and return rows.
+    #[deprecated(note = "use `execute(sql)?.rows`")]
     pub fn query(&mut self, sql: &str) -> Result<Vec<Row>> {
         Ok(self.execute(sql)?.rows)
     }
 
-    /// [`Self::execute_idempotent`] with an auto-assigned statement id.
+    /// Idempotent retrying execution with an auto-assigned statement id.
+    #[deprecated(note = "use `execute_opts(sql, ExecOptions::retrying())`")]
     pub fn execute_retrying(&mut self, sql: &str) -> Result<QueryResult> {
+        self.run_retrying(sql)
+    }
+
+    fn run_retrying(&mut self, sql: &str) -> Result<QueryResult> {
         let id = self.next_stmt_id;
         self.next_stmt_id += 1;
-        self.execute_idempotent(sql, id)
+        self.run_idempotent(sql, id)
     }
 
     /// Execute one statement at-most-once under crash failover. `stmt_id`
@@ -319,10 +382,16 @@ impl DistDb {
     /// double-applied, and a duplicate answers with the original rowcount.
     ///
     /// Retries cover the `unavailable` and `txn_aborted` error classes only
-    /// (crashed/fenced shards and 2PC aborts); every attempt re-parses and
-    /// re-plans so post-failover routing takes effect. Without a retry
-    /// policy this is plain [`Self::execute`] with dedup tagging.
+    /// (crashed/fenced shards and 2PC aborts); every attempt re-routes
+    /// against the bound values so post-failover routing takes effect.
+    /// Without a retry policy this is plain [`Self::execute`] with dedup
+    /// tagging.
+    #[deprecated(note = "use `execute_opts(sql, ExecOptions::idempotent(stmt_id))`")]
     pub fn execute_idempotent(&mut self, sql: &str, stmt_id: u64) -> Result<QueryResult> {
+        self.run_idempotent(sql, stmt_id)
+    }
+
+    fn run_idempotent(&mut self, sql: &str, stmt_id: u64) -> Result<QueryResult> {
         let run_once = |db: &mut Self| {
             db.cur_stmt = Some(stmt_id);
             let r = db.execute(sql);
@@ -502,6 +571,7 @@ impl DistDb {
                 route: Route::HashValue,
             },
         );
+        self.cache.bump_epoch();
         Ok(empty_result())
     }
 
@@ -779,6 +849,8 @@ impl DistDb {
             let merged = merge_stats(&per_shard);
             self.shadow.get_mut(&name)?.set_stats(merged);
         }
+        // Fresh merged statistics change plan choices; cached plans are stale.
+        self.cache.bump_epoch();
         Ok(empty_result())
     }
 
@@ -811,6 +883,7 @@ impl DistDb {
                     .as_ref()
                     .map(|d| sys::plan_store_rows(d.as_ref()))
                     .unwrap_or_default(),
+                "sys.prepared" => self.prepared_rows(),
                 _ => Vec::new(),
             };
             snap.insert(&view, rows);
@@ -920,10 +993,20 @@ impl DistDb {
             .with_sys(sys_snap);
         let mut plan = p.plan_select(s, temp)?;
         let mut info = p.info;
+        let scope = self.annotate_plan(&mut plan, &mut info);
+        Ok((plan, info, scope))
+    }
+
+    /// Annotate a logical plan for distribution — base-table scans become
+    /// pruned `Exchange` leaves — re-consult hints under the *distributed*
+    /// canonical keys (the plan store learns `EXCHANGE(...)` cardinalities
+    /// separately from local `SCAN(...)` ones), and derive the statement's
+    /// transaction scope.
+    fn annotate_plan(&self, plan: &mut PlanNode, info: &mut PlanningInfo) -> Scope {
         let mut single: Vec<(ShardId, u32)> = Vec::new();
         let mut scattered = false;
         annotate(
-            &mut plan,
+            plan,
             &|canon, predicate| {
                 let meta = self.meta.get(canon)?;
                 Some(match self.prune_shards(*meta, predicate) {
@@ -937,13 +1020,10 @@ impl DistDb {
             &mut single,
             &mut scattered,
         );
-        // Re-consult the hints under the *distributed* canonical key: the
-        // plan store learns EXCHANGE(...) cardinalities separately from
-        // local SCAN(...) ones.
         if let Some(h) = &self.hints {
-            rehint_exchanges(&mut plan, h.as_ref(), &mut info);
+            rehint_exchanges(plan, h.as_ref(), info);
         }
-        let scope = match (&single[..], scattered) {
+        match (&single[..], scattered) {
             ([], false) => Scope::Multi, // no distributed scans at all
             (all_single, false) => {
                 let first = all_single[0];
@@ -954,8 +1034,387 @@ impl DistDb {
                 }
             }
             (_, true) => Scope::Multi,
+        }
+    }
+
+    /// Fetch (or build) the cache entry for canonical statement text. The
+    /// cached plan is logical and **un-annotated**: canonicalizable
+    /// statements reference no `sys.*` views and no CTEs, and pruning must
+    /// wait for bound parameter values anyway.
+    fn ensure_cached(&mut self, canonical: &str) -> Result<Rc<CachedDistStmt>> {
+        if let Some(e) = self.cache.get(canonical) {
+            return Ok(e);
+        }
+        let mut stmt = hdm_sql::parser::parse(canonical)?;
+        hdm_sql::rewrite::rewrite_statement(&mut stmt);
+        let n_params = count_params(&stmt);
+        let Statement::Select(s) = stmt else {
+            return Err(HdmError::Plan(
+                "plan cache holds SELECT statements only".into(),
+            ));
         };
-        Ok((plan, info, scope))
+        let mut p = Planner::new(&self.shadow, self.hints.as_deref(), &self.table_funcs);
+        let plan = p.plan_select(&s, &TempRels::new())?;
+        let entry = Rc::new(CachedDistStmt {
+            param_types: collect_param_types(&plan, n_params),
+            fast: self.compile_fast(&plan),
+            plan,
+        });
+        self.cache.insert(canonical.to_string(), Rc::clone(&entry));
+        Ok(entry)
+    }
+
+    /// Lower a cached plan to a [`FastSelect`] when the shape is a linear
+    /// `Project? → SeqScan` over one distributed table. Anything else
+    /// (joins, aggregates, sorts, limits, temp rels) keeps the tree
+    /// executor — still without re-parsing or re-planning.
+    fn compile_fast(&self, plan: &PlanNode) -> Option<FastSelect> {
+        let (project, scan) = match &plan.op {
+            PlanOp::Project { exprs } => (Some(exprs.clone()), &plan.children[0]),
+            _ => (None, plan),
+        };
+        let PlanOp::SeqScan { table, predicate } = &scan.op else {
+            return None;
+        };
+        let meta = *self.meta.get(table)?;
+        let param_eq = predicate.as_ref().and_then(|p| match p {
+            SExpr::Binary(BinOp::Eq, l, r) => match (l.as_ref(), r.as_ref()) {
+                (SExpr::Col(c), SExpr::Param(i)) | (SExpr::Param(i), SExpr::Col(c)) => {
+                    Some((*c, *i))
+                }
+                _ => None,
+            },
+            _ => None,
+        });
+        let scan_canon = scan.canonical()?;
+        let all: Vec<u64> = self.cluster.shard_map().all().map(|s| s.raw()).collect();
+        let ex_text = |shards: &[u64]| {
+            let list: Vec<String> = shards.iter().map(u64::to_string).collect();
+            format!("EXCHANGE({scan_canon}, SHARDS({}))", list.join(","))
+        };
+        Some(FastSelect {
+            table: table.clone(),
+            meta,
+            pred: predicate.clone(),
+            param_eq,
+            project,
+            ex_single: all.iter().map(|&r| (r, ex_text(&[r]))).collect(),
+            ex_all: ex_text(&all),
+            scan_canon,
+            est_rows: scan.est_rows,
+            columns: plan.schema.cols.iter().map(|c| c.name.clone()).collect(),
+        })
+    }
+
+    /// Execute a canonicalized statement through the plan cache: bind the
+    /// lifted/user parameters, then either run the fast scatter/gather
+    /// program (profiling, telemetry and fault scripts all off — those
+    /// paths need the tree executor's spans and tick cadence) or substitute
+    /// into the cached logical plan, re-prune, and run the tree.
+    fn execute_canonical(
+        &mut self,
+        text: &str,
+        slots: &[Option<Datum>],
+        user_params: &[Datum],
+        sql: &str,
+    ) -> Result<QueryResult> {
+        let cached = self.ensure_cached(text)?;
+        let params = bind_slots(slots, &cached.param_types, user_params)?;
+        if let Some(fast) = &cached.fast {
+            if !self.profiling_enabled() && self.tel.is_none() && self.faults.is_none() {
+                return self.run_fast(fast, &params);
+            }
+        }
+        if self.profiling_enabled() {
+            return self.run_cached_profiled(&cached, &params, sql);
+        }
+        let mut plan = cached.plan.substitute_params(&params)?;
+        let mut info = PlanningInfo::default();
+        if let Some(h) = &self.hints {
+            rehint_plan(&mut plan, h.as_ref(), &mut info);
+        }
+        let scope = self.annotate_plan(&mut plan, &mut info);
+        let (rows, steps) = self.execute_plan(&plan, scope, None)?;
+        if let Some(o) = &self.observer {
+            o.observe(&steps);
+        }
+        Ok(QueryResult {
+            columns: plan.schema.cols.iter().map(|c| c.name.clone()).collect(),
+            rows,
+            affected: 0,
+            steps,
+            planning: info,
+            profile: None,
+        })
+    }
+
+    /// The profiled flavor of cached execution: identical substitution and
+    /// re-pruning to the unprofiled tree path, with the same clock and
+    /// profiler call sequence as [`Self::run_select_profiled`], so recorded
+    /// profiles are indistinguishable from fresh-planned ones.
+    fn run_cached_profiled(
+        &mut self,
+        cached: &CachedDistStmt,
+        params: &[Datum],
+        sql: &str,
+    ) -> Result<QueryResult> {
+        let start = self.clock.now_us();
+        let mut plan = cached.plan.substitute_params(params)?;
+        let mut planning = PlanningInfo::default();
+        if let Some(h) = &self.hints {
+            rehint_plan(&mut plan, h.as_ref(), &mut planning);
+        }
+        let scope = self.annotate_plan(&mut plan, &mut planning);
+        let planned = self.clock.now_us();
+        let (rows, steps, stats) = self.execute_plan_profiled(&plan, scope, None)?;
+        let done = self.clock.now_us();
+        let profile = StatementProfile {
+            sql: sql.to_string(),
+            scope: match scope {
+                Scope::Single(_) => "single",
+                Scope::Multi => "multi",
+            }
+            .to_string(),
+            start_us: start,
+            plan_us: planned.saturating_sub(start),
+            exec_us: done.saturating_sub(planned),
+            total_us: done.saturating_sub(start),
+            rows_out: rows.len() as u64,
+            gtm_interactions: stats.gtm,
+            twopc_legs: stats.twopc_legs,
+            root: stats.root,
+        };
+        let derived = observations(profile.root.as_ref());
+        debug_assert_eq!(derived, steps, "profile must derive the executor's own observations");
+        if let Some(o) = &self.observer {
+            o.observe(&derived);
+        }
+        if let Some(r) = &self.recorder {
+            r.record(profile.clone());
+        }
+        Ok(QueryResult {
+            columns: plan.schema.cols.iter().map(|c| c.name.clone()).collect(),
+            rows,
+            affected: 0,
+            steps: derived,
+            planning,
+            profile: Some(profile),
+        })
+    }
+
+    /// The compiled hot path: prune from the bound predicate, open the
+    /// narrowest transaction, and scatter/gather with a direct heap scan per
+    /// leg — no plan tree, no boxed executor. Counters, observations and
+    /// hint accounting mirror the tree path exactly.
+    fn run_fast(&mut self, fast: &FastSelect, params: &[Datum]) -> Result<QueryResult> {
+        // The pre-lowered `col = ?N` shape skips expression substitution
+        // entirely: the bound datum is the comparison value and the shard
+        // route. Everything else substitutes and re-prunes generically.
+        let (pred, fast_eq): (Option<SExpr>, Option<(usize, Datum)>) = match fast.param_eq {
+            // NULL never satisfies `=`, so a NULL binding falls through to
+            // the generic evaluator rather than comparing datums directly.
+            Some((col, idx)) if !params[idx as usize].is_null() => {
+                (None, Some((col, params[idx as usize].clone())))
+            }
+            _ => {
+                let pred = match &fast.pred {
+                    Some(p) if p.has_params() => Some(p.substitute_params(params)?),
+                    other => other.clone(),
+                };
+                let eq = pred
+                    .as_ref()
+                    .and_then(col_eq_value)
+                    .filter(|(_, v)| !v.is_null())
+                    .map(|(c, v)| (c, v.clone()));
+                (pred, eq)
+            }
+        };
+        let project = match &fast.project {
+            Some(exprs) if exprs.iter().any(SExpr::has_params) => Some(
+                exprs
+                    .iter()
+                    .map(|e| e.substitute_params(params))
+                    .collect::<Result<Vec<_>>>()?,
+            ),
+            other => other.clone(),
+        };
+        let pruned = match &fast_eq {
+            Some((col, Datum::Int(v))) if *col == fast.meta.shard_col => {
+                let (shard, prefix) = self.route_value(fast.meta, *v);
+                Pruned::Single(shard, prefix)
+            }
+            _ if fast.param_eq.is_some() => Pruned::All,
+            _ => self.prune_shards(fast.meta, pred.as_ref()),
+        };
+        let (scope, shards) = match &pruned {
+            Pruned::Single(s, prefix) => (Scope::Single(*prefix), vec![s.raw()]),
+            Pruned::All => (
+                Scope::Multi,
+                self.cluster.shard_map().all().map(|s| s.raw()).collect(),
+            ),
+        };
+        if shards.len() <= 1 {
+            self.counters.pruned_scans += 1;
+        } else {
+            self.counters.scatter_scans += 1;
+        }
+        let mut txn = self.begin_scoped(scope)?;
+        let mut scan_rows: Vec<Row> = Vec::new();
+        for &raw in &shards {
+            let shard = ShardId::new(raw);
+            let res = (|| -> Result<()> {
+                if !self.cluster.is_node_up(shard) {
+                    if leg_failover(&mut self.cluster, &txn, shard)? {
+                        self.counters.failovers += 1;
+                    } else {
+                        return Err(shard_down(shard, self.cur_stmt));
+                    }
+                }
+                if !txn.is_single_shard() {
+                    self.cluster.ensure_leg(&mut txn, shard)?;
+                }
+                let (xid, snap) = txn.lite_ctx(shard).ok_or_else(|| {
+                    HdmError::TxnState(format!(
+                        "fragment on {shard} outside the transaction's scope"
+                    ))
+                })?;
+                let node = self.cluster.node(shard);
+                let judge = MemoVisibility::new(SnapshotVisibility::new(
+                    &snap,
+                    node.mgr().clog(),
+                    Some(xid),
+                ));
+                let t = if fast.table == "kv" {
+                    node.kv_table()
+                } else {
+                    node.sql_table(&fast.table)?
+                };
+                let mut fragment_rows = 0u64;
+                match &fast_eq {
+                    Some((col, v)) => {
+                        if let Some(ix) =
+                            t.indexes().iter().position(|ix| ix.key_columns() == [*col])
+                        {
+                            let mut hits = t.probe(ix, &vec![v.clone()], &judge)?;
+                            // Ascending tid = heap-scan order, so probe and
+                            // scan yield byte-identical results.
+                            hits.sort_unstable_by_key(|&(tid, _)| tid);
+                            for (_tid, row) in hits {
+                                scan_rows.push(row.clone());
+                                fragment_rows += 1;
+                            }
+                        } else {
+                            for (_tid, row) in t.scan(&judge) {
+                                if row.values().get(*col) == Some(v) {
+                                    scan_rows.push(row.clone());
+                                    fragment_rows += 1;
+                                }
+                            }
+                        }
+                    }
+                    None => {
+                        for (_tid, row) in t.scan(&judge) {
+                            let keep = match &pred {
+                                None => true,
+                                Some(p) => p.eval_filter(row.values())?,
+                            };
+                            if keep {
+                                scan_rows.push(row.clone());
+                                fragment_rows += 1;
+                            }
+                        }
+                    }
+                }
+                self.counters.fragments_run += 1;
+                self.counters.rows_exchanged += fragment_rows;
+                Ok(())
+            })();
+            if let Err(e) = res {
+                self.cluster.abort(txn)?;
+                return Err(e);
+            }
+        }
+        self.cluster.commit(txn)?;
+        let actual = scan_rows.len() as u64;
+        let rows = match &project {
+            None => scan_rows,
+            Some(exprs) => {
+                let mut out = Vec::with_capacity(scan_rows.len());
+                for r in &scan_rows {
+                    let vals: Vec<Datum> = exprs
+                        .iter()
+                        .map(|e| e.eval(r.values()))
+                        .collect::<Result<_>>()?;
+                    out.push(Row::new(vals));
+                }
+                out
+            }
+        };
+        // Observation texts were rendered at compile time; per-shard lookup
+        // keeps the hot loop free of string formatting.
+        let ex_text = if let [only] = shards[..] {
+            fast.ex_single
+                .iter()
+                .find(|(r, _)| *r == only)
+                .map(|(_, t)| t.clone())
+                .unwrap_or_else(|| format!("EXCHANGE({}, SHARDS({only}))", fast.scan_canon))
+        } else {
+            fast.ex_all.clone()
+        };
+        let mut est = fast.est_rows;
+        let mut planning = PlanningInfo::default();
+        if let Some(h) = &self.hints {
+            // The per-node consult the planner would do (local SCAN key)...
+            match h.lookup(&fast.scan_canon) {
+                Some(v) => {
+                    planning.hint_hits += 1;
+                    est = v as f64;
+                }
+                None => planning.hint_misses += 1,
+            }
+            // ...then the distributed rehint under the EXCHANGE key (hits
+            // only, matching `rehint_exchanges`).
+            if let Some(v) = h.lookup(&ex_text) {
+                planning.hint_hits += 1;
+                est = v as f64;
+            }
+        }
+        let steps = vec![StepObservation {
+            kind: StepKind::Scan,
+            text: ex_text,
+            estimated: est,
+            actual,
+        }];
+        if let Some(o) = &self.observer {
+            o.observe(&steps);
+        }
+        Ok(QueryResult {
+            columns: fast.columns.clone(),
+            rows,
+            affected: 0,
+            steps,
+            planning,
+            profile: None,
+        })
+    }
+
+    /// `sys.prepared` rows: one per cached plan, sorted by canonical text.
+    /// `ops` is the fast program's op count, or 0 for plans that execute
+    /// through the tree.
+    fn prepared_rows(&self) -> Vec<Row> {
+        self.cache
+            .snapshot()
+            .into_iter()
+            .map(|(text, e)| {
+                let ops = e.payload.fast.as_ref().map_or(0, FastSelect::op_count);
+                Row::new(vec![
+                    Datum::Text(text.to_string()),
+                    Datum::Int(e.hits as i64),
+                    Datum::Int(ops as i64),
+                    Datum::Int(e.last_used as i64),
+                ])
+            })
+            .collect()
     }
 
     fn run_select(&mut self, s: &SelectStmt, sql: Option<&str>) -> Result<QueryResult> {
@@ -1199,6 +1658,58 @@ impl DistDb {
     }
 }
 
+impl QueryApi for DistDb {
+    fn prepare_handle(&mut self, sql: &str) -> Result<StmtHandle> {
+        if let Some(c) = canonicalize(sql)? {
+            self.ensure_cached(&c.text)?;
+            let n_open = c.open_params();
+            return Ok(StmtHandle::Cached {
+                canonical: c.text,
+                slots: c.slots,
+                n_open,
+            });
+        }
+        let mut stmt = hdm_sql::parser::parse(sql)?;
+        hdm_sql::rewrite::rewrite_statement(&mut stmt);
+        let n_params = count_params(&stmt);
+        Ok(StmtHandle::Ast {
+            stmt: Box::new(stmt),
+            n_params,
+            sql: sql.to_string(),
+        })
+    }
+
+    fn execute_prepared(&mut self, handle: &StmtHandle, params: &[Datum]) -> Result<QueryResult> {
+        match handle {
+            StmtHandle::Cached {
+                canonical, slots, ..
+            } => self.execute_canonical(canonical, slots, params, canonical),
+            StmtHandle::Ast {
+                stmt,
+                n_params,
+                sql,
+            } => {
+                if params.len() != *n_params {
+                    return Err(HdmError::Execution(format!(
+                        "statement has {n_params} parameters; got {}",
+                        params.len()
+                    )));
+                }
+                let bound = substitute_statement_params(stmt, params)?;
+                self.execute_statement(&bound, Some(sql))
+            }
+        }
+    }
+
+    fn execute_opts(&mut self, sql: &str, opts: ExecOptions) -> Result<QueryResult> {
+        match opts.stmt_id {
+            Some(id) => self.run_idempotent(sql, id),
+            None if opts.retry || opts.idempotent => self.run_retrying(sql),
+            None => self.execute(sql),
+        }
+    }
+}
+
 /// Pruning outcome for one scan.
 enum Pruned {
     Single(ShardId, u32),
@@ -1226,6 +1737,55 @@ fn leg_failover(cluster: &mut Cluster, txn: &Txn, shard: ShardId) -> Result<bool
         return Ok(false);
     }
     cluster.try_failover(shard)
+}
+
+/// Match a whole predicate of shape `col = literal` (either operand order)
+/// so the fast path can compare datums directly instead of walking the
+/// expression evaluator per row.
+fn col_eq_value(e: &SExpr) -> Option<(usize, &Datum)> {
+    let SExpr::Binary(BinOp::Eq, l, r) = e else {
+        return None;
+    };
+    match (l.as_ref(), r.as_ref()) {
+        (SExpr::Col(c), SExpr::Lit(v)) | (SExpr::Lit(v), SExpr::Col(c)) => Some((*c, v)),
+        _ => None,
+    }
+}
+
+/// [`SnapshotVisibility`] with a one-entry memo on `sees_committed`: a
+/// point-query fragment judges a run of tuples that overwhelmingly share
+/// one creating transaction, so the commit-log probe hits the memo on
+/// nearly every row. Visibility answers are snapshot-stable within a
+/// statement, so memoizing cannot change results.
+struct MemoVisibility<'a> {
+    inner: SnapshotVisibility<'a>,
+    last: Cell<Option<(Xid, bool)>>,
+}
+
+impl<'a> MemoVisibility<'a> {
+    fn new(inner: SnapshotVisibility<'a>) -> Self {
+        Self {
+            inner,
+            last: Cell::new(None),
+        }
+    }
+}
+
+impl Visibility for MemoVisibility<'_> {
+    fn sees_committed(&self, xid: Xid) -> bool {
+        if let Some((x, ans)) = self.last.get() {
+            if x == xid {
+                return ans;
+            }
+        }
+        let ans = self.inner.sees_committed(xid);
+        self.last.set(Some((xid, ans)));
+        ans
+    }
+
+    fn is_own(&self, xid: Xid) -> bool {
+        self.inner.is_own(xid)
+    }
 }
 
 /// Advance an installed fault script by one execution tick: apply the ops
@@ -1545,8 +2105,9 @@ mod tests {
         let mut db = dist(4);
         seed_orders(&mut db);
         let total = db
-            .query("select count(*) from orders")
-            .unwrap()[0]
+            .execute("select count(*) from orders")
+            .unwrap()
+            .rows[0]
             .get(0)
             .and_then(Datum::as_int);
         assert_eq!(total, Some(200));
@@ -1583,8 +2144,9 @@ mod tests {
         let before = db.cluster().counters().gtm_interactions;
         let expected = (0..200i64).filter(|i| i % 16 == 3).count() as i64;
         let rows = db
-            .query("select count(*) from orders where cust = 3")
-            .unwrap();
+            .execute("select count(*) from orders where cust = 3")
+            .unwrap()
+            .rows;
         assert_eq!(rows[0].get(0).and_then(Datum::as_int), Some(expected));
         assert_eq!(
             db.cluster().counters().gtm_interactions,
@@ -1599,7 +2161,7 @@ mod tests {
         let mut db = dist(4);
         seed_orders(&mut db);
         let before = db.cluster().counters().multi_shard_commits;
-        let rows = db.query("select sum(amount) from orders").unwrap();
+        let rows = db.execute("select sum(amount) from orders").unwrap().rows;
         assert_eq!(
             rows[0].get(0).and_then(Datum::as_int),
             Some((0..200i64).map(|i| i * 10).sum())
@@ -1619,15 +2181,16 @@ mod tests {
         let r = db.execute("update orders set amount = 1 where cust = 5").unwrap();
         assert_eq!(r.affected, expected);
         let rows = db
-            .query("select sum(amount) from orders where cust = 5")
-            .unwrap();
+            .execute("select sum(amount) from orders where cust = 5")
+            .unwrap()
+            .rows;
         assert_eq!(
             rows[0].get(0).and_then(Datum::as_int),
             Some(expected as i64)
         );
         let r = db.execute("delete from orders where cust = 5").unwrap();
         assert_eq!(r.affected, expected);
-        let rows = db.query("select count(*) from orders").unwrap();
+        let rows = db.execute("select count(*) from orders").unwrap().rows;
         assert_eq!(
             rows[0].get(0).and_then(Datum::as_int),
             Some(200 - expected as i64)
@@ -1642,7 +2205,7 @@ mod tests {
         // NULL into a NOT NULL column fails row 3 of 3 after earlier writes.
         let err = db.execute("insert into t values (4, 40), (5, null)");
         assert!(err.is_err());
-        let rows = db.query("select count(*) from t").unwrap();
+        let rows = db.execute("select count(*) from t").unwrap().rows;
         assert_eq!(rows[0].get(0).and_then(Datum::as_int), Some(3));
     }
 
@@ -1666,8 +2229,9 @@ mod tests {
         db.cluster_mut().put(&mut txn, key, 42).unwrap();
         db.cluster_mut().commit(txn).unwrap();
         let rows = db
-            .query(&format!("select v from kv where k = {key}"))
-            .unwrap();
+            .execute(&format!("select v from kv where k = {key}"))
+            .unwrap()
+            .rows;
         assert_eq!(rows[0].get(0).and_then(Datum::as_int), Some(42));
         assert!(db.execute("insert into kv values (1, 1)").is_err());
     }

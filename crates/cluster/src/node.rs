@@ -154,8 +154,13 @@ impl DataNode {
                 self.id
             )));
         }
-        self.sql
-            .insert(name.to_string(), Table::new(format!("{name}@{}", self.id), schema));
+        let mut table = Table::new(format!("{name}@{}", self.id), schema);
+        // Every distributed table is hash-distributed on its first column,
+        // so index it: point queries pinned to the shard key probe instead
+        // of scanning. Replicas replay the same DDL through this method and
+        // build the identical index, so failover keeps the probe path.
+        table.create_index(vec![0]).expect("static index def");
+        self.sql.insert(name.to_string(), table);
         Ok(())
     }
 

@@ -505,6 +505,11 @@ fn rewrite_final(
             )))
         }
         Expr::Func { .. } => e.clone(), // non-agg scalar over... rejected upstream
+        Expr::Param(_) => {
+            return Err(HdmError::Plan(
+                "parameters are not supported in the MPP fragmenter".into(),
+            ))
+        }
     })
 }
 
@@ -545,6 +550,11 @@ pub fn expr_to_sql(e: &Expr) -> Result<String> {
                 let a: Vec<String> = args.iter().map(expr_to_sql).collect::<Result<_>>()?;
                 format!("{name}({})", a.join(", "))
             }
+        }
+        Expr::Param(_) => {
+            return Err(HdmError::Plan(
+                "parameters are not supported in the MPP fragmenter".into(),
+            ))
         }
     })
 }

@@ -87,6 +87,9 @@ pub enum Expr {
         args: Vec<Expr>,
         star: bool,
     },
+    /// `?` — the n-th positional statement parameter (0-based), bound to a
+    /// concrete value at execution time by the prepared-statement layer.
+    Param(u16),
 }
 
 impl Expr {
@@ -136,7 +139,7 @@ impl Expr {
     fn collect_columns<'a>(&'a self, out: &mut Vec<(&'a Option<String>, &'a str)>) {
         match self {
             Expr::Column(q, n) => out.push((q, n)),
-            Expr::Literal(_) => {}
+            Expr::Literal(_) | Expr::Param(_) => {}
             Expr::Binary { left, right, .. } => {
                 left.collect_columns(out);
                 right.collect_columns(out);

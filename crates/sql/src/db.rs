@@ -5,14 +5,19 @@
 use crate::ast::{SelectItem, SelectStmt, Statement};
 use crate::backend::LocalBackend;
 use crate::catalog::Catalog;
+use crate::compile::{compile, CompiledProgram, StepTemplate};
 use crate::exec::{execute, execute_with_profiler};
 use crate::expr::{bind, BoundSchema};
 use crate::parser::parse;
 use crate::plan::{PlanNode, StepObservation};
 use crate::planner::{Planner, PlanningInfo, TempRels};
+use crate::prepared::{
+    bind_slots, canonicalize, collect_param_types, count_params, substitute_statement_params,
+    ExecOptions, PlanCache, QueryApi, StmtHandle, PLAN_CACHE_CAP,
+};
 use crate::profile::{observations, render_analyze, Profiler};
 use crate::sys::{self, PlanStoreDump, SysSnapshot};
-use hdm_common::{Datum, HdmError, Result, Row, Schema};
+use hdm_common::{DataType, Datum, HdmError, Result, Row, Schema};
 use hdm_telemetry::{MetricsRegistry, SharedClock, SharedRecorder, StatementProfile, WallClock};
 use hdm_txn::{LocalTxnManager, SnapshotVisibility, TxnStatus};
 use std::collections::HashMap;
@@ -72,6 +77,15 @@ impl QueryResult {
     }
 }
 
+/// One plan-cache payload for the embedded engine: the parameterized plan,
+/// the parameter types the plan constrains, and (for linear chains) the
+/// compiled flat op-array.
+struct CachedStmt {
+    plan: PlanNode,
+    param_types: Vec<Option<DataType>>,
+    program: Option<CompiledProgram>,
+}
+
 /// An embedded single-node SQL database.
 pub struct Database {
     catalog: Catalog,
@@ -89,6 +103,8 @@ pub struct Database {
     metrics: Option<MetricsRegistry>,
     /// Learned-cardinality source backing `sys.plan_store`.
     sys_plan_store: Option<Rc<dyn PlanStoreDump>>,
+    /// Prepared-statement plan cache, keyed by canonical statement text.
+    cache: PlanCache<Rc<CachedStmt>>,
 }
 
 impl Default for Database {
@@ -111,6 +127,7 @@ impl Database {
             misestimate_ratio: 2.0,
             metrics: None,
             sys_plan_store: None,
+            cache: PlanCache::new(PLAN_CACHE_CAP),
         }
     }
 
@@ -186,8 +203,14 @@ impl Database {
         &mut self.catalog
     }
 
-    /// Execute one SQL statement (rewritten before planning).
+    /// Execute one SQL statement (rewritten before planning). Cacheable
+    /// SELECTs are canonicalized and served through the prepared-statement
+    /// plan cache, so repeat statements that differ only in literal values
+    /// skip the parser and planner entirely.
     pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
+        if let Some(c) = canonicalize(sql)? {
+            return self.execute_canonical(&c.text, &c.slots, &[], sql);
+        }
         let mut stmt = parse(sql)?;
         crate::rewrite::rewrite_statement(&mut stmt);
         self.execute_statement_inner(&stmt, Some(sql))
@@ -224,6 +247,7 @@ impl Database {
                         .collect(),
                 );
                 self.catalog.create_table(name, schema)?;
+                self.cache.bump_epoch();
                 Ok(QueryResult::empty())
             }
             Statement::CreateIndex { table, columns } => {
@@ -237,6 +261,7 @@ impl Database {
                     })
                     .collect::<Result<_>>()?;
                 t.create_index(idxs)?;
+                self.cache.bump_epoch();
                 Ok(QueryResult::empty())
             }
             Statement::Insert {
@@ -264,6 +289,8 @@ impl Database {
                         }
                     }
                 }
+                // Fresh statistics change plan choices; cached plans are stale.
+                self.cache.bump_epoch();
                 Ok(QueryResult::empty())
             }
             Statement::Select(s) => self.run_select(s, sql),
@@ -298,6 +325,7 @@ impl Database {
                     .as_ref()
                     .map(|d| sys::plan_store_rows(d.as_ref()))
                     .unwrap_or_default(),
+                "sys.prepared" => self.prepared_rows(),
                 // The embedded engine has no shards, replicas, or event
                 // journal: those views exist (same schema as distributed)
                 // but scan empty.
@@ -441,6 +469,189 @@ impl Database {
             planning,
             profile: Some(profile),
         })
+    }
+
+    /// Fetch (or build) the cache entry for canonical statement text.
+    fn ensure_cached(&mut self, canonical: &str) -> Result<Rc<CachedStmt>> {
+        if let Some(e) = self.cache.get(canonical) {
+            return Ok(e);
+        }
+        let mut stmt = parse(canonical)?;
+        crate::rewrite::rewrite_statement(&mut stmt);
+        let n_params = count_params(&stmt);
+        let Statement::Select(s) = stmt else {
+            return Err(HdmError::Plan(
+                "plan cache holds SELECT statements only".into(),
+            ));
+        };
+        let (plan, _) = self.plan_with_ctes(&s, None)?;
+        let entry = Rc::new(CachedStmt {
+            param_types: collect_param_types(&plan, n_params),
+            program: compile(&plan),
+            plan,
+        });
+        self.cache.insert(canonical.to_string(), Rc::clone(&entry));
+        Ok(entry)
+    }
+
+    /// Execute a canonicalized statement through the plan cache: bind the
+    /// lifted/user parameters, rehint estimates against the plan store, and
+    /// run either the compiled op-array (profiling off) or the plan tree.
+    fn execute_canonical(
+        &mut self,
+        text: &str,
+        slots: &[Option<Datum>],
+        user_params: &[Datum],
+        sql: &str,
+    ) -> Result<QueryResult> {
+        let cached = self.ensure_cached(text)?;
+        let params = bind_slots(slots, &cached.param_types, user_params)?;
+        if self.profiling_enabled() {
+            return self.run_cached_profiled(&cached, &params, sql);
+        }
+        if let Some(prog) = &cached.program {
+            let (ests, planning) = self.rehint_steps(&prog.steps);
+            let mut steps = Vec::new();
+            let rows = {
+                let mut be = LocalBackend::new(&mut self.catalog, &mut self.mgr);
+                prog.run(&params, &ests, &mut be, &mut steps)?
+            };
+            if let Some(o) = &self.observer {
+                o.observe(&steps);
+            }
+            return Ok(QueryResult {
+                columns: prog.schema.cols.iter().map(|c| c.name.clone()).collect(),
+                rows,
+                affected: 0,
+                steps,
+                planning,
+                profile: None,
+            });
+        }
+        let mut plan = cached.plan.substitute_params(&params)?;
+        let mut planning = PlanningInfo::default();
+        self.rehint_plan(&mut plan, &mut planning);
+        let mut steps = Vec::new();
+        let rows = {
+            let mut be = LocalBackend::new(&mut self.catalog, &mut self.mgr);
+            execute(&plan, &mut be, &mut steps)?
+        };
+        if let Some(o) = &self.observer {
+            o.observe(&steps);
+        }
+        Ok(QueryResult {
+            columns: plan.schema.cols.iter().map(|c| c.name.clone()).collect(),
+            rows,
+            affected: 0,
+            steps,
+            planning,
+            profile: None,
+        })
+    }
+
+    /// The profiled flavor of cached execution: same substituted plan, tree
+    /// executor with the profiler attached — identical machinery to the
+    /// unprofiled tree path, so profiles derive the executor's observations
+    /// exactly as the fresh-planned path does.
+    fn run_cached_profiled(
+        &mut self,
+        cached: &CachedStmt,
+        params: &[Datum],
+        sql: &str,
+    ) -> Result<QueryResult> {
+        let start = self.clock.now_us();
+        let mut plan = cached.plan.substitute_params(params)?;
+        let mut planning = PlanningInfo::default();
+        self.rehint_plan(&mut plan, &mut planning);
+        let planned = self.clock.now_us();
+        let mut steps = Vec::new();
+        let mut prof = Profiler::new(self.clock.clone());
+        let rows = {
+            let mut be = LocalBackend::new(&mut self.catalog, &mut self.mgr);
+            execute_with_profiler(&plan, &mut be, &mut steps, &mut prof)?
+        };
+        let done = self.clock.now_us();
+        let profile = StatementProfile {
+            sql: sql.to_string(),
+            scope: "local".to_string(),
+            start_us: start,
+            plan_us: planned.saturating_sub(start),
+            exec_us: done.saturating_sub(planned),
+            total_us: done.saturating_sub(start),
+            rows_out: rows.len() as u64,
+            gtm_interactions: 0,
+            twopc_legs: 0,
+            root: prof.finish(),
+        };
+        let derived = observations(profile.root.as_ref());
+        debug_assert_eq!(derived, steps, "profile must derive the executor's own observations");
+        if let Some(o) = &self.observer {
+            o.observe(&derived);
+        }
+        if let Some(r) = &self.recorder {
+            r.record(profile.clone());
+        }
+        Ok(QueryResult {
+            columns: plan.schema.cols.iter().map(|c| c.name.clone()).collect(),
+            rows,
+            affected: 0,
+            steps: derived,
+            planning,
+            profile: Some(profile),
+        })
+    }
+
+    /// Re-apply plan-store hints to a cached plan before execution — the
+    /// cached-path counterpart of the planner's per-node hint lookup, so
+    /// [`PlanningInfo`] counts match fresh planning.
+    fn rehint_plan(&self, plan: &mut PlanNode, info: &mut PlanningInfo) {
+        let Some(hints) = self.hints.as_deref() else {
+            return;
+        };
+        crate::prepared::rehint_plan(plan, hints, info);
+    }
+
+    /// Rehint the step templates of a compiled program (same hit/miss
+    /// accounting as [`Self::rehint_plan`] — templates mirror the plan's
+    /// canonical-bearing nodes one to one).
+    fn rehint_steps(&self, steps: &[StepTemplate]) -> (Vec<f64>, PlanningInfo) {
+        let mut info = PlanningInfo::default();
+        let mut ests: Vec<f64> = steps.iter().map(|s| s.est_rows).collect();
+        if let Some(hints) = self.hints.as_deref() {
+            for (i, st) in steps.iter().enumerate() {
+                match hints.lookup(&st.text) {
+                    Some(v) => {
+                        info.hint_hits += 1;
+                        ests[i] = v as f64;
+                    }
+                    None => info.hint_misses += 1,
+                }
+            }
+        }
+        (ests, info)
+    }
+
+    /// `sys.prepared` rows: one per cached plan, sorted by canonical text.
+    fn prepared_rows(&self) -> Vec<Row> {
+        self.cache
+            .snapshot()
+            .into_iter()
+            .map(|(text, e)| {
+                let ops = e.payload.program.as_ref().map_or(0, CompiledProgram::op_count);
+                Row::new(vec![
+                    Datum::Text(text.to_string()),
+                    Datum::Int(e.hits as i64),
+                    Datum::Int(ops as i64),
+                    Datum::Int(e.last_used as i64),
+                ])
+            })
+            .collect()
+    }
+
+    /// Split borrow of the storage halves (tests and the compiled runner).
+    #[cfg(test)]
+    pub(crate) fn storage_parts(&mut self) -> (&mut Catalog, &mut LocalTxnManager) {
+        (&mut self.catalog, &mut self.mgr)
     }
 
     fn run_explain(
@@ -598,6 +809,58 @@ impl Database {
         };
         let sys_snap = self.sys_snapshot_for(&s);
         Ok(self.plan_with_ctes(&s, sys_snap.as_ref())?.0)
+    }
+}
+
+impl QueryApi for Database {
+    fn prepare_handle(&mut self, sql: &str) -> Result<StmtHandle> {
+        if let Some(c) = canonicalize(sql)? {
+            // Validate (and warm the cache) by planning once up front, so
+            // unknown tables/columns surface at prepare time.
+            self.ensure_cached(&c.text)?;
+            let n_open = c.open_params();
+            return Ok(StmtHandle::Cached {
+                canonical: c.text,
+                slots: c.slots,
+                n_open,
+            });
+        }
+        let mut stmt = parse(sql)?;
+        crate::rewrite::rewrite_statement(&mut stmt);
+        let n_params = count_params(&stmt);
+        Ok(StmtHandle::Ast {
+            stmt: Box::new(stmt),
+            n_params,
+            sql: sql.to_string(),
+        })
+    }
+
+    fn execute_prepared(&mut self, handle: &StmtHandle, params: &[Datum]) -> Result<QueryResult> {
+        match handle {
+            StmtHandle::Cached {
+                canonical, slots, ..
+            } => self.execute_canonical(canonical, slots, params, canonical),
+            StmtHandle::Ast {
+                stmt,
+                n_params,
+                sql,
+            } => {
+                if params.len() != *n_params {
+                    return Err(HdmError::Execution(format!(
+                        "statement has {n_params} parameters; got {}",
+                        params.len()
+                    )));
+                }
+                let bound = substitute_statement_params(stmt, params)?;
+                self.execute_statement_inner(&bound, Some(sql))
+            }
+        }
+    }
+
+    /// The embedded engine has no replication to retry against; options are
+    /// accepted for API parity with the distributed engine.
+    fn execute_opts(&mut self, sql: &str, _opts: ExecOptions) -> Result<QueryResult> {
+        self.execute(sql)
     }
 }
 

@@ -116,6 +116,10 @@ pub enum SExpr {
     Unary(UnOp, Box<SExpr>),
     /// Scalar built-ins: abs, length, upper, lower.
     Func(String, Vec<SExpr>),
+    /// Unbound positional statement parameter (0-based). Produced when a
+    /// prepared statement is planned before its values are known; replaced
+    /// with `Lit` by [`SExpr::substitute_params`] at bind time.
+    Param(u16),
 }
 
 impl SExpr {
@@ -202,6 +206,10 @@ impl SExpr {
                     args.iter().map(|a| a.eval(row)).collect::<Result<_>>()?;
                 scalar_func(name, &vals)
             }
+            SExpr::Param(i) => Err(HdmError::Execution(format!(
+                "unbound parameter ?{}",
+                i + 1
+            ))),
         }
     }
 
@@ -211,11 +219,13 @@ impl SExpr {
     }
 
     /// Canonical rendering for step text: commutative operands are ordered
-    /// lexicographically so `a=b` and `b=a` hash identically.
+    /// lexicographically so `a=b` and `b=a` hash identically, and literal
+    /// and parameter values are both masked to `?` so every binding of the
+    /// same statement shape shares one plan-store cardinality entry.
     pub fn canonical(&self, schema: &BoundSchema) -> String {
         match self {
             SExpr::Col(i) => schema.cols[*i].canonical(),
-            SExpr::Lit(d) => format!("{d}"),
+            SExpr::Lit(_) | SExpr::Param(_) => "?".to_string(),
             SExpr::Unary(op, e) => match op {
                 UnOp::Not => format!("NOT({})", e.canonical(schema)),
                 UnOp::Neg => format!("-({})", e.canonical(schema)),
@@ -236,6 +246,73 @@ impl SExpr {
                 format!("{}({})", name.to_ascii_uppercase(), inner.join(","))
             }
         }
+    }
+
+    /// Human-facing rendering for EXPLAIN: like [`SExpr::canonical`] but
+    /// literal values are shown, not masked (parameters still print `?`).
+    pub fn display(&self, schema: &BoundSchema) -> String {
+        match self {
+            SExpr::Col(i) => schema.cols[*i].canonical(),
+            SExpr::Lit(d) => format!("{d}"),
+            SExpr::Param(_) => "?".to_string(),
+            SExpr::Unary(op, e) => match op {
+                UnOp::Not => format!("NOT({})", e.display(schema)),
+                UnOp::Neg => format!("-({})", e.display(schema)),
+            },
+            SExpr::Binary(op, l, r) => {
+                let mut a = l.display(schema);
+                let mut b = r.display(schema);
+                if op.is_commutative() && a > b {
+                    std::mem::swap(&mut a, &mut b);
+                }
+                match op {
+                    BinOp::And | BinOp::Or => format!("({a} {} {b})", op.symbol()),
+                    _ => format!("{a}{}{b}", op.symbol()),
+                }
+            }
+            SExpr::Func(name, args) => {
+                let inner: Vec<String> = args.iter().map(|a| a.display(schema)).collect();
+                format!("{}({})", name.to_ascii_uppercase(), inner.join(","))
+            }
+        }
+    }
+
+    /// Does this expression reference an unbound parameter?
+    pub fn has_params(&self) -> bool {
+        match self {
+            SExpr::Param(_) => true,
+            SExpr::Col(_) | SExpr::Lit(_) => false,
+            SExpr::Unary(_, e) => e.has_params(),
+            SExpr::Binary(_, l, r) => l.has_params() || r.has_params(),
+            SExpr::Func(_, args) => args.iter().any(|a| a.has_params()),
+        }
+    }
+
+    /// Replace every `Param(i)` with `Lit(params[i])`. Errors if a parameter
+    /// index is out of range (arity is checked up front by the prepared
+    /// layer, so this is a defensive backstop).
+    pub fn substitute_params(&self, params: &[Datum]) -> Result<SExpr> {
+        Ok(match self {
+            SExpr::Param(i) => {
+                let d = params.get(*i as usize).ok_or_else(|| {
+                    HdmError::Execution(format!("unbound parameter ?{}", *i as usize + 1))
+                })?;
+                SExpr::Lit(d.clone())
+            }
+            SExpr::Col(_) | SExpr::Lit(_) => self.clone(),
+            SExpr::Unary(op, e) => SExpr::Unary(*op, Box::new(e.substitute_params(params)?)),
+            SExpr::Binary(op, l, r) => SExpr::Binary(
+                *op,
+                Box::new(l.substitute_params(params)?),
+                Box::new(r.substitute_params(params)?),
+            ),
+            SExpr::Func(name, args) => SExpr::Func(
+                name.clone(),
+                args.iter()
+                    .map(|a| a.substitute_params(params))
+                    .collect::<Result<_>>()?,
+            ),
+        })
     }
 }
 
@@ -328,6 +405,7 @@ pub fn bind(e: &Expr, schema: &BoundSchema) -> Result<SExpr> {
                 args.iter().map(|a| bind(a, schema)).collect::<Result<_>>()?,
             ))
         }
+        Expr::Param(i) => Ok(SExpr::Param(*i)),
     }
 }
 
@@ -374,6 +452,7 @@ pub fn infer_type(e: &SExpr, schema: &BoundSchema) -> DataType {
             "upper" | "lower" => DataType::Text,
             _ => DataType::Int,
         },
+        SExpr::Param(_) => DataType::Int,
     }
 }
 
@@ -480,7 +559,35 @@ mod tests {
     fn canonical_keeps_noncommutative_order() {
         let s = schema();
         let e = bind(&crate::parser_test_expr("b1 > 10"), &s).unwrap();
-        assert_eq!(e.canonical(&s), "OLAP.T1.B1>10");
+        assert_eq!(e.canonical(&s), "OLAP.T1.B1>?");
+        assert_eq!(e.display(&s), "OLAP.T1.B1>10");
+    }
+
+    #[test]
+    fn canonical_unifies_literals_and_params() {
+        let s = schema();
+        let lit = bind(&crate::parser_test_expr("b1 > 10"), &s).unwrap();
+        let param = bind(&crate::parser_test_expr("b1 > ?"), &s).unwrap();
+        assert_eq!(lit.canonical(&s), param.canonical(&s));
+        // Reversed commutative forms unify too: `3 = b1` and `b1 = 3`.
+        let a = bind(&crate::parser_test_expr("3 = b1"), &s).unwrap();
+        let b = bind(&crate::parser_test_expr("b1 = 3"), &s).unwrap();
+        assert_eq!(a.canonical(&s), b.canonical(&s));
+    }
+
+    #[test]
+    fn params_substitute_and_error_when_unbound() {
+        let s = schema();
+        let e = bind(&crate::parser_test_expr("b1 > ?"), &s).unwrap();
+        assert!(e.has_params());
+        assert!(e.eval(&[Datum::Int(1), Datum::Int(2)]).is_err());
+        let bound = e.substitute_params(&[Datum::Int(1)]).unwrap();
+        assert!(!bound.has_params());
+        assert_eq!(
+            bound.eval(&[Datum::Int(0), Datum::Int(2)]).unwrap(),
+            Datum::Bool(true)
+        );
+        assert!(e.substitute_params(&[]).is_err());
     }
 
     #[test]

@@ -35,6 +35,8 @@ pub enum Sym {
     Le,
     Gt,
     Ge,
+    /// `?` — a positional statement parameter placeholder.
+    Question,
 }
 
 /// Tokenize SQL text.
@@ -94,6 +96,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
             }
             '=' => {
                 out.push(Token::Symbol(Sym::Eq));
+                i += 1;
+            }
+            '?' => {
+                out.push(Token::Symbol(Sym::Question));
                 i += 1;
             }
             '!' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {

@@ -30,6 +30,7 @@
 pub mod ast;
 pub mod backend;
 pub mod catalog;
+pub mod compile;
 pub mod db;
 pub mod exec;
 pub mod expr;
@@ -37,6 +38,7 @@ pub mod lexer;
 pub mod parser;
 pub mod plan;
 pub mod planner;
+pub mod prepared;
 pub mod profile;
 pub mod rewrite;
 pub mod sys;
@@ -44,8 +46,12 @@ pub mod sys;
 pub use ast::Statement;
 pub use backend::{ExecBackend, LocalBackend};
 pub use catalog::Catalog;
+pub use compile::CompiledProgram;
 pub use db::{CardinalityHints, Database, QueryResult, StepObserver, TableFunction};
 pub use plan::{PlanNode, StepKind, StepObservation};
+pub use prepared::{
+    canonicalize, CanonicalSql, ExecOptions, PlanCache, Prepared, QueryApi, StmtHandle,
+};
 pub use profile::Profiler;
 pub use sys::{PlanStoreDump, PlanStoreEntry, SysSnapshot};
 // Profile data types live in `hdm-telemetry` (the recorder owns the

@@ -14,7 +14,11 @@ const RESERVED: &[&str] = &[
 /// Parse one statement (a trailing semicolon is allowed).
 pub fn parse(input: &str) -> Result<Statement> {
     let tokens = lex(input)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        next_param: 0,
+    };
     let stmt = p.statement()?;
     p.eat_sym(Sym::Semicolon);
     p.expect_eof()?;
@@ -24,6 +28,8 @@ pub fn parse(input: &str) -> Result<Statement> {
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Next positional-parameter index; `?` placeholders number left to right.
+    next_param: u16,
 }
 
 impl Parser {
@@ -592,6 +598,11 @@ impl Parser {
             Token::Int(v) => Ok(Expr::Literal(Literal::Int(v))),
             Token::Float(v) => Ok(Expr::Literal(Literal::Float(v))),
             Token::Str(s) => Ok(Expr::Literal(Literal::Str(s))),
+            Token::Symbol(Sym::Question) => {
+                let i = self.next_param;
+                self.next_param += 1;
+                Ok(Expr::Param(i))
+            }
             Token::Symbol(Sym::LParen) => {
                 let e = self.expr()?;
                 self.expect_sym(Sym::RParen)?;

@@ -316,7 +316,7 @@ impl PlanNode {
     pub fn describe(&self) -> String {
         match &self.op {
             PlanOp::SeqScan { table, predicate } => match predicate {
-                Some(p) => format!("Seq Scan on {table} (filter: {})", p.canonical(&self.schema)),
+                Some(p) => format!("Seq Scan on {table} (filter: {})", p.display(&self.schema)),
                 None => format!("Seq Scan on {table}"),
             },
             PlanOp::IndexScan { table, .. } => format!("Index Scan on {table}"),
@@ -327,14 +327,14 @@ impl PlanNode {
                 shards,
             } => {
                 let pred = match predicate {
-                    Some(p) => format!(" (filter: {})", p.canonical(&self.schema)),
+                    Some(p) => format!(" (filter: {})", p.display(&self.schema)),
                     None => String::new(),
                 };
                 format!("Exchange Scan on {table}{pred} (shards: {shards:?})")
             }
             PlanOp::Filter { predicate } => format!(
                 "Filter ({})",
-                predicate.canonical(&self.children[0].schema)
+                predicate.display(&self.children[0].schema)
             ),
             PlanOp::NestedLoopJoin { .. } => "Nested Loop Join".to_string(),
             PlanOp::HashJoin { .. } => "Hash Join".to_string(),
@@ -349,6 +349,149 @@ impl PlanNode {
         }
     }
 
+    /// Does any expression in this subtree reference an unbound parameter?
+    pub fn has_params(&self) -> bool {
+        let op_has = match &self.op {
+            PlanOp::SeqScan { predicate, .. } | PlanOp::Exchange { predicate, .. } => {
+                predicate.as_ref().is_some_and(SExpr::has_params)
+            }
+            PlanOp::IndexScan {
+                key_exprs,
+                residual,
+                ..
+            } => {
+                key_exprs.iter().any(SExpr::has_params)
+                    || residual.as_ref().is_some_and(SExpr::has_params)
+            }
+            PlanOp::Filter { predicate } => predicate.has_params(),
+            PlanOp::NestedLoopJoin { on } => on.as_ref().is_some_and(SExpr::has_params),
+            PlanOp::HashJoin { residual, .. } => {
+                residual.as_ref().is_some_and(SExpr::has_params)
+            }
+            PlanOp::Project { exprs } => exprs.iter().any(SExpr::has_params),
+            PlanOp::HashAgg { group, aggs } => {
+                group.iter().any(SExpr::has_params)
+                    || aggs
+                        .iter()
+                        .any(|a| a.arg.as_ref().is_some_and(SExpr::has_params))
+            }
+            PlanOp::Sort { keys } => keys.iter().any(|(k, _)| k.has_params()),
+            PlanOp::Values { .. }
+            | PlanOp::Limit { .. }
+            | PlanOp::SetOp { .. }
+            | PlanOp::Distinct => false,
+        };
+        op_has || self.children.iter().any(PlanNode::has_params)
+    }
+
+    /// Rebuild this plan with every `Param(i)` replaced by `Lit(params[i])`.
+    /// Index-probe key values deferred at plan time are recomputed from the
+    /// now-concrete key expressions.
+    pub fn substitute_params(&self, params: &[hdm_common::Datum]) -> hdm_common::Result<PlanNode> {
+        let sub_opt = |e: &Option<SExpr>| -> hdm_common::Result<Option<SExpr>> {
+            e.as_ref().map(|p| p.substitute_params(params)).transpose()
+        };
+        let op = match &self.op {
+            PlanOp::SeqScan { table, predicate } => PlanOp::SeqScan {
+                table: table.clone(),
+                predicate: sub_opt(predicate)?,
+            },
+            PlanOp::IndexScan {
+                table,
+                index_id,
+                key_exprs,
+                residual,
+                ..
+            } => {
+                let key_exprs: Vec<SExpr> = key_exprs
+                    .iter()
+                    .map(|k| k.substitute_params(params))
+                    .collect::<hdm_common::Result<_>>()?;
+                let key_values = key_exprs
+                    .iter()
+                    .map(|k| {
+                        eq_key_value(k).ok_or_else(|| {
+                            hdm_common::HdmError::Execution(
+                                "index probe key is not a column = value equality".into(),
+                            )
+                        })
+                    })
+                    .collect::<hdm_common::Result<_>>()?;
+                PlanOp::IndexScan {
+                    table: table.clone(),
+                    index_id: *index_id,
+                    key_exprs,
+                    key_values,
+                    residual: sub_opt(residual)?,
+                }
+            }
+            PlanOp::Exchange {
+                table,
+                predicate,
+                shards,
+            } => PlanOp::Exchange {
+                table: table.clone(),
+                predicate: sub_opt(predicate)?,
+                shards: shards.clone(),
+            },
+            PlanOp::Filter { predicate } => PlanOp::Filter {
+                predicate: predicate.substitute_params(params)?,
+            },
+            PlanOp::NestedLoopJoin { on } => PlanOp::NestedLoopJoin { on: sub_opt(on)? },
+            PlanOp::HashJoin {
+                left_keys,
+                right_keys,
+                residual,
+            } => PlanOp::HashJoin {
+                left_keys: left_keys.clone(),
+                right_keys: right_keys.clone(),
+                residual: sub_opt(residual)?,
+            },
+            PlanOp::Project { exprs } => PlanOp::Project {
+                exprs: exprs
+                    .iter()
+                    .map(|e| e.substitute_params(params))
+                    .collect::<hdm_common::Result<_>>()?,
+            },
+            PlanOp::HashAgg { group, aggs } => PlanOp::HashAgg {
+                group: group
+                    .iter()
+                    .map(|g| g.substitute_params(params))
+                    .collect::<hdm_common::Result<_>>()?,
+                aggs: aggs
+                    .iter()
+                    .map(|a| {
+                        Ok(AggCall {
+                            func: a.func,
+                            arg: sub_opt(&a.arg)?,
+                        })
+                    })
+                    .collect::<hdm_common::Result<_>>()?,
+            },
+            PlanOp::Sort { keys } => PlanOp::Sort {
+                keys: keys
+                    .iter()
+                    .map(|(k, desc)| Ok((k.substitute_params(params)?, *desc)))
+                    .collect::<hdm_common::Result<_>>()?,
+            },
+            PlanOp::Values { .. }
+            | PlanOp::Limit { .. }
+            | PlanOp::SetOp { .. }
+            | PlanOp::Distinct => self.op.clone(),
+        };
+        let children = self
+            .children
+            .iter()
+            .map(|c| c.substitute_params(params))
+            .collect::<hdm_common::Result<_>>()?;
+        Ok(PlanNode {
+            op,
+            children,
+            est_rows: self.est_rows,
+            schema: self.schema.clone(),
+        })
+    }
+
     fn explain_into(&self, out: &mut String, depth: usize) {
         let pad = "  ".repeat(depth);
         out.push_str(&format!(
@@ -360,6 +503,20 @@ impl PlanNode {
             c.explain_into(out, depth + 1);
         }
     }
+}
+
+/// Extract the probe value from a `col = value` (or `value = col`) equality
+/// whose value side is already concrete.
+pub(crate) fn eq_key_value(e: &SExpr) -> Option<hdm_common::Datum> {
+    if let SExpr::Binary(crate::ast::BinOp::Eq, l, r) = e {
+        match (&**l, &**r) {
+            (SExpr::Col(_), SExpr::Lit(d)) | (SExpr::Lit(d), SExpr::Col(_)) => {
+                return Some(d.clone())
+            }
+            _ => {}
+        }
+    }
+    None
 }
 
 fn conjunct_texts(e: &SExpr, schema: &BoundSchema) -> Vec<String> {
@@ -465,12 +622,13 @@ mod tests {
         }
     }
 
-    /// Table I row 1, byte for byte.
+    /// Table I row 1, with literal values masked to `?` so every binding of
+    /// the same statement shape shares one plan-store entry.
     #[test]
     fn scan_step_matches_table1() {
         assert_eq!(
             scan_t1().canonical().unwrap(),
-            "SCAN(OLAP.T1, PREDICATE(OLAP.T1.B1>10))"
+            "SCAN(OLAP.T1, PREDICATE(OLAP.T1.B1>?))"
         );
     }
 
@@ -493,7 +651,7 @@ mod tests {
         };
         assert_eq!(
             join.canonical().unwrap(),
-            "JOIN(SCAN(OLAP.T1, PREDICATE(OLAP.T1.B1>10)), SCAN(OLAP.T2), \
+            "JOIN(SCAN(OLAP.T1, PREDICATE(OLAP.T1.B1>?)), SCAN(OLAP.T2), \
              PREDICATE(OLAP.T1.A1=OLAP.T2.A2))"
         );
     }

@@ -439,9 +439,14 @@ impl<'a> Planner<'a> {
                     let key_col = ix.key_columns()[0];
                     for (ci, b) in bound.iter().enumerate() {
                         if let SExpr::Binary(BinOp::Eq, l, r) = b {
+                            // An unbound parameter still qualifies for the
+                            // probe: the placeholder key value is recomputed
+                            // by `PlanNode::substitute_params` at bind time.
                             let (col, lit) = match (&**l, &**r) {
                                 (SExpr::Col(c), SExpr::Lit(d)) => (*c, d.clone()),
                                 (SExpr::Lit(d), SExpr::Col(c)) => (*c, d.clone()),
+                                (SExpr::Col(c), SExpr::Param(_)) => (*c, Datum::Null),
+                                (SExpr::Param(_), SExpr::Col(c)) => (*c, Datum::Null),
                                 _ => continue,
                             };
                             if col != key_col {
@@ -840,6 +845,11 @@ impl<'a> Planner<'a> {
                 let (col, lit) = match (&**l, &**r) {
                     (SExpr::Col(c), SExpr::Lit(d)) => (Some(*c), Some(d.clone())),
                     (SExpr::Lit(d), SExpr::Col(c)) => (Some(*c), Some(d.clone())),
+                    // Unbound parameter: the column is known but the value is
+                    // not, so equality still uses 1/NDV while ranges fall
+                    // back to the default selectivity (lit stays None).
+                    (SExpr::Col(c), SExpr::Param(_)) => (Some(*c), None),
+                    (SExpr::Param(_), SExpr::Col(c)) => (Some(*c), None),
                     _ => (None, None),
                 };
                 match op {
@@ -1008,6 +1018,7 @@ fn rewrite_agg_expr(
             Box::new(rewrite_agg_expr(expr, group_ast, group_bound, ischema, aggs)?),
         )),
         Expr::Literal(l) => Ok(SExpr::Lit(crate::expr::lit_to_datum(l))),
+        Expr::Param(i) => Ok(SExpr::Param(*i)),
         Expr::Column(q, n) => Err(HdmError::Plan(format!(
             "column {}{n} must appear in GROUP BY or an aggregate",
             q.as_deref().map(|s| format!("{s}.")).unwrap_or_default()

@@ -204,7 +204,7 @@ fn negate(op: BinOp) -> BinOp {
     }
 }
 
-fn datum_to_literal(d: &hdm_common::Datum) -> Option<Literal> {
+pub(crate) fn datum_to_literal(d: &hdm_common::Datum) -> Option<Literal> {
     use hdm_common::Datum;
     Some(match d {
         Datum::Null => Literal::Null,

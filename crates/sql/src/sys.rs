@@ -41,6 +41,7 @@ pub const SYS_VIEWS: &[&str] = &[
     "sys.txns",
     "sys.events",
     "sys.plan_store",
+    "sys.prepared",
 ];
 
 /// Is `name` (any case) one of the served `sys.*` views?
@@ -120,6 +121,12 @@ pub fn view_schema(name: &str) -> Option<Schema> {
             ("actual", DataType::Int),
             ("hits", DataType::Int),
             ("misestimate", DataType::Float),
+        ],
+        "sys.prepared" => &[
+            ("canonical", DataType::Text),
+            ("hits", DataType::Int),
+            ("ops", DataType::Int),
+            ("last_used", DataType::Int),
         ],
         _ => return None,
     };

@@ -58,7 +58,10 @@ fn seeded_corpus_matches_local_engine() {
     assert!(queries.len() >= 20, "corpus too small: {}", queries.len());
     for q in &queries {
         let l = local.query(q).unwrap_or_else(|e| panic!("local {q}: {e}"));
-        let d = dist.query(q).unwrap_or_else(|e| panic!("dist {q}: {e}"));
+        let d = dist
+            .execute(q)
+            .unwrap_or_else(|e| panic!("dist {q}: {e}"))
+            .rows;
         assert_eq!(
             sorted(l),
             sorted(d),
@@ -151,7 +154,10 @@ fn cross_shard_join_gathers_both_sides() {
         vec![SHARDS, SHARDS],
         "join with no key pin gathers both tables"
     );
-    assert_eq!(sorted(local.query(q).unwrap()), sorted(dist.query(q).unwrap()));
+    assert_eq!(
+        sorted(local.query(q).unwrap()),
+        sorted(dist.execute(q).unwrap().rows)
+    );
 }
 
 #[test]
@@ -162,7 +168,7 @@ fn empty_shard_scan_contributes_nothing() {
     // visit them all and gather exactly the one row.
     dist.execute("insert into sparse values (1, 10)").unwrap();
     let before = dist.counters();
-    let rows = dist.query("select * from sparse").unwrap();
+    let rows = dist.execute("select * from sparse").unwrap().rows;
     assert_eq!(rows.len(), 1);
     let after = dist.counters();
     assert_eq!(

@@ -16,6 +16,7 @@ use huawei_dm::cluster::{
     RetryPolicy,
 };
 use huawei_dm::common::{Row, ShardId, SimDuration};
+use huawei_dm::sql::{ExecOptions, QueryApi};
 use huawei_dm::workloads::DistCorpus;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -68,9 +69,9 @@ fn single_dn_crash_mid_sweep_is_invisible_to_a_retrying_client() {
         .insert(60, vec![FaultOp::Restart(1)]);
     faulted.set_fault_script(Some(script));
     for (i, q) in corpus.queries().iter().enumerate() {
-        let want = sorted(clean.query(q).unwrap());
+        let want = sorted(clean.execute(q).unwrap().rows);
         let got = faulted
-            .execute_idempotent(q, i as u64 + 1)
+            .execute_opts(q, ExecOptions::idempotent(i as u64 + 1))
             .unwrap_or_else(|e| panic!("faulted run failed on {q}: {e}"));
         assert_eq!(want, sorted(got.rows), "results diverged for: {q}");
     }
@@ -101,7 +102,7 @@ fn retry_exhaustion_names_the_shard_and_attempt_count() {
     )));
     db.cluster_mut().crash_node(ShardId::new(0));
     let err = db
-        .execute_idempotent("select count(*) from t", 9)
+        .execute_opts("select count(*) from t", ExecOptions::idempotent(9))
         .unwrap_err()
         .to_string();
     assert!(err.contains("shard:0 is down"), "no shard in: {err}");
@@ -146,7 +147,7 @@ fn replication_disabled_degrades_to_legacy_unavailable() {
     db.execute("insert into t values (0,0),(1,1),(2,2),(3,3),(4,4),(5,5),(6,6),(7,7)")
         .unwrap();
     db.cluster_mut().crash_node(ShardId::new(2));
-    let err = db.query("select count(*) from t").unwrap_err();
+    let err = db.execute("select count(*) from t").unwrap_err();
     assert_eq!(err.to_string(), "unavailable: shard:2 is down");
     assert_eq!(
         db.cluster().epoch_of(ShardId::new(2)),

@@ -1,0 +1,269 @@
+//! Prepared-vs-raw equivalence (ISSUE 8): the seeded corpus driven through
+//! `prepare`/`execute(params)` must be indistinguishable from raw text
+//! execution on both engines — identical rows, identical step observations,
+//! identical plan-store contents — plus DDL/ANALYZE cache invalidation and
+//! the parameter-binding error pins.
+
+use huawei_dm::cluster::{Cluster, ClusterConfig, DistDb};
+use huawei_dm::common::{Datum, Row};
+use huawei_dm::learnopt::SharedPlanStore;
+use huawei_dm::sql::{Database, QueryApi, QueryResult};
+use huawei_dm::workloads::DistCorpus;
+
+const SHARDS: usize = 4;
+
+fn build_pair(corpus: &DistCorpus) -> (Database, DistDb) {
+    let mut local = Database::new();
+    let mut dist = DistDb::new(Cluster::new(ClusterConfig::gtm_lite(SHARDS))).unwrap();
+    for ddl in DistCorpus::ddl() {
+        local.execute(ddl).unwrap();
+        dist.execute(ddl).unwrap();
+    }
+    for stmt in corpus.load_stmts() {
+        local.execute(&stmt).unwrap();
+        dist.execute(&stmt).unwrap();
+    }
+    local.execute("analyze").unwrap();
+    dist.execute("analyze").unwrap();
+    (local, dist)
+}
+
+/// Multiset comparison: sort by debug rendering (Datum has no total Ord).
+fn sorted(mut rows: Vec<Row>) -> Vec<String> {
+    let mut out: Vec<String> = rows.drain(..).map(|r| format!("{r:?}")).collect();
+    out.sort();
+    out
+}
+
+/// Everything observable about a result except wall-clock times.
+fn fingerprint(r: &QueryResult) -> String {
+    let mut steps: Vec<String> = r
+        .steps
+        .iter()
+        .map(|s| format!("{:?}|{}|{}|{}", s.kind, s.text, s.estimated, s.actual))
+        .collect();
+    steps.sort();
+    format!(
+        "rows={:?} cols={:?} steps={:?} hints={}/{}",
+        sorted(r.rows.clone()),
+        r.columns,
+        steps,
+        r.planning.hint_hits,
+        r.planning.hint_misses
+    )
+}
+
+fn prepared_run<E: QueryApi>(engine: &mut E, sql: &str) -> QueryResult {
+    let h = engine.prepare_handle(sql).unwrap();
+    engine.execute_prepared(&h, &[]).unwrap()
+}
+
+#[test]
+fn corpus_prepared_matches_raw_on_both_engines() {
+    let corpus = DistCorpus::default();
+    let (mut raw_l, mut raw_d) = build_pair(&corpus);
+    let (mut prep_l, mut prep_d) = build_pair(&corpus);
+    let stores: Vec<SharedPlanStore> = (0..4).map(|_| SharedPlanStore::default()).collect();
+    raw_l.set_plan_store(stores[0].hints(), stores[0].observer());
+    raw_d.set_plan_store(stores[1].hints(), stores[1].observer());
+    prep_l.set_plan_store(stores[2].hints(), stores[2].observer());
+    prep_d.set_plan_store(stores[3].hints(), stores[3].observer());
+
+    // Two passes: the first is all cache misses, the second all hits, and
+    // on the second pass plan-store hints feed back into both paths.
+    for pass in 0..2 {
+        for q in &corpus.queries() {
+            let rl = raw_l.execute(q).unwrap_or_else(|e| panic!("raw local {q}: {e}"));
+            let pl = prepared_run(&mut prep_l, q);
+            assert_eq!(
+                fingerprint(&rl),
+                fingerprint(&pl),
+                "local prepared diverged on pass {pass}: {q}"
+            );
+            let rd = raw_d.execute(q).unwrap_or_else(|e| panic!("raw dist {q}: {e}"));
+            let pd = prepared_run(&mut prep_d, q);
+            assert_eq!(
+                fingerprint(&rd),
+                fingerprint(&pd),
+                "dist prepared diverged on pass {pass}: {q}"
+            );
+            assert_eq!(
+                sorted(rl.rows),
+                sorted(rd.rows),
+                "local and distributed diverged on pass {pass}: {q}"
+            );
+        }
+    }
+
+    // Identical executions must have trained identical plan stores.
+    let dumps: Vec<Vec<String>> = stores
+        .iter()
+        .map(|s| {
+            let mut d: Vec<String> = s
+                .inner()
+                .borrow()
+                .dump()
+                .iter()
+                .map(|e| format!("{e:?}"))
+                .collect();
+            d.sort();
+            d
+        })
+        .collect();
+    assert_eq!(dumps[0], dumps[2], "local plan stores diverged");
+    assert_eq!(dumps[1], dumps[3], "dist plan stores diverged");
+    assert!(!dumps[0].is_empty() && !dumps[1].is_empty());
+}
+
+#[test]
+fn profiled_prepared_matches_raw() {
+    let corpus = DistCorpus::default();
+    let (mut raw_l, mut raw_d) = build_pair(&corpus);
+    let (mut prep_l, mut prep_d) = build_pair(&corpus);
+    for db in [&mut raw_l, &mut prep_l] {
+        db.set_profiling(true);
+    }
+    for db in [&mut raw_d, &mut prep_d] {
+        db.set_profiling(true);
+    }
+    for q in &corpus.queries() {
+        let rl = raw_l.execute(q).unwrap();
+        let pl = prepared_run(&mut prep_l, q);
+        let rd = raw_d.execute(q).unwrap();
+        let pd = prepared_run(&mut prep_d, q);
+        for (raw, prep, engine) in [(&rl, &pl, "local"), (&rd, &pd, "dist")] {
+            assert_eq!(fingerprint(raw), fingerprint(prep), "{engine}: {q}");
+            let (r, p) = (
+                raw.profile.as_ref().unwrap_or_else(|| panic!("{engine} raw profile: {q}")),
+                prep.profile.as_ref().unwrap_or_else(|| panic!("{engine} prep profile: {q}")),
+            );
+            assert_eq!(r.scope, p.scope, "{engine}: {q}");
+            assert_eq!(r.rows_out, p.rows_out, "{engine}: {q}");
+            assert_eq!(r.gtm_interactions, p.gtm_interactions, "{engine}: {q}");
+            assert_eq!(r.twopc_legs, p.twopc_legs, "{engine}: {q}");
+            let ops = |n: &huawei_dm::sql::OpProfile| {
+                let mut v = Vec::new();
+                let mut stack = vec![n];
+                while let Some(x) = stack.pop() {
+                    v.push((x.label.clone(), x.rows_out));
+                    stack.extend(x.children.iter());
+                }
+                v
+            };
+            match (&r.root, &p.root) {
+                (Some(a), Some(b)) => assert_eq!(ops(a), ops(b), "{engine}: {q}"),
+                (a, b) => assert_eq!(a.is_some(), b.is_some(), "{engine}: {q}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn ddl_and_analyze_invalidate_the_cache_on_both_engines() {
+    let corpus = DistCorpus::default();
+    let (mut local, mut dist) = build_pair(&corpus);
+
+    let cached_count = |r: QueryResult| r.rows.len();
+    let point = "select * from orders where cust = 3";
+    let agg = "select count(*), sum(amount) from orders where cust = 3";
+
+    let want_point = sorted(local.execute(point).unwrap().rows);
+    let want_agg = sorted(local.execute(agg).unwrap().rows);
+    dist.execute(point).unwrap();
+    dist.execute(agg).unwrap();
+    assert_eq!(
+        cached_count(local.execute("select * from sys.prepared").unwrap()),
+        2
+    );
+    assert_eq!(
+        cached_count(dist.execute("select * from sys.prepared").unwrap()),
+        2
+    );
+
+    // DDL drops every cached plan...
+    local.execute("create table zzz (a int)").unwrap();
+    dist.execute("create table zzz (a int)").unwrap();
+    assert_eq!(
+        cached_count(local.execute("select * from sys.prepared").unwrap()),
+        0,
+        "DDL must invalidate the local plan cache"
+    );
+    assert_eq!(
+        cached_count(dist.execute("select * from sys.prepared").unwrap()),
+        0,
+        "DDL must invalidate the dist plan cache"
+    );
+
+    // ...and stale statements replan transparently with identical results.
+    assert_eq!(sorted(local.execute(point).unwrap().rows), want_point);
+    assert_eq!(sorted(dist.execute(point).unwrap().rows), want_point);
+    assert_eq!(sorted(local.execute(agg).unwrap().rows), want_agg);
+    assert_eq!(sorted(dist.execute(agg).unwrap().rows), want_agg);
+
+    // ANALYZE invalidates too (fresh statistics change plan choices).
+    local.execute("analyze").unwrap();
+    dist.execute("analyze").unwrap();
+    assert_eq!(
+        cached_count(local.execute("select * from sys.prepared").unwrap()),
+        0,
+        "ANALYZE must invalidate the local plan cache"
+    );
+    assert_eq!(
+        cached_count(dist.execute("select * from sys.prepared").unwrap()),
+        0,
+        "ANALYZE must invalidate the dist plan cache"
+    );
+    assert_eq!(sorted(local.execute(point).unwrap().rows), want_point);
+    assert_eq!(sorted(dist.execute(point).unwrap().rows), want_point);
+}
+
+#[test]
+fn parameter_binding_errors_are_pinned() {
+    let corpus = DistCorpus::default();
+    let (mut local, mut dist) = build_pair(&corpus);
+    let q = "select * from orders where cust = ?";
+
+    // Local engine.
+    let h = local.prepare_handle(q).unwrap();
+    let err = local.execute_prepared(&h, &[]).unwrap_err().to_string();
+    assert!(err.contains("statement has 1 parameters; got 0"), "{err}");
+    let err = local
+        .execute_prepared(&h, &[Datum::Text("three".into())])
+        .unwrap_err()
+        .to_string();
+    assert!(
+        err.contains("parameter ?1 type mismatch: expected INT, got TEXT"),
+        "{err}"
+    );
+    let ok = local.execute_prepared(&h, &[Datum::Int(3)]).unwrap();
+
+    // Distributed engine: same errors, same rows.
+    let h = dist.prepare_handle(q).unwrap();
+    let err = dist.execute_prepared(&h, &[]).unwrap_err().to_string();
+    assert!(err.contains("statement has 1 parameters; got 0"), "{err}");
+    let err = dist
+        .execute_prepared(&h, &[Datum::Text("three".into())])
+        .unwrap_err()
+        .to_string();
+    assert!(
+        err.contains("parameter ?1 type mismatch: expected INT, got TEXT"),
+        "{err}"
+    );
+    let okd = dist.execute_prepared(&h, &[Datum::Int(3)]).unwrap();
+    assert_eq!(sorted(ok.rows), sorted(okd.rows));
+
+    // Rebinding the same handle with different values re-prunes: two
+    // different keys must land on (generally) different shard sets but
+    // always the right rows.
+    let mut all = Vec::new();
+    let h = dist.prepare_handle(q).unwrap();
+    for k in 0..8 {
+        let r = dist.execute_prepared(&h, &[Datum::Int(k)]).unwrap();
+        let raw = dist
+            .execute(&format!("select * from orders where cust = {k}"))
+            .unwrap();
+        assert_eq!(sorted(r.rows.clone()), sorted(raw.rows), "cust = {k}");
+        all.extend(r.rows);
+    }
+    assert!(!all.is_empty());
+}

@@ -117,7 +117,7 @@ fn recorded_jsonl() -> String {
         // Deterministic clock schedule: each statement starts on its own
         // tick, so recorded timestamps are reproducible by construction.
         clock.set((i as u64 + 1) * 1_000);
-        dist.query(q).unwrap();
+        dist.execute(q).unwrap();
     }
     recorder.to_jsonl()
 }

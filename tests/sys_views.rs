@@ -31,6 +31,7 @@ const VIEWS: &[&str] = &[
     "sys.txns",
     "sys.events",
     "sys.plan_store",
+    "sys.prepared",
 ];
 
 fn cell(d: &Datum) -> String {
@@ -140,7 +141,7 @@ fn dist_scenario() -> (DistDb, Arc<VirtualClock>) {
     .enumerate()
     {
         clock.set(10_000 + i as u64 * 1_000);
-        db.query(q).unwrap();
+        db.execute(q).unwrap();
     }
     (db, clock)
 }
@@ -149,7 +150,7 @@ fn int_at(r: &QueryResult, row: usize, col: usize) -> i64 {
     r.rows[row].values()[col].as_int().expect("int cell")
 }
 
-/// One golden transcript covering both engines, all six views, and the
+/// One golden transcript covering both engines, all seven views, and the
 /// deterministic failover scenario. Compares byte-for-byte against
 /// tests/golden/sys_views.txt; run with BLESS=1 to regenerate.
 #[test]
@@ -223,29 +224,35 @@ fn sys_views_filter_aggregate_and_join_like_user_tables() {
     clock.set(90_000);
 
     // Aggregate over a sys view.
-    let r = db.query("select max(lag), count(*) from sys.shards").unwrap();
+    let r = db
+        .execute("select max(lag), count(*) from sys.shards")
+        .unwrap()
+        .rows;
     assert_eq!(r[0].values()[1].as_int(), Some(2));
 
     // Filter + projection.
     let r = db
-        .query("select shard from sys.shards where up = 1")
-        .unwrap();
+        .execute("select shard from sys.shards where up = 1")
+        .unwrap()
+        .rows;
     assert_eq!(r.len(), 2);
 
     // Join a sys view against a distributed user table: the sys leg stays a
     // CN-local scan while orders scatters to the shards.
     let r = db
-        .query(
+        .execute(
             "select s.shard, count(*) from sys.shards s, orders o \
              where o.cust = s.shard group by s.shard",
         )
-        .unwrap();
+        .unwrap()
+        .rows;
     assert_eq!(r.len(), 2, "one group per shard-id-matching cust: {r:?}");
 
     // The ISSUE's example: top-5 slowest statements from the recorder.
     let r = db
-        .query("select sql, total_us from sys.statements order by total_us desc limit 5")
-        .unwrap();
+        .execute("select sql, total_us from sys.statements order by total_us desc limit 5")
+        .unwrap()
+        .rows;
     assert!(!r.is_empty() && r.len() <= 5);
 
     // Histogram percentile columns on the embedded engine.
