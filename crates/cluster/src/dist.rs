@@ -30,10 +30,10 @@ use hdm_common::{DataType, Datum, HdmError, Result, Row, Schema, ShardId, Xid};
 use hdm_sql::ast::{BinOp, Expr, SelectStmt, Statement};
 use hdm_sql::db::{CardinalityHints, QueryResult, StepObserver, TableFunction};
 use hdm_sql::expr::{bind, BoundSchema, SExpr};
-use hdm_sql::plan::{PlanNode, PlanOp, StepKind, StepObservation};
-use hdm_sql::planner::{Planner, PlanningInfo, TempRels};
+use hdm_sql::plan::{ExchangeProbe, PlanNode, PlanOp, StepKind, StepObservation};
+use hdm_sql::planner::{and_all, Planner, PlanningInfo, TempRels};
 use hdm_sql::prepared::{
-    bind_slots, canonicalize, collect_param_types, count_params, rehint_plan,
+    bind_slots, canonicalize, collect_param_types, count_params, drift_exceeds, rehint_plan,
     substitute_statement_params, ExecOptions, PlanCache, QueryApi, StmtHandle, PLAN_CACHE_CAP,
 };
 use hdm_sql::profile::{observations, render_analyze};
@@ -107,6 +107,9 @@ pub struct DistCounters {
     pub fragments_run: u64,
     /// Rows gathered from data nodes to the CN.
     pub rows_exchanged: u64,
+    /// Exchange fragments answered via a DN-local index probe or range walk
+    /// instead of a full shard scan.
+    pub index_probes: u64,
     /// Statements that ran as single-shard (GTM-free) transactions.
     pub single_shard_stmts: u64,
     /// Statements that ran as multi-shard (GTM + 2PC) transactions.
@@ -138,6 +141,15 @@ struct CachedDistStmt {
     plan: PlanNode,
     param_types: Vec<Option<DataType>>,
     fast: Option<FastSelect>,
+    /// Precomputed re-plan-on-drift probes: (candidate store keys, planning
+    /// estimate) per canonical node. Planner `SCAN(...)` keys are expanded
+    /// to the per-shard `EXCHANGE(...)` spellings the plan store observes
+    /// under, so the per-execution check is a few hash lookups; see
+    /// [`hdm_sql::prepared::max_drift`].
+    drift: Vec<(Vec<String>, f64)>,
+    /// Last `(store generation, drifted?)` verdict, so quiescent stores skip
+    /// the keyed lookups; see [`hdm_sql::prepared::drift_exceeds`].
+    drift_state: Cell<Option<(u64, bool)>>,
 }
 
 /// A compiled linear SELECT (`Project? → SeqScan` of one distributed
@@ -463,9 +475,7 @@ impl DistDb {
     fn execute_statement(&mut self, stmt: &Statement, sql: Option<&str>) -> Result<QueryResult> {
         match stmt {
             Statement::CreateTable { name, columns } => self.run_create_table(name, columns),
-            Statement::CreateIndex { .. } => Err(HdmError::Unsupported(
-                "distributed CREATE INDEX is not supported".into(),
-            )),
+            Statement::CreateIndex { table, columns } => self.run_create_index(table, columns),
             Statement::Insert {
                 table,
                 columns,
@@ -571,6 +581,38 @@ impl DistDb {
                 route: Route::HashValue,
             },
         );
+        self.cache.bump_epoch();
+        Ok(empty_result())
+    }
+
+    /// Distributed CREATE INDEX: register the index on the CN's shadow
+    /// catalog (making it planner-visible) and create the backing index on
+    /// every shard's data node, routed through the cluster so the DDL also
+    /// lands on each shard's replication log — a promoted replica replays
+    /// it before any rows and keeps the probe path intact after failover.
+    fn run_create_index(&mut self, table: &str, columns: &[String]) -> Result<QueryResult> {
+        sys::check_read_only(table)?;
+        let canon = table.to_ascii_lowercase();
+        let meta = self.dist_meta(&canon)?;
+        if meta.route == Route::PackedKey {
+            return Err(HdmError::Unsupported(
+                "the built-in kv table is read-only through SQL".into(),
+            ));
+        }
+        let t = self.shadow.get_mut(&canon)?;
+        let idxs: Vec<usize> = columns
+            .iter()
+            .map(|c| {
+                t.schema()
+                    .index_of(c)
+                    .ok_or_else(|| HdmError::Catalog(format!("no column {c} in {table}")))
+            })
+            .collect::<Result<_>>()?;
+        t.create_index(idxs.clone())?;
+        for shard in self.cluster.shard_map().all().collect::<Vec<_>>() {
+            self.cluster.create_sql_index_on(shard, &canon, idxs.clone())?;
+        }
+        // A new access path changes plan choices; cached plans are stale.
         self.cache.bump_epoch();
         Ok(empty_result())
     }
@@ -884,6 +926,7 @@ impl DistDb {
                     .map(|d| sys::plan_store_rows(d.as_ref()))
                     .unwrap_or_default(),
                 "sys.prepared" => self.prepared_rows(),
+                "sys.indexes" => self.index_rows(),
                 _ => Vec::new(),
             };
             snap.insert(&view, rows);
@@ -946,6 +989,62 @@ impl DistDb {
         out
     }
 
+    /// `sys.indexes` rows: one per planner-visible secondary index on the
+    /// shadow catalog, sorted by table name then index id. Entry counts sum
+    /// across the up data nodes, matched by key columns — DN-local index
+    /// ids differ from shadow ids because data nodes auto-index their shard
+    /// key. The backing shard set is every shard hosting the table.
+    fn index_rows(&self) -> Vec<Row> {
+        let mut names: Vec<&str> = self.shadow.names().collect();
+        names.sort_unstable();
+        let shards: Vec<ShardId> = self.cluster.shard_map().all().collect();
+        let shard_list = shards
+            .iter()
+            .map(|s| s.raw().to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        let mut rows = Vec::new();
+        for name in names {
+            let Ok(t) = self.shadow.get(name) else {
+                continue;
+            };
+            for (ix_id, ix) in t.indexes().iter().enumerate() {
+                let mut entries = 0i64;
+                for &shard in &shards {
+                    if !self.cluster.is_node_up(shard) {
+                        continue;
+                    }
+                    let node = self.cluster.node(shard);
+                    let dn = if name == "kv" {
+                        Some(node.kv_table())
+                    } else {
+                        node.sql_table(name).ok()
+                    };
+                    if let Some(di) = dn.and_then(|dt| {
+                        dt.indexes()
+                            .iter()
+                            .find(|di| di.key_columns() == ix.key_columns())
+                    }) {
+                        entries += di.len() as i64;
+                    }
+                }
+                let cols: Vec<&str> = ix
+                    .key_columns()
+                    .iter()
+                    .map(|&c| t.schema().columns()[c].name.as_str())
+                    .collect();
+                rows.push(Row::new(vec![
+                    Datum::Text(format!("{name}_ix{ix_id}")),
+                    Datum::Text(name.to_string()),
+                    Datum::Text(cols.join(",")),
+                    Datum::Int(entries),
+                    Datum::Text(shard_list.clone()),
+                ]));
+            }
+        }
+        rows
+    }
+
     /// `sys.events` rows from the engine's crash/recovery journal.
     fn event_rows(&self) -> Vec<Row> {
         self.cluster
@@ -989,12 +1088,65 @@ impl DistDb {
         temp: &TempRels,
         sys_snap: Option<&SysSnapshot>,
     ) -> Result<(PlanNode, PlanningInfo, Scope)> {
-        let mut p = Planner::new(&self.shadow, self.hints.as_deref(), &self.table_funcs)
-            .with_sys(sys_snap);
+        let dh = self.dist_hints();
+        let mut p = Planner::new(
+            &self.shadow,
+            dh.as_ref().map(|h| h as &dyn CardinalityHints),
+            &self.table_funcs,
+        )
+        .with_sys(sys_snap);
         let mut plan = p.plan_select(s, temp)?;
         let mut info = p.info;
+        drop(dh);
         let scope = self.annotate_plan(&mut plan, &mut info);
         Ok((plan, info, scope))
+    }
+
+    /// The hint view distributed planning consults: the raw store bridged
+    /// through [`DistHints`] so `EXCHANGE(...)`-keyed actuals reach the
+    /// planner's scan-level estimates (and thereby its access-path and
+    /// join-order decisions). `None` with no plan store installed.
+    fn dist_hints(&self) -> Option<DistHints<'_>> {
+        let inner = self.hints.as_deref()?;
+        Some(DistHints {
+            inner,
+            shard_sets: self.shard_set_strings(),
+        })
+    }
+
+    /// The shard-set spellings a `SCAN(...)` key may appear under in the
+    /// plan store: the full scatter set first, then each single shard.
+    fn shard_set_strings(&self) -> Vec<String> {
+        let all: Vec<String> = self
+            .cluster
+            .shard_map()
+            .all()
+            .map(|s| s.raw().to_string())
+            .collect();
+        let mut shard_sets = vec![all.join(",")];
+        shard_sets.extend(all);
+        shard_sets
+    }
+
+    /// Precompute the drift probes for a freshly planned statement: every
+    /// planner `SCAN(...)` key is expanded to the `EXCHANGE(...)` spellings
+    /// the distributed observer captures under.
+    fn drift_probes_for(&self, plan: &PlanNode) -> Vec<(Vec<String>, f64)> {
+        let shard_sets = self.shard_set_strings();
+        hdm_sql::prepared::drift_probes(plan)
+            .into_iter()
+            .map(|(mut keys, est)| {
+                let text = keys[0].clone();
+                if text.starts_with("SCAN(") {
+                    keys.extend(
+                        shard_sets
+                            .iter()
+                            .map(|set| format!("EXCHANGE({text}, SHARDS({set}))")),
+                    );
+                }
+                (keys, est)
+            })
+            .collect()
     }
 
     /// Annotate a logical plan for distribution — base-table scans become
@@ -1016,6 +1168,17 @@ impl DistDb {
                         None,
                     ),
                 })
+            },
+            &|table, ix_id| {
+                Some(
+                    self.shadow
+                        .get(table)
+                        .ok()?
+                        .indexes()
+                        .get(ix_id)?
+                        .key_columns()
+                        .to_vec(),
+                )
             },
             &mut single,
             &mut scattered,
@@ -1053,11 +1216,19 @@ impl DistDb {
                 "plan cache holds SELECT statements only".into(),
             ));
         };
-        let mut p = Planner::new(&self.shadow, self.hints.as_deref(), &self.table_funcs);
+        let dh = self.dist_hints();
+        let mut p = Planner::new(
+            &self.shadow,
+            dh.as_ref().map(|h| h as &dyn CardinalityHints),
+            &self.table_funcs,
+        );
         let plan = p.plan_select(&s, &TempRels::new())?;
+        drop(dh);
         let entry = Rc::new(CachedDistStmt {
             param_types: collect_param_types(&plan, n_params),
             fast: self.compile_fast(&plan),
+            drift: self.drift_probes_for(&plan),
+            drift_state: Cell::new(None),
             plan,
         });
         self.cache.insert(canonical.to_string(), Rc::clone(&entry));
@@ -1101,7 +1272,7 @@ impl DistDb {
             ex_single: all.iter().map(|&r| (r, ex_text(&[r]))).collect(),
             ex_all: ex_text(&all),
             scan_canon,
-            est_rows: scan.est_rows,
+            est_rows: scan.est_rows(),
             columns: plan.schema.cols.iter().map(|c| c.name.clone()).collect(),
         })
     }
@@ -1118,18 +1289,35 @@ impl DistDb {
         user_params: &[Datum],
         sql: &str,
     ) -> Result<QueryResult> {
-        let cached = self.ensure_cached(text)?;
+        let mut cached = self.ensure_cached(text)?;
+        // Re-plan on drift: when captured actuals (under the distributed
+        // EXCHANGE keys, bridged by [`DistHints`]) diverge from the cached
+        // plan's planning-time estimates past the misestimate ratio, the
+        // cached access-path and join-order choices are suspect — drop the
+        // entry and plan fresh, adopting the observed cardinalities.
+        let mut replans = 0u64;
+        let drifted = self.hints.as_deref().is_some_and(|h| {
+            drift_exceeds(&cached.drift, &cached.drift_state, h, self.misestimate_ratio)
+        });
+        if drifted {
+            self.cache.remove(text);
+            cached = self.ensure_cached(text)?;
+            replans = 1;
+        }
         let params = bind_slots(slots, &cached.param_types, user_params)?;
         if let Some(fast) = &cached.fast {
             if !self.profiling_enabled() && self.tel.is_none() && self.faults.is_none() {
-                return self.run_fast(fast, &params);
+                return self.run_fast(fast, &params, replans);
             }
         }
         if self.profiling_enabled() {
-            return self.run_cached_profiled(&cached, &params, sql);
+            return self.run_cached_profiled(&cached, &params, sql, replans);
         }
         let mut plan = cached.plan.substitute_params(&params)?;
-        let mut info = PlanningInfo::default();
+        let mut info = PlanningInfo {
+            replans,
+            ..Default::default()
+        };
         if let Some(h) = &self.hints {
             rehint_plan(&mut plan, h.as_ref(), &mut info);
         }
@@ -1157,10 +1345,14 @@ impl DistDb {
         cached: &CachedDistStmt,
         params: &[Datum],
         sql: &str,
+        replans: u64,
     ) -> Result<QueryResult> {
         let start = self.clock.now_us();
         let mut plan = cached.plan.substitute_params(params)?;
-        let mut planning = PlanningInfo::default();
+        let mut planning = PlanningInfo {
+            replans,
+            ..Default::default()
+        };
         if let Some(h) = &self.hints {
             rehint_plan(&mut plan, h.as_ref(), &mut planning);
         }
@@ -1206,7 +1398,7 @@ impl DistDb {
     /// narrowest transaction, and scatter/gather with a direct heap scan per
     /// leg — no plan tree, no boxed executor. Counters, observations and
     /// hint accounting mirror the tree path exactly.
-    fn run_fast(&mut self, fast: &FastSelect, params: &[Datum]) -> Result<QueryResult> {
+    fn run_fast(&mut self, fast: &FastSelect, params: &[Datum], replans: u64) -> Result<QueryResult> {
         // The pre-lowered `col = ?N` shape skips expression substitution
         // entirely: the bound datum is the comparison value and the shard
         // route. Everything else substitutes and re-prunes generically.
@@ -1362,7 +1554,10 @@ impl DistDb {
             fast.ex_all.clone()
         };
         let mut est = fast.est_rows;
-        let mut planning = PlanningInfo::default();
+        let mut planning = PlanningInfo {
+            replans,
+            ..Default::default()
+        };
         if let Some(h) = &self.hints {
             // The per-node consult the planner would do (local SCAN key)...
             match h.lookup(&fast.scan_canon) {
@@ -1818,28 +2013,91 @@ fn tick_faults(cluster: &mut Cluster, faults: Option<&Rc<RefCell<FaultScript>>>)
 /// relations (CTEs, temp rels) which stay as local scans.
 type ShardsOf<'a> = dyn Fn(&str, Option<&SExpr>) -> Option<(Vec<u64>, Option<(ShardId, u32)>)> + 'a;
 
+/// Index oracle passed to [`annotate`]: the key columns of a shadow-catalog
+/// index, so the `Exchange` probe is keyed by column positions — DN-local
+/// index ids differ from shadow ids (data nodes auto-index their shard key)
+/// and each leg re-resolves its own index by key columns.
+type KeyColsOf<'a> = dyn Fn(&str, usize) -> Option<Vec<usize>> + 'a;
+
 /// Rewrite every base-table scan on a distributed table into an `Exchange`
 /// leaf, recording the single-shard pins and whether anything scattered.
+/// Index access paths become Exchanges carrying a probe, with the consumed
+/// conjuncts folded back into the leg predicate — pruning, canonical text
+/// and result rows stay identical to the sequential rendering, the probe
+/// only changes how each DN leg fetches candidates.
 fn annotate(
     node: &mut PlanNode,
     shards_of: &ShardsOf<'_>,
+    key_cols: &KeyColsOf<'_>,
     single: &mut Vec<(ShardId, u32)>,
     scattered: &mut bool,
 ) {
     for c in &mut node.children {
-        annotate(c, shards_of, single, scattered);
+        annotate(c, shards_of, key_cols, single, scattered);
     }
+    let mut pin = |p: Option<(ShardId, u32)>, single: &mut Vec<(ShardId, u32)>| match p {
+        Some(p) => single.push(p),
+        None => *scattered = true,
+    };
     let replacement = match &node.op {
         PlanOp::SeqScan { table, predicate } => {
-            shards_of(table, predicate.as_ref()).map(|(shards, pin)| {
-                match pin {
-                    Some(p) => single.push(p),
-                    None => *scattered = true,
-                }
+            shards_of(table, predicate.as_ref()).map(|(shards, p)| {
+                pin(p, single);
                 PlanOp::Exchange {
                     table: table.clone(),
                     predicate: predicate.clone(),
                     shards,
+                    probe: None,
+                }
+            })
+        }
+        PlanOp::IndexScan {
+            table,
+            index_id,
+            key_exprs,
+            key_values,
+            residual,
+        } => {
+            let mut conj = key_exprs.clone();
+            conj.extend(residual.clone());
+            let predicate = and_all(conj);
+            shards_of(table, predicate.as_ref()).map(|(shards, p)| {
+                pin(p, single);
+                PlanOp::Exchange {
+                    table: table.clone(),
+                    predicate,
+                    shards,
+                    probe: key_cols(table, *index_id).map(|columns| ExchangeProbe::Eq {
+                        columns,
+                        key: key_values.clone(),
+                    }),
+                }
+            })
+        }
+        PlanOp::IndexRange {
+            table,
+            index_id,
+            bound_exprs,
+            lo,
+            hi,
+            residual,
+        } => {
+            let mut conj = bound_exprs.clone();
+            conj.extend(residual.clone());
+            let predicate = and_all(conj);
+            shards_of(table, predicate.as_ref()).map(|(shards, p)| {
+                pin(p, single);
+                PlanOp::Exchange {
+                    table: table.clone(),
+                    predicate,
+                    shards,
+                    probe: key_cols(table, *index_id)
+                        .and_then(|columns| columns.first().copied())
+                        .map(|column| ExchangeProbe::Range {
+                            column,
+                            lo: lo.clone(),
+                            hi: hi.clone(),
+                        }),
                 }
             })
         }
@@ -1847,6 +2105,39 @@ fn annotate(
     };
     if let Some(op) = replacement {
         node.op = op;
+    }
+}
+
+/// Bridge the plan store's distributed keys back into scan-level planning.
+///
+/// The planner consults local `SCAN(...)` canonical texts, but distributed
+/// executions observe under `EXCHANGE(SCAN(...), SHARDS(...))` keys. On a
+/// miss of the local key, retry under each shard-set rendering this cluster
+/// can produce — the full scatter set first, then each single shard — so
+/// captured actuals reach the planner's access-path and join-order
+/// decisions, and a drift-triggered re-plan adopts them (converging the
+/// drift ratio back to 1).
+struct DistHints<'a> {
+    inner: &'a dyn CardinalityHints,
+    /// Pre-rendered shard lists: `"0,1,2,3"`, then `"0"`, `"1"`, ...
+    shard_sets: Vec<String>,
+}
+
+impl CardinalityHints for DistHints<'_> {
+    fn generation(&self) -> Option<u64> {
+        self.inner.generation()
+    }
+
+    fn lookup(&self, step_text: &str) -> Option<u64> {
+        if let Some(v) = self.inner.lookup(step_text) {
+            return Some(v);
+        }
+        if !step_text.starts_with("SCAN(") {
+            return None;
+        }
+        self.shard_sets
+            .iter()
+            .find_map(|s| self.inner.lookup(&format!("EXCHANGE({step_text}, SHARDS({s}))")))
     }
 }
 
@@ -1859,7 +2150,7 @@ fn rehint_exchanges(node: &mut PlanNode, hints: &dyn CardinalityHints, info: &mu
     if matches!(node.op, PlanOp::Exchange { .. }) {
         if let Some(text) = node.canonical() {
             if let Some(actual) = hints.lookup(&text) {
-                node.est_rows = actual as f64;
+                node.set_est_rows(actual as f64);
                 info.hint_hits += 1;
             }
         }
@@ -1976,6 +2267,7 @@ impl ExecBackend for DistExec<'_> {
         table: &str,
         predicate: Option<&SExpr>,
         shards: &[u64],
+        probe: Option<&ExchangeProbe>,
     ) -> Result<Vec<Row>> {
         if shards.len() <= 1 {
             self.counters.pruned_scans += 1;
@@ -2017,14 +2309,63 @@ impl ExecBackend for DistExec<'_> {
                 node.sql_table(table)?
             };
             let mut fragment_rows = 0u64;
-            for (_tid, row) in t.scan(&judge) {
-                let keep = match predicate {
-                    None => true,
-                    Some(p) => p.eval_filter(row.values())?,
+            // Resolve the CN-chosen probe against this DN's own index set:
+            // the probe names key *columns*, and each leg looks up whichever
+            // local index serves them (ids differ per node — data nodes
+            // auto-index their shard key). A leg without a matching index
+            // (e.g. a follower promoted before the DDL replayed) falls back
+            // to the full scan; the predicate below keeps results identical.
+            let local_ix = probe.and_then(|p| {
+                let want: &[usize] = match p {
+                    ExchangeProbe::Eq { columns, .. } => columns,
+                    ExchangeProbe::Range { column, .. } => std::slice::from_ref(column),
                 };
-                if keep {
-                    out.push(row.clone());
-                    fragment_rows += 1;
+                t.indexes().iter().position(|ix| ix.key_columns() == want)
+            });
+            let candidates: Option<Vec<(TupleId, &Row)>> = match (probe, local_ix) {
+                (Some(ExchangeProbe::Eq { key, .. }), Some(ix)) => {
+                    Some(t.probe(ix, key, &judge)?)
+                }
+                (Some(ExchangeProbe::Range { lo, hi, .. }), Some(ix)) => {
+                    let lo_k = hdm_sql::backend::bound_key(lo);
+                    let hi_k = hdm_sql::backend::bound_key(hi);
+                    Some(t.range_probe(
+                        ix,
+                        hdm_sql::backend::bound_ref(&lo_k),
+                        hdm_sql::backend::bound_ref(&hi_k),
+                        &judge,
+                    )?)
+                }
+                _ => None,
+            };
+            match candidates {
+                Some(mut hits) => {
+                    // Ascending tid = heap-scan order, so probed legs yield
+                    // byte-identical rows to scanned ones.
+                    hits.sort_unstable_by_key(|&(tid, _)| tid);
+                    for (_tid, row) in hits {
+                        let keep = match predicate {
+                            None => true,
+                            Some(p) => p.eval_filter(row.values())?,
+                        };
+                        if keep {
+                            out.push(row.clone());
+                            fragment_rows += 1;
+                        }
+                    }
+                    self.counters.index_probes += 1;
+                }
+                None => {
+                    for (_tid, row) in t.scan(&judge) {
+                        let keep = match predicate {
+                            None => true,
+                            Some(p) => p.eval_filter(row.values())?,
+                        };
+                        if keep {
+                            out.push(row.clone());
+                            fragment_rows += 1;
+                        }
+                    }
                 }
             }
             self.counters.fragments_run += 1;
@@ -2218,7 +2559,7 @@ mod tests {
         assert_eq!(stats.row_count, 200);
         assert_eq!(stats.columns[0].distinct, 16, "hash-partitioned NDV is exact");
         let plan = db.plan_only("select * from orders").unwrap();
-        assert_eq!(plan.est_rows, 200.0, "planner estimates from merged stats");
+        assert_eq!(plan.est_rows(), 200.0, "planner estimates from merged stats");
     }
 
     #[test]

@@ -893,6 +893,28 @@ impl Cluster {
         Ok(())
     }
 
+    /// Create a secondary index on `shard`'s slice of SQL table `name` and
+    /// replicate the DDL so followers (and future rejoiners) build the same
+    /// probe path before any rows arrive.
+    pub(crate) fn create_sql_index_on(
+        &mut self,
+        shard: ShardId,
+        name: &str,
+        columns: Vec<usize>,
+    ) -> Result<()> {
+        self.check_node(shard)?;
+        self.nodes[shard.raw() as usize].create_sql_index(name, columns.clone())?;
+        if self.cfg.replicas > 0 {
+            self.replicas[shard.raw() as usize].append(LogRecord::Ddl {
+                op: ReplOp::CreateSqlIndex {
+                    table: name.to_string(),
+                    columns,
+                },
+            });
+        }
+        Ok(())
+    }
+
     /// Begin a transaction. This is the single entry point of the session
     /// API: [`TxnOptions`] selects the scope (single- vs multi-shard) and
     /// whether to precheck coordinator liveness (on by default, so a

@@ -164,6 +164,25 @@ impl DataNode {
         Ok(())
     }
 
+    /// Create a secondary index on this shard's slice of SQL table `name`.
+    /// Idempotent: replica replay may re-apply the DDL after a rejoin, and
+    /// the shard-key index created by [`Self::create_sql_table`] may already
+    /// cover the same columns.
+    pub fn create_sql_index(&mut self, name: &str, columns: Vec<usize>) -> Result<usize> {
+        let t = self
+            .sql
+            .get_mut(name)
+            .ok_or_else(|| HdmError::Catalog(format!("no table {name} on {}", self.id)))?;
+        if let Some(ix) = t
+            .indexes()
+            .iter()
+            .position(|ix| ix.key_columns() == columns.as_slice())
+        {
+            return Ok(ix);
+        }
+        t.create_index(columns)
+    }
+
     /// This shard's slice of SQL table `name`.
     pub fn sql_table(&self, name: &str) -> Result<&Table> {
         self.sql

@@ -40,6 +40,10 @@ pub enum ReplOp {
     SqlDelete { table: String, row: Row },
     /// Create this shard's slice of a SQL table (CN DDL fan-out).
     CreateSqlTable { table: String, schema: Schema },
+    /// Create a secondary index on this shard's slice (CN DDL fan-out).
+    /// Replayed before any rows on a rejoining follower, so a promoted
+    /// replica serves the same probe paths as the primary it replaced.
+    CreateSqlIndex { table: String, columns: Vec<usize> },
 }
 
 /// One entry of a shard's replication log. The statement tag `(id, rows)`
@@ -129,15 +133,19 @@ impl Follower {
             return Ok(false);
         };
         match rec {
-            LogRecord::Ddl { op } => {
-                if let ReplOp::CreateSqlTable { table, schema } = op {
+            LogRecord::Ddl { op } => match op {
+                ReplOp::CreateSqlTable { table, schema } => {
                     self.node.create_sql_table(table, schema.clone())?;
-                } else {
+                }
+                ReplOp::CreateSqlIndex { table, columns } => {
+                    self.node.create_sql_index(table, columns.clone())?;
+                }
+                _ => {
                     return Err(HdmError::TxnState(format!(
                         "non-DDL op in a Ddl record: {op:?}"
                     )));
                 }
-            }
+            },
             LogRecord::Commit { ops, stmt } => {
                 let xid = self.node.mgr_mut().begin_local();
                 apply_ops(&mut self.node, xid, ops)?;
@@ -193,7 +201,7 @@ fn apply_ops(node: &mut DataNode, xid: Xid, ops: &[ReplOp]) -> Result<()> {
                 })?;
                 node.sql_delete(table, xid, tid)?;
             }
-            ReplOp::CreateSqlTable { .. } => {
+            ReplOp::CreateSqlTable { .. } | ReplOp::CreateSqlIndex { .. } => {
                 return Err(HdmError::TxnState(
                     "DDL inside a transactional record".into(),
                 ));

@@ -66,7 +66,7 @@ mod integration_tests {
         let r2 = db.execute(q).unwrap();
         assert!(r2.planning.hint_hits >= 2, "scan and join hinted");
         let plan = db.plan_only(q).unwrap();
-        assert_eq!(plan.est_rows, r1.rows.len() as f64, "join estimate = actual");
+        assert_eq!(plan.est_rows(), r1.rows.len() as f64, "join estimate = actual");
     }
 
     /// The rewrite engine normalizes spellings, so a *differently written*

@@ -108,6 +108,14 @@ impl PlanStore {
         &self.cfg
     }
 
+    /// Mutation counter for the stored actuals: bumps on every capture and
+    /// every refresh that changed a value. Re-executions that merely touch
+    /// LRU state do not count, so the counter is quiescent under a steady
+    /// workload.
+    pub fn generation(&self) -> u64 {
+        self.stats.captures + self.stats.updates + self.stats.evictions
+    }
+
     /// Consumer: actual cardinality for a canonical step text, if stored.
     pub fn lookup(&mut self, step_text: &str) -> Option<u64> {
         self.stats.lookups += 1;
@@ -237,6 +245,10 @@ impl SharedPlanStore {
 impl CardinalityHints for SharedPlanStore {
     fn lookup(&self, step_text: &str) -> Option<u64> {
         self.inner.borrow_mut().lookup(step_text)
+    }
+
+    fn generation(&self) -> Option<u64> {
+        Some(self.inner.borrow().generation())
     }
 }
 

@@ -42,8 +42,31 @@ pub trait ExecBackend {
         residual: Option<&SExpr>,
     ) -> Result<Vec<Row>>;
 
+    /// Ordered range walk over the single-column index `index_id` between
+    /// `lo` and `hi`, filtered by the `residual` predicate. Hits come back
+    /// in heap (tuple id) order so index and sequential plans for the same
+    /// query produce identically ordered rows.
+    fn index_range(
+        &mut self,
+        table: &str,
+        index_id: usize,
+        lo: &std::ops::Bound<Datum>,
+        hi: &std::ops::Bound<Datum>,
+        residual: Option<&SExpr>,
+    ) -> Result<Vec<Row>> {
+        let _ = (table, index_id, lo, hi, residual);
+        Err(hdm_common::HdmError::Unsupported(
+            "this backend does not support index range scans".into(),
+        ))
+    }
+
     /// Scan restricted to the given shard set — the `Exchange` fragment
     /// entry point. Backends without a notion of placement run a plain scan.
+    /// When the planner chose an index access path, `probe` carries the
+    /// concrete equality key or range bounds so each shard leg can consult
+    /// its local index instead of walking its whole slice; the full
+    /// `predicate` still applies to every returned row, so a backend may
+    /// ignore `probe` without affecting results.
     ///
     /// Replica-aware routing contract: `shards` names *logical* shards, not
     /// machines. A backend with replicated placement may serve a fragment
@@ -56,8 +79,9 @@ pub trait ExecBackend {
         table: &str,
         predicate: Option<&SExpr>,
         shards: &[u64],
+        probe: Option<&crate::plan::ExchangeProbe>,
     ) -> Result<Vec<Row>> {
-        let _ = shards;
+        let _ = (shards, probe);
         self.scan(table, predicate)
     }
 
@@ -122,6 +146,26 @@ impl<'a> LocalBackend<'a> {
     }
 }
 
+/// Lift a datum bound to a one-column index-key bound.
+pub fn bound_key(b: &std::ops::Bound<Datum>) -> std::ops::Bound<Vec<Datum>> {
+    use std::ops::Bound;
+    match b {
+        Bound::Included(d) => Bound::Included(vec![d.clone()]),
+        Bound::Excluded(d) => Bound::Excluded(vec![d.clone()]),
+        Bound::Unbounded => Bound::Unbounded,
+    }
+}
+
+/// Borrow an owned key bound (`BTreeMap::range` wants `Bound<&K>`).
+pub fn bound_ref(b: &std::ops::Bound<Vec<Datum>>) -> std::ops::Bound<&Vec<Datum>> {
+    use std::ops::Bound;
+    match b {
+        Bound::Included(k) => Bound::Included(k),
+        Bound::Excluded(k) => Bound::Excluded(k),
+        Bound::Unbounded => Bound::Unbounded,
+    }
+}
+
 /// Filter a sys view's frozen rows through the scan predicate — shared by
 /// both backends so the two engines agree on sys-view semantics.
 pub fn scan_sys_rows(
@@ -174,6 +218,39 @@ impl ExecBackend for LocalBackend<'_> {
         let judge = SnapshotVisibility::new(&self.snap, self.mgr.clog(), None);
         let t = self.catalog.get(table)?;
         let hits = t.probe(index_id, &key_values.to_vec(), &judge)?;
+        let mut out = Vec::new();
+        for (_tid, row) in hits {
+            let keep = match residual {
+                None => true,
+                Some(p) => p.eval_filter(row.values())?,
+            };
+            if keep {
+                out.push(row.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    fn index_range(
+        &mut self,
+        table: &str,
+        index_id: usize,
+        lo: &std::ops::Bound<Datum>,
+        hi: &std::ops::Bound<Datum>,
+        residual: Option<&SExpr>,
+    ) -> Result<Vec<Row>> {
+        let judge = SnapshotVisibility::new(&self.snap, self.mgr.clog(), None);
+        let t = self.catalog.get(table)?;
+        let lo_key = bound_key(lo);
+        let hi_key = bound_key(hi);
+        let mut hits = t.range_probe(
+            index_id,
+            bound_ref(&lo_key),
+            bound_ref(&hi_key),
+            &judge,
+        )?;
+        // Index order → heap order, matching the sequential plan's output.
+        hits.sort_unstable_by_key(|&(tid, _)| tid);
         let mut out = Vec::new();
         for (_tid, row) in hits {
             let keep = match residual {

@@ -110,7 +110,7 @@ pub fn compile(plan: &PlanNode) -> Option<CompiledProgram> {
     steps.push(StepTemplate {
         kind: StepKind::Scan,
         text: scan_node.canonical()?,
-        est_rows: scan_node.est_rows,
+        est_rows: scan_node.est_rows(),
         op_index: ops.len(),
     });
     ops.push(scan_op);
@@ -135,7 +135,7 @@ pub fn compile(plan: &PlanNode) -> Option<CompiledProgram> {
         steps.push(StepTemplate {
             kind: StepKind::Limit,
             text: l.canonical()?,
-            est_rows: l.est_rows,
+            est_rows: l.est_rows(),
             op_index: ops.len(),
         });
         ops.push(Op::Limit {

@@ -20,6 +20,7 @@ use crate::sys::{self, PlanStoreDump, SysSnapshot};
 use hdm_common::{DataType, Datum, HdmError, Result, Row, Schema};
 use hdm_telemetry::{MetricsRegistry, SharedClock, SharedRecorder, StatementProfile, WallClock};
 use hdm_txn::{LocalTxnManager, SnapshotVisibility, TxnStatus};
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::rc::Rc;
 use std::sync::Arc;
@@ -28,6 +29,15 @@ use std::sync::Arc;
 /// of a canonical step before trusting its own estimate (§II-C).
 pub trait CardinalityHints {
     fn lookup(&self, step_text: &str) -> Option<u64>;
+
+    /// Monotone counter that advances whenever a stored actual changes
+    /// (capture or update). Lets cached-plan drift checks skip the keyed
+    /// lookups entirely while the store is quiescent. `None` (the default)
+    /// means the store cannot report one and callers must re-check every
+    /// time.
+    fn generation(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Plan-store *producer* hook: receives every executed step with its
@@ -84,6 +94,12 @@ struct CachedStmt {
     plan: PlanNode,
     param_types: Vec<Option<DataType>>,
     program: Option<CompiledProgram>,
+    /// Precomputed re-plan-on-drift probes: (store keys, planning-time
+    /// estimate) per canonical node; see [`crate::prepared::max_drift`].
+    drift: Vec<(Vec<String>, f64)>,
+    /// Last `(store generation, drifted?)` verdict, so quiescent stores skip
+    /// the keyed lookups entirely; see [`crate::prepared::drift_exceeds`].
+    drift_state: Cell<Option<(u64, bool)>>,
 }
 
 /// An embedded single-node SQL database.
@@ -326,6 +342,7 @@ impl Database {
                     .map(|d| sys::plan_store_rows(d.as_ref()))
                     .unwrap_or_default(),
                 "sys.prepared" => self.prepared_rows(),
+                "sys.indexes" => self.index_rows(),
                 // The embedded engine has no shards, replicas, or event
                 // journal: those views exist (same schema as distributed)
                 // but scan empty.
@@ -488,6 +505,8 @@ impl Database {
         let entry = Rc::new(CachedStmt {
             param_types: collect_param_types(&plan, n_params),
             program: compile(&plan),
+            drift: crate::prepared::drift_probes(&plan),
+            drift_state: Cell::new(None),
             plan,
         });
         self.cache.insert(canonical.to_string(), Rc::clone(&entry));
@@ -504,13 +523,31 @@ impl Database {
         user_params: &[Datum],
         sql: &str,
     ) -> Result<QueryResult> {
-        let cached = self.ensure_cached(text)?;
+        let mut cached = self.ensure_cached(text)?;
+        // Re-plan on drift: when the plan store's captured actuals diverge
+        // from the cached plan's planning-time estimates past the
+        // misestimate ratio, the cached access-path and join-order choices
+        // are suspect — drop the entry and plan fresh against current hints.
+        let mut replans = 0u64;
+        if let Some(hints) = self.hints.as_deref() {
+            if crate::prepared::drift_exceeds(
+                &cached.drift,
+                &cached.drift_state,
+                hints,
+                self.misestimate_ratio,
+            ) {
+                self.cache.remove(text);
+                cached = self.ensure_cached(text)?;
+                replans = 1;
+            }
+        }
         let params = bind_slots(slots, &cached.param_types, user_params)?;
         if self.profiling_enabled() {
-            return self.run_cached_profiled(&cached, &params, sql);
+            return self.run_cached_profiled(&cached, &params, sql, replans);
         }
         if let Some(prog) = &cached.program {
-            let (ests, planning) = self.rehint_steps(&prog.steps);
+            let (ests, mut planning) = self.rehint_steps(&prog.steps);
+            planning.replans = replans;
             let mut steps = Vec::new();
             let rows = {
                 let mut be = LocalBackend::new(&mut self.catalog, &mut self.mgr);
@@ -529,7 +566,10 @@ impl Database {
             });
         }
         let mut plan = cached.plan.substitute_params(&params)?;
-        let mut planning = PlanningInfo::default();
+        let mut planning = PlanningInfo {
+            replans,
+            ..Default::default()
+        };
         self.rehint_plan(&mut plan, &mut planning);
         let mut steps = Vec::new();
         let rows = {
@@ -558,10 +598,14 @@ impl Database {
         cached: &CachedStmt,
         params: &[Datum],
         sql: &str,
+        replans: u64,
     ) -> Result<QueryResult> {
         let start = self.clock.now_us();
         let mut plan = cached.plan.substitute_params(params)?;
-        let mut planning = PlanningInfo::default();
+        let mut planning = PlanningInfo {
+            replans,
+            ..Default::default()
+        };
         self.rehint_plan(&mut plan, &mut planning);
         let planned = self.clock.now_us();
         let mut steps = Vec::new();
@@ -629,6 +673,35 @@ impl Database {
             }
         }
         (ests, info)
+    }
+
+    /// `sys.indexes` rows: one per secondary index, sorted by table name
+    /// then index id. The embedded engine has no shards, so the backing
+    /// shard set renders as `-`.
+    fn index_rows(&self) -> Vec<Row> {
+        let mut names: Vec<&str> = self.catalog.names().collect();
+        names.sort_unstable();
+        let mut rows = Vec::new();
+        for name in names {
+            let Ok(t) = self.catalog.get(name) else {
+                continue;
+            };
+            for (ix_id, ix) in t.indexes().iter().enumerate() {
+                let cols: Vec<&str> = ix
+                    .key_columns()
+                    .iter()
+                    .map(|&c| t.schema().columns()[c].name.as_str())
+                    .collect();
+                rows.push(Row::new(vec![
+                    Datum::Text(format!("{name}_ix{ix_id}")),
+                    Datum::Text(name.to_string()),
+                    Datum::Text(cols.join(",")),
+                    Datum::Int(ix.len() as i64),
+                    Datum::Text("-".into()),
+                ]));
+            }
+        }
+        rows
     }
 
     /// `sys.prepared` rows: one per cached plan, sorted by canonical text.
@@ -1072,7 +1145,7 @@ mod tests {
         let plan = db
             .plan_only("select * from olap.t1 where b1 > 10")
             .unwrap();
-        assert_eq!(plan.est_rows, 123_456.0);
+        assert_eq!(plan.est_rows(), 123_456.0);
     }
 
     #[test]

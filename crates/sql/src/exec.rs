@@ -57,11 +57,20 @@ fn execute_inner(
             residual,
             ..
         } => backend.point_get(table, *index_id, key_values, residual.as_ref())?,
+        PlanOp::IndexRange {
+            table,
+            index_id,
+            lo,
+            hi,
+            residual,
+            ..
+        } => backend.index_range(table, *index_id, lo, hi, residual.as_ref())?,
         PlanOp::Exchange {
             table,
             predicate,
             shards,
-        } => backend.scan_shards(table, predicate.as_ref(), shards)?,
+            probe,
+        } => backend.scan_shards(table, predicate.as_ref(), shards, probe.as_ref())?,
         PlanOp::Values { rows, .. } => rows.clone(),
         PlanOp::Filter { predicate } => {
             let input = execute_inner(&plan.children[0], backend, obs, prof.as_deref_mut())?;
@@ -204,7 +213,7 @@ fn execute_inner(
         obs.push(StepObservation {
             kind: plan.step_kind(),
             text,
-            estimated: plan.est_rows,
+            estimated: plan.est_rows(),
             actual: rows.len() as u64,
         });
     }

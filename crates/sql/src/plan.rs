@@ -10,7 +10,8 @@
 
 use crate::ast::SetOpKind;
 use crate::expr::{BoundSchema, SExpr};
-use hdm_common::Row;
+use hdm_common::{Datum, Row};
+use std::ops::Bound;
 
 /// Which logical operator class a step belongs to. The paper captures
 /// exactly the cardinality-affecting classes: "scans, joins, aggregation
@@ -34,6 +35,79 @@ pub struct StepObservation {
     pub text: String,
     pub estimated: f64,
     pub actual: u64,
+}
+
+/// Multi-objective plan cost. Every [`PlanNode`] carries one; the planner
+/// builds it bottom-up (each operator adds its own increment to the summed
+/// work of its children) and alternatives are compared on the weighted
+/// [`CostEstimate::total`]. `rows` is the node's estimated output
+/// cardinality — the quantity the learned plan store corrects with captured
+/// actuals; the work terms are what access-path and join-order choices are
+/// gated on.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CostEstimate {
+    /// Estimated output cardinality of this subtree.
+    pub rows: f64,
+    /// Tuples touched / hashed / compared (CN- or DN-local compute).
+    pub cpu: f64,
+    /// Tuples fetched from storage; random fetches are pre-multiplied by
+    /// [`CostEstimate::RANDOM_IO`] at the access path that incurs them.
+    pub io: f64,
+    /// Tuples shipped between CN and DN legs, plus per-leg fan-out setup.
+    pub net: f64,
+}
+
+impl CostEstimate {
+    /// Weight vector collapsing the objective terms into one comparable
+    /// scalar. IO is pricier than CPU, network pricier than IO — the same
+    /// ordering Greenplum's motion-aware cost model uses.
+    pub const W_CPU: f64 = 1.0;
+    pub const W_IO: f64 = 2.0;
+    pub const W_NET: f64 = 4.0;
+    /// Penalty multiplier for a random (index-probe) fetch vs one sequential
+    /// scan step. Makes a non-selective index lose to a full scan: the
+    /// break-even is roughly one third of the table.
+    pub const RANDOM_IO: f64 = 4.0;
+    /// Per-shard fan-out setup charge for an Exchange leg.
+    pub const NET_FANOUT: f64 = 8.0;
+
+    /// A cost that only carries a cardinality (no work terms). Used for
+    /// synthetic nodes (Values, test literals) where work is negligible.
+    pub fn rows_only(rows: f64) -> CostEstimate {
+        CostEstimate {
+            rows,
+            ..CostEstimate::default()
+        }
+    }
+
+    /// Sum of the work terms accumulated in `children` (rows = 0): the
+    /// starting point for a parent operator's own cost.
+    pub fn of_children(children: &[PlanNode]) -> CostEstimate {
+        let mut c = CostEstimate::default();
+        for ch in children {
+            c.cpu += ch.cost.cpu;
+            c.io += ch.cost.io;
+            c.net += ch.cost.net;
+        }
+        c
+    }
+
+    /// This operator's increment on top of the already-summed child work:
+    /// sets the output cardinality and adds the work deltas.
+    pub fn with(mut self, rows: f64, cpu: f64, io: f64, net: f64) -> CostEstimate {
+        self.rows = rows;
+        self.cpu += cpu;
+        self.io += io;
+        self.net += net;
+        self
+    }
+
+    /// Weighted scalar total used to compare alternative plans. Output
+    /// cardinality is deliberately excluded: rows are what downstream
+    /// operators pay for, not work this subtree performs.
+    pub fn total(&self) -> f64 {
+        self.cpu * Self::W_CPU + self.io * Self::W_IO + self.net * Self::W_NET
+    }
 }
 
 /// Aggregate functions.
@@ -87,6 +161,21 @@ pub enum PlanOp {
         key_values: Vec<hdm_common::Datum>,
         residual: Option<SExpr>,
     },
+    /// Ordered range walk over a single-column index plus residual
+    /// predicate. Logically still a SCAN (same canonical text as the
+    /// equivalent SeqScan), chosen over it only when the weighted cost says
+    /// the bounded walk is cheaper.
+    IndexRange {
+        table: String,
+        index_id: usize,
+        /// The range conjuncts consumed by the walk (for canonical text).
+        bound_exprs: Vec<SExpr>,
+        /// Concrete lower/upper bounds on the indexed column, recomputed
+        /// from `bound_exprs` after parameter substitution.
+        lo: Bound<Datum>,
+        hi: Bound<Datum>,
+        residual: Option<SExpr>,
+    },
     /// Materialized rows (CTE results, table functions, VALUES).
     Values {
         label: String,
@@ -102,6 +191,12 @@ pub enum PlanOp {
         table: String,
         predicate: Option<SExpr>,
         shards: Vec<u64>,
+        /// When the CN-side plan chose an index access path, the DN legs
+        /// probe their local index instead of scanning the shard slice. The
+        /// probe never appears in canonical text (access paths must not
+        /// leak into step definitions) and is always concrete: Exchange
+        /// nodes are produced per-execution after parameter substitution.
+        probe: Option<ExchangeProbe>,
     },
     Filter {
         predicate: SExpr,
@@ -135,23 +230,52 @@ pub enum PlanOp {
     Distinct,
 }
 
-/// A plan tree node annotated with its estimated output cardinality and
-/// bound output schema.
+/// How an Exchange leg reads its shard slice when an index access path was
+/// chosen: an equality probe or a bounded range walk over a DN-local index.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExchangeProbe {
+    /// Probe the DN-local index whose key columns match `columns` with the
+    /// concrete `key`.
+    Eq { columns: Vec<usize>, key: Vec<Datum> },
+    /// Walk the DN-local single-column index on `column` between the
+    /// concrete bounds.
+    Range {
+        column: usize,
+        lo: Bound<Datum>,
+        hi: Bound<Datum>,
+    },
+}
+
+/// A plan tree node annotated with its multi-objective cost (including the
+/// estimated output cardinality) and bound output schema.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlanNode {
     pub op: PlanOp,
     pub children: Vec<PlanNode>,
-    pub est_rows: f64,
+    pub cost: CostEstimate,
     pub schema: BoundSchema,
 }
 
 impl PlanNode {
+    /// Estimated output cardinality of this subtree — the scalar the plan
+    /// store corrects with captured actuals.
+    pub fn est_rows(&self) -> f64 {
+        self.cost.rows
+    }
+
+    /// Overwrite the cardinality estimate (hint substitution / rehinting);
+    /// the work terms keep their planning-time values.
+    pub fn set_est_rows(&mut self, rows: f64) {
+        self.cost.rows = rows;
+    }
+
     /// The logical step class of this operator.
     pub fn step_kind(&self) -> StepKind {
         match &self.op {
-            PlanOp::SeqScan { .. } | PlanOp::IndexScan { .. } | PlanOp::Exchange { .. } => {
-                StepKind::Scan
-            }
+            PlanOp::SeqScan { .. }
+            | PlanOp::IndexScan { .. }
+            | PlanOp::IndexRange { .. }
+            | PlanOp::Exchange { .. } => StepKind::Scan,
             PlanOp::NestedLoopJoin { .. } | PlanOp::HashJoin { .. } => StepKind::Join,
             PlanOp::HashAgg { .. } => StepKind::Agg,
             PlanOp::SetOp { .. } => StepKind::SetOp,
@@ -193,6 +317,25 @@ impl PlanNode {
                 preds.sort();
                 render_scan(table, &preds)
             }
+            PlanOp::IndexRange {
+                table,
+                bound_exprs,
+                residual,
+                ..
+            } => {
+                // Same treatment as IndexScan: the range conjuncts and the
+                // residual merge into one ordered predicate list, so the
+                // range walk renders identically to the sequential plan.
+                let mut preds: Vec<String> = bound_exprs
+                    .iter()
+                    .map(|k| k.canonical(&self.schema))
+                    .collect();
+                if let Some(r) = residual {
+                    preds.extend(conjunct_texts(r, &self.schema));
+                }
+                preds.sort();
+                render_scan(table, &preds)
+            }
             PlanOp::Values { label, rows } => {
                 format!("VALUES({},{})", label.to_ascii_uppercase(), rows.len())
             }
@@ -200,6 +343,7 @@ impl PlanNode {
                 table,
                 predicate,
                 shards,
+                ..
             } => {
                 let shard_list: Vec<String> = shards.iter().map(u64::to_string).collect();
                 format!(
@@ -320,17 +464,24 @@ impl PlanNode {
                 None => format!("Seq Scan on {table}"),
             },
             PlanOp::IndexScan { table, .. } => format!("Index Scan on {table}"),
+            PlanOp::IndexRange { table, .. } => format!("Index Range Scan on {table}"),
             PlanOp::Values { label, rows } => format!("Values {label} ({} rows)", rows.len()),
             PlanOp::Exchange {
                 table,
                 predicate,
                 shards,
+                probe,
             } => {
                 let pred = match predicate {
                     Some(p) => format!(" (filter: {})", p.display(&self.schema)),
                     None => String::new(),
                 };
-                format!("Exchange Scan on {table}{pred} (shards: {shards:?})")
+                let access = match probe {
+                    Some(ExchangeProbe::Eq { .. }) => "Exchange Index Scan",
+                    Some(ExchangeProbe::Range { .. }) => "Exchange Index Range Scan",
+                    None => "Exchange Scan",
+                };
+                format!("{access} on {table}{pred} (shards: {shards:?})")
             }
             PlanOp::Filter { predicate } => format!(
                 "Filter ({})",
@@ -361,6 +512,14 @@ impl PlanNode {
                 ..
             } => {
                 key_exprs.iter().any(SExpr::has_params)
+                    || residual.as_ref().is_some_and(SExpr::has_params)
+            }
+            PlanOp::IndexRange {
+                bound_exprs,
+                residual,
+                ..
+            } => {
+                bound_exprs.iter().any(SExpr::has_params)
                     || residual.as_ref().is_some_and(SExpr::has_params)
             }
             PlanOp::Filter { predicate } => predicate.has_params(),
@@ -425,14 +584,37 @@ impl PlanNode {
                     residual: sub_opt(residual)?,
                 }
             }
+            PlanOp::IndexRange {
+                table,
+                index_id,
+                bound_exprs,
+                residual,
+                ..
+            } => {
+                let bound_exprs: Vec<SExpr> = bound_exprs
+                    .iter()
+                    .map(|k| k.substitute_params(params))
+                    .collect::<hdm_common::Result<_>>()?;
+                let (lo, hi) = range_bounds_from_exprs(&bound_exprs)?;
+                PlanOp::IndexRange {
+                    table: table.clone(),
+                    index_id: *index_id,
+                    bound_exprs,
+                    lo,
+                    hi,
+                    residual: sub_opt(residual)?,
+                }
+            }
             PlanOp::Exchange {
                 table,
                 predicate,
                 shards,
+                probe,
             } => PlanOp::Exchange {
                 table: table.clone(),
                 predicate: sub_opt(predicate)?,
                 shards: shards.clone(),
+                probe: probe.clone(),
             },
             PlanOp::Filter { predicate } => PlanOp::Filter {
                 predicate: predicate.substitute_params(params)?,
@@ -487,7 +669,7 @@ impl PlanNode {
         Ok(PlanNode {
             op,
             children,
-            est_rows: self.est_rows,
+            cost: self.cost,
             schema: self.schema.clone(),
         })
     }
@@ -495,9 +677,10 @@ impl PlanNode {
     fn explain_into(&self, out: &mut String, depth: usize) {
         let pad = "  ".repeat(depth);
         out.push_str(&format!(
-            "{pad}{}  (rows={:.0})\n",
+            "{pad}{}  (rows={:.0} cost={:.1})\n",
             self.describe(),
-            self.est_rows
+            self.cost.rows,
+            self.cost.total()
         ));
         for c in &self.children {
             c.explain_into(out, depth + 1);
@@ -517,6 +700,111 @@ pub(crate) fn eq_key_value(e: &SExpr) -> Option<hdm_common::Datum> {
         }
     }
     None
+}
+
+/// Decompose a range comparison into `(column, op-with-column-on-the-left,
+/// value side)`. `10 < col` normalizes to `col > 10`. The value side may
+/// still be a parameter at plan time.
+pub(crate) fn range_bound_parts(e: &SExpr) -> Option<(usize, crate::ast::BinOp, &SExpr)> {
+    use crate::ast::BinOp;
+    let SExpr::Binary(op, l, r) = e else {
+        return None;
+    };
+    let flipped = |op: BinOp| match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::Le => BinOp::Ge,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::Ge => BinOp::Le,
+        other => other,
+    };
+    match (op, &**l, &**r) {
+        (BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge, SExpr::Col(c), v)
+            if matches!(v, SExpr::Lit(_) | SExpr::Param(_)) =>
+        {
+            Some((*c, *op, v))
+        }
+        (BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge, v, SExpr::Col(c))
+            if matches!(v, SExpr::Lit(_) | SExpr::Param(_)) =>
+        {
+            Some((*c, flipped(*op), v))
+        }
+        _ => None,
+    }
+}
+
+/// Fold concrete range conjuncts (all on the same column) into the tightest
+/// `(lo, hi)` bound pair for an ordered-index walk. Errors if any value is
+/// still unbound.
+pub(crate) fn range_bounds_from_exprs(
+    exprs: &[SExpr],
+) -> hdm_common::Result<(Bound<Datum>, Bound<Datum>)> {
+    use crate::ast::BinOp;
+    let mut lo: Bound<Datum> = Bound::Unbounded;
+    let mut hi: Bound<Datum> = Bound::Unbounded;
+    for e in exprs {
+        let Some((_, op, v)) = range_bound_parts(e) else {
+            return Err(hdm_common::HdmError::Execution(
+                "index range bound is not a column/value comparison".into(),
+            ));
+        };
+        let SExpr::Lit(d) = v else {
+            return Err(hdm_common::HdmError::Execution(
+                "index range bound is not concrete".into(),
+            ));
+        };
+        match op {
+            BinOp::Gt => lo = tighter_lo(lo, Bound::Excluded(d.clone())),
+            BinOp::Ge => lo = tighter_lo(lo, Bound::Included(d.clone())),
+            BinOp::Lt => hi = tighter_hi(hi, Bound::Excluded(d.clone())),
+            BinOp::Le => hi = tighter_hi(hi, Bound::Included(d.clone())),
+            _ => unreachable!("range_bound_parts only yields comparisons"),
+        }
+    }
+    Ok((lo, hi))
+}
+
+fn tighter_lo(a: Bound<Datum>, b: Bound<Datum>) -> Bound<Datum> {
+    use std::cmp::Ordering;
+    match (&a, &b) {
+        (Bound::Unbounded, _) => b,
+        (_, Bound::Unbounded) => a,
+        (Bound::Included(x) | Bound::Excluded(x), Bound::Included(y) | Bound::Excluded(y)) => {
+            match x.cmp(y) {
+                Ordering::Greater => a,
+                Ordering::Less => b,
+                // Same value: Excluded is the tighter lower bound.
+                Ordering::Equal => {
+                    if matches!(a, Bound::Excluded(_)) {
+                        a
+                    } else {
+                        b
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn tighter_hi(a: Bound<Datum>, b: Bound<Datum>) -> Bound<Datum> {
+    use std::cmp::Ordering;
+    match (&a, &b) {
+        (Bound::Unbounded, _) => b,
+        (_, Bound::Unbounded) => a,
+        (Bound::Included(x) | Bound::Excluded(x), Bound::Included(y) | Bound::Excluded(y)) => {
+            match x.cmp(y) {
+                Ordering::Less => a,
+                Ordering::Greater => b,
+                // Same value: Excluded is the tighter upper bound.
+                Ordering::Equal => {
+                    if matches!(a, Bound::Excluded(_)) {
+                        a
+                    } else {
+                        b
+                    }
+                }
+            }
+        }
+    }
 }
 
 fn conjunct_texts(e: &SExpr, schema: &BoundSchema) -> Vec<String> {
@@ -605,7 +893,7 @@ mod tests {
                 predicate: Some(pred),
             },
             children: vec![],
-            est_rows: 50.0,
+            cost: CostEstimate::rows_only(50.0),
             schema,
         }
     }
@@ -617,7 +905,7 @@ mod tests {
                 predicate: None,
             },
             children: vec![],
-            est_rows: 100.0,
+            cost: CostEstimate::rows_only(100.0),
             schema: t2_schema(),
         }
     }
@@ -646,7 +934,7 @@ mod tests {
         let join = PlanNode {
             op: PlanOp::NestedLoopJoin { on: Some(on) },
             children: vec![left, right],
-            est_rows: 50.0,
+            cost: CostEstimate::rows_only(50.0),
             schema,
         };
         assert_eq!(
@@ -676,7 +964,7 @@ mod tests {
             PlanNode {
                 op: PlanOp::NestedLoopJoin { on: Some(on) },
                 children: vec![l, r],
-                est_rows: 1.0,
+                cost: CostEstimate::rows_only(1.0),
                 schema,
             }
             .canonical()
@@ -699,7 +987,7 @@ mod tests {
         let nl = PlanNode {
             op: PlanOp::NestedLoopJoin { on: Some(nl_on) },
             children: vec![left.clone(), right.clone()],
-            est_rows: 1.0,
+            cost: CostEstimate::rows_only(1.0),
             schema: schema.clone(),
         };
         let hj = PlanNode {
@@ -709,7 +997,7 @@ mod tests {
                 residual: None,
             },
             children: vec![left, right],
-            est_rows: 1.0,
+            cost: CostEstimate::rows_only(1.0),
             schema,
         };
         assert_eq!(nl.canonical(), hj.canonical());
@@ -729,7 +1017,7 @@ mod tests {
                 }],
             },
             children: vec![scan],
-            est_rows: 10.0,
+            cost: CostEstimate::rows_only(10.0),
             schema: ischema,
         };
         assert_eq!(
@@ -739,7 +1027,7 @@ mod tests {
         let limit = PlanNode {
             op: PlanOp::Limit { n: 5 },
             children: vec![agg],
-            est_rows: 5.0,
+            cost: CostEstimate::rows_only(5.0),
             schema: BoundSchema::default(),
         };
         assert!(limit.canonical().unwrap().starts_with("LIMIT(AGG("));
@@ -752,7 +1040,7 @@ mod tests {
         let sorted = PlanNode {
             op: PlanOp::Sort { keys: vec![] },
             children: vec![scan],
-            est_rows: 50.0,
+            cost: CostEstimate::rows_only(50.0),
             schema: t1_schema(),
         };
         // Sort itself isn't captured, but its canonical_inner passes through.
@@ -768,7 +1056,7 @@ mod tests {
         let join = PlanNode {
             op: PlanOp::NestedLoopJoin { on: None },
             children: vec![left, right],
-            est_rows: 5000.0,
+            cost: CostEstimate::rows_only(5000.0),
             schema,
         };
         let text = join.explain();

@@ -1,22 +1,29 @@
 //! The cost-based planner.
 //!
-//! AST → physical [`PlanNode`] with per-step estimated cardinalities:
-//! predicate pushdown, equality-index selection, greedy join ordering by
-//! estimated output size, hash joins for equi-predicates, and hash
-//! aggregation. Before trusting its own estimate for a SCAN/JOIN/AGG step
-//! the planner consults the [`crate::db::CardinalityHints`] hook — the plan
-//! store's *consumer* side ("The optimizer gets statistics information from
-//! the plan store and uses it instead of its own estimates … The use of
-//! steps statistics is done opportunistically", §II-C).
+//! AST → physical [`PlanNode`] with per-step multi-objective costs
+//! ([`CostEstimate`]): predicate pushdown, cost-gated index access paths
+//! (equality probes and range walks, falling back to SeqScan when the
+//! weighted total says the probe is dearer), exhaustive bottom-up
+//! join-order search for ≤ [`EXHAUSTIVE_JOIN_LIMIT`] relations (greedy
+//! beyond), hash joins for equi-predicates, and hash aggregation. Before
+//! trusting its own estimate for a SCAN/JOIN/AGG step the planner consults
+//! the [`crate::db::CardinalityHints`] hook — the plan store's *consumer*
+//! side ("The optimizer gets statistics information from the plan store and
+//! uses it instead of its own estimates … The use of steps statistics is
+//! done opportunistically", §II-C).
 
 use crate::ast::{BinOp, Expr, SelectItem, SelectStmt, SetOpKind, Statement, TableRef};
 use crate::catalog::Catalog;
 use crate::db::{CardinalityHints, TableFunction};
 use crate::expr::{bind, BoundColumn, BoundSchema, SExpr};
-use crate::plan::{AggCall, AggFunc, PlanNode, PlanOp};
+use crate::plan::{
+    range_bound_parts, range_bounds_from_exprs, AggCall, AggFunc, CostEstimate, PlanNode, PlanOp,
+};
+use crate::rewrite::pick_cheapest;
 use crate::sys::SysSnapshot;
 use hdm_common::{DataType, Datum, HdmError, Result, Row};
 use std::collections::HashMap;
+use std::ops::Bound;
 
 /// Default row count for tables without statistics.
 const DEFAULT_ROWS: f64 = 1000.0;
@@ -24,12 +31,19 @@ const DEFAULT_ROWS: f64 = 1000.0;
 const DEFAULT_NDV: f64 = 10.0;
 /// Default selectivity for opaque predicates.
 const DEFAULT_SEL: f64 = 1.0 / 3.0;
+/// Up to this many base relations, join order is searched exhaustively
+/// (Selinger-style bitmask DP); beyond it the greedy smallest-first fold
+/// keeps planning linear.
+const EXHAUSTIVE_JOIN_LIMIT: usize = 4;
 
 /// Hint usage accounting for one planning pass.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PlanningInfo {
     pub hint_hits: u64,
     pub hint_misses: u64,
+    /// Times a cached plan was discarded and re-planned because captured
+    /// actuals drifted past the misestimate threshold.
+    pub replans: u64,
 }
 
 /// Materialized temporary relations (CTE results), by lowercase name.
@@ -88,27 +102,29 @@ impl<'a> Planner<'a> {
                     right.schema.len()
                 )));
             }
+            let (lrows, rrows) = (node.cost.rows, right.cost.rows);
             let est = match kind {
                 SetOpKind::Union => {
                     if *all {
-                        node.est_rows + right.est_rows
+                        lrows + rrows
                     } else {
-                        (node.est_rows + right.est_rows) * 0.9
+                        (lrows + rrows) * 0.9
                     }
                 }
-                SetOpKind::Intersect => node.est_rows.min(right.est_rows) * 0.5,
-                SetOpKind::Except => node.est_rows * 0.5,
+                SetOpKind::Intersect => lrows.min(rrows) * 0.5,
+                SetOpKind::Except => lrows * 0.5,
             };
             let schema = node.schema.clone();
-            node = self.hinted(PlanNode {
-                op: PlanOp::SetOp {
+            node = self.hinted(cpu_node(
+                PlanOp::SetOp {
                     kind: *kind,
                     all: *all,
                 },
-                children: vec![node, right],
-                est_rows: est,
+                vec![node, right],
+                est,
+                lrows + rrows,
                 schema,
-            });
+            ));
             chain = &rhs.set_op;
         }
 
@@ -124,13 +140,14 @@ impl<'a> Planner<'a> {
             };
             match bind_keys(&node.schema) {
                 Ok(keys) => {
-                    let (est_rows, schema) = (node.est_rows, node.schema.clone());
-                    node = PlanNode {
-                        op: PlanOp::Sort { keys },
-                        children: vec![node],
-                        est_rows,
+                    let (est, schema) = (node.cost.rows, node.schema.clone());
+                    node = cpu_node(
+                        PlanOp::Sort { keys },
+                        vec![node],
+                        est,
+                        sort_cpu(est),
                         schema,
-                    };
+                    );
                 }
                 Err(outer_err) => {
                     if !matches!(node.op, PlanOp::Project { .. }) {
@@ -139,27 +156,23 @@ impl<'a> Planner<'a> {
                     let mut project = node;
                     let child = project.children.remove(0);
                     let keys = bind_keys(&child.schema).map_err(|_| outer_err)?;
-                    let (est_rows, schema) = (child.est_rows, child.schema.clone());
-                    let sorted = PlanNode {
-                        op: PlanOp::Sort { keys },
-                        children: vec![child],
-                        est_rows,
+                    let (est, schema) = (child.cost.rows, child.schema.clone());
+                    let sorted = cpu_node(
+                        PlanOp::Sort { keys },
+                        vec![child],
+                        est,
+                        sort_cpu(est),
                         schema,
-                    };
+                    );
                     project.children.push(sorted);
                     node = project;
                 }
             }
         }
         if let Some(n) = stmt.limit {
-            let est = node.est_rows.min(n as f64);
+            let est = node.cost.rows.min(n as f64);
             let schema = node.schema.clone();
-            node = self.hinted(PlanNode {
-                op: PlanOp::Limit { n },
-                children: vec![node],
-                est_rows: est,
-                schema,
-            });
+            node = self.hinted(cpu_node(PlanOp::Limit { n }, vec![node], est, 0.0, schema));
         }
         Ok(node)
     }
@@ -181,7 +194,7 @@ impl<'a> Planner<'a> {
                         rows: vec![Row::new(vec![])],
                     },
                     children: vec![],
-                    est_rows: 1.0,
+                    cost: CostEstimate::rows_only(1.0),
                     schema: BoundSchema::default(),
                 },
             });
@@ -211,7 +224,8 @@ impl<'a> Planner<'a> {
             nodes.push(self.finalize_scan(rel.node, push)?);
         }
 
-        // 5. Greedy join ordering.
+        // 5. Join ordering: exhaustive cost search for small joins, greedy
+        // beyond the DP limit.
         let mut node = self.order_joins(nodes, edges)?;
 
         // 6. Residual filters.
@@ -221,14 +235,16 @@ impl<'a> Planner<'a> {
                 .reduce(|a, b| Expr::bin(BinOp::And, a, b))
                 .expect("nonempty");
             let bound = bind(&pred, &node.schema)?;
-            let est = node.est_rows * DEFAULT_SEL;
+            let input_rows = node.cost.rows;
+            let est = input_rows * DEFAULT_SEL;
             let schema = node.schema.clone();
-            node = PlanNode {
-                op: PlanOp::Filter { predicate: bound },
-                children: vec![node],
-                est_rows: est,
+            node = cpu_node(
+                PlanOp::Filter { predicate: bound },
+                vec![node],
+                est,
+                input_rows,
                 schema,
-            };
+            );
         }
 
         // 7. Aggregation or plain projection.
@@ -245,14 +261,10 @@ impl<'a> Planner<'a> {
 
         // 8. SELECT DISTINCT.
         if stmt.distinct {
-            let est = (node.est_rows * 0.9).max(1.0);
+            let input_rows = node.cost.rows;
+            let est = (input_rows * 0.9).max(1.0);
             let schema = node.schema.clone();
-            node = PlanNode {
-                op: PlanOp::Distinct,
-                children: vec![node],
-                est_rows: est,
-                schema,
-            };
+            node = cpu_node(PlanOp::Distinct, vec![node], est, input_rows, schema);
         }
         Ok(node)
     }
@@ -281,7 +293,7 @@ impl<'a> Planner<'a> {
                                 rows: rows.clone(),
                             },
                             children: vec![],
-                            est_rows: rows.len() as f64,
+                            cost: CostEstimate::rows_only(rows.len() as f64),
                             schema,
                         },
                     });
@@ -293,6 +305,7 @@ impl<'a> Planner<'a> {
                         // est_rows is the frozen count (exact, the snapshot
                         // cannot change mid-statement).
                         let schema = BoundSchema::from_table(&key, &refq, &vschema);
+                        let n = snapshot.rows(&key).len() as f64;
                         rels.push(Rel {
                             node: PlanNode {
                                 op: PlanOp::SeqScan {
@@ -300,7 +313,9 @@ impl<'a> Planner<'a> {
                                     predicate: None,
                                 },
                                 children: vec![],
-                                est_rows: snapshot.rows(&key).len() as f64,
+                                // Frozen CN-local rows: CPU to walk them, no
+                                // storage IO.
+                                cost: CostEstimate::default().with(n, n, 0.0, 0.0),
                                 schema,
                             },
                         });
@@ -320,7 +335,9 @@ impl<'a> Planner<'a> {
                             predicate: None,
                         },
                         children: vec![],
-                        est_rows: est,
+                        // Full scan: every stored tuple is both fetched and
+                        // inspected.
+                        cost: CostEstimate::default().with(est, est, est, 0.0),
                         schema,
                     },
                 });
@@ -347,7 +364,7 @@ impl<'a> Planner<'a> {
                             rows: rows.clone(),
                         },
                         children: vec![],
-                        est_rows: rows.len() as f64,
+                        cost: CostEstimate::rows_only(rows.len() as f64),
                         schema: bschema,
                     },
                 });
@@ -417,7 +434,11 @@ impl<'a> Planner<'a> {
         }
     }
 
-    /// Attach pushed-down predicates to a scan, possibly via an index probe.
+    /// Attach pushed-down predicates to a scan. For base tables this builds
+    /// the full access-path candidate set — sequential scan, equality index
+    /// probes, index range walks — costs each one, and keeps the cheapest
+    /// weighted total. The sequential candidate comes first, so cost ties
+    /// fall back to SeqScan.
     fn finalize_scan(&mut self, node: PlanNode, push: Vec<Expr>) -> Result<PlanNode> {
         if push.is_empty() {
             return Ok(self.hinted(node));
@@ -428,102 +449,233 @@ impl<'a> Planner<'a> {
             .map(|e| bind(e, &schema))
             .collect::<Result<_>>()?;
 
-        // Index probe opportunity: base table + single-column index + an
-        // equality conjunct `col = literal` on the indexed column.
-        if let PlanOp::SeqScan { table, .. } = &node.op {
-            if let Ok(t) = self.catalog.get(table) {
-                for (ix_id, ix) in t.indexes().iter().enumerate() {
-                    if ix.key_columns().len() != 1 {
-                        continue;
+        let base = node.cost.rows.max(1.0);
+        let mut est = base;
+        for b in &bound {
+            est *= self.selectivity(b, &schema);
+        }
+        let est = est.max(1.0);
+
+        // Sequential candidate: always available, always first.
+        let pred = and_all(bound.clone()).expect("nonempty pushdowns");
+        let mut candidates: Vec<PlanNode> = Vec::new();
+        let seq_table = match &node.op {
+            PlanOp::SeqScan { table, .. } => Some(table.clone()),
+            _ => None,
+        };
+        match &seq_table {
+            Some(table) => candidates.push(PlanNode {
+                op: PlanOp::SeqScan {
+                    table: table.clone(),
+                    predicate: Some(pred.clone()),
+                },
+                children: vec![],
+                cost: node.cost.with(est, 0.0, 0.0, 0.0),
+                schema: schema.clone(),
+            }),
+            // Filter over a Values/subplan node: no alternatives to weigh.
+            None => {
+                let input_rows = node.cost.rows;
+                return Ok(self.hinted(cpu_node(
+                    PlanOp::Filter { predicate: pred },
+                    vec![node],
+                    est,
+                    input_rows,
+                    schema,
+                )));
+            }
+        }
+
+        // Index candidates: base table + single-column index + equality or
+        // range conjuncts on the indexed column.
+        let table = seq_table.expect("base table checked above");
+        if let Ok(t) = self.catalog.get(&table) {
+            for (ix_id, ix) in t.indexes().iter().enumerate() {
+                if ix.key_columns().len() != 1 {
+                    continue;
+                }
+                let key_col = ix.key_columns()[0];
+
+                // Equality probe on the first matching conjunct. An unbound
+                // parameter still qualifies: the placeholder key value is
+                // recomputed by `PlanNode::substitute_params` at bind time.
+                let eq_hit = bound.iter().enumerate().find_map(|(ci, b)| {
+                    let SExpr::Binary(BinOp::Eq, l, r) = b else {
+                        return None;
+                    };
+                    let (col, lit) = match (&**l, &**r) {
+                        (SExpr::Col(c), SExpr::Lit(d)) => (*c, d.clone()),
+                        (SExpr::Lit(d), SExpr::Col(c)) => (*c, d.clone()),
+                        (SExpr::Col(c), SExpr::Param(_)) => (*c, Datum::Null),
+                        (SExpr::Param(_), SExpr::Col(c)) => (*c, Datum::Null),
+                        _ => return None,
+                    };
+                    (col == key_col).then(|| (ci, b.clone(), lit))
+                });
+                if let Some((ci, key_expr, lit)) = eq_hit {
+                    let residual_exprs: Vec<SExpr> = bound
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| *i != ci)
+                        .map(|(_, e)| e.clone())
+                        .collect();
+                    // Rows the probe fetches before residual filtering.
+                    let fetched = (base / self.ndv(&schema.cols[key_col]).max(1.0)).max(1.0);
+                    let mut ix_est = fetched;
+                    for e in &residual_exprs {
+                        ix_est *= self.selectivity(e, &schema);
                     }
-                    let key_col = ix.key_columns()[0];
-                    for (ci, b) in bound.iter().enumerate() {
-                        if let SExpr::Binary(BinOp::Eq, l, r) = b {
-                            // An unbound parameter still qualifies for the
-                            // probe: the placeholder key value is recomputed
-                            // by `PlanNode::substitute_params` at bind time.
-                            let (col, lit) = match (&**l, &**r) {
-                                (SExpr::Col(c), SExpr::Lit(d)) => (*c, d.clone()),
-                                (SExpr::Lit(d), SExpr::Col(c)) => (*c, d.clone()),
-                                (SExpr::Col(c), SExpr::Param(_)) => (*c, Datum::Null),
-                                (SExpr::Param(_), SExpr::Col(c)) => (*c, Datum::Null),
-                                _ => continue,
-                            };
-                            if col != key_col {
-                                continue;
-                            }
-                            // Build the index scan.
-                            let residual_exprs: Vec<SExpr> = bound
-                                .iter()
-                                .enumerate()
-                                .filter(|(i, _)| *i != ci)
-                                .map(|(_, e)| e.clone())
-                                .collect();
-                            let residual = and_all(residual_exprs);
-                            let base = node.est_rows.max(1.0);
-                            let mut est = base / self.ndv(&schema.cols[col]).max(1.0);
-                            for e in bound.iter().enumerate().filter(|(i, _)| *i != ci) {
-                                est *= self.selectivity(e.1, &schema);
-                            }
-                            let new_node = PlanNode {
-                                op: PlanOp::IndexScan {
-                                    table: table.clone(),
-                                    index_id: ix_id,
-                                    key_exprs: vec![b.clone()],
-                                    key_values: vec![lit],
-                                    residual,
-                                },
-                                children: vec![],
-                                est_rows: est.max(1.0),
-                                schema,
-                            };
-                            return Ok(self.hinted(new_node));
-                        }
+                    candidates.push(PlanNode {
+                        op: PlanOp::IndexScan {
+                            table: table.clone(),
+                            index_id: ix_id,
+                            key_exprs: vec![key_expr],
+                            key_values: vec![lit],
+                            residual: and_all(residual_exprs),
+                        },
+                        children: vec![],
+                        cost: index_cost(ix_est.max(1.0), base, fetched),
+                        schema: schema.clone(),
+                    });
+                }
+
+                // Range walk over every range conjunct on the indexed column.
+                let range_idx: Vec<usize> = bound
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, b)| {
+                        matches!(range_bound_parts(b), Some((c, _, _)) if c == key_col)
+                    })
+                    .map(|(i, _)| i)
+                    .collect();
+                if !range_idx.is_empty() {
+                    let bound_exprs: Vec<SExpr> = range_idx
+                        .iter()
+                        .map(|&i| bound[i].clone())
+                        .collect();
+                    let residual_exprs: Vec<SExpr> = bound
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| !range_idx.contains(i))
+                        .map(|(_, e)| e.clone())
+                        .collect();
+                    // Parameter bounds stay Unbounded at plan time; they are
+                    // recomputed from the substituted bound expressions.
+                    let (lo, hi) = range_bounds_from_exprs(&bound_exprs)
+                        .unwrap_or((Bound::Unbounded, Bound::Unbounded));
+                    let mut walk_sel = 1.0;
+                    for e in &bound_exprs {
+                        walk_sel *= self.selectivity(e, &schema);
                     }
+                    let fetched = (base * walk_sel).max(1.0);
+                    let mut ix_est = fetched;
+                    for e in &residual_exprs {
+                        ix_est *= self.selectivity(e, &schema);
+                    }
+                    candidates.push(PlanNode {
+                        op: PlanOp::IndexRange {
+                            table: table.clone(),
+                            index_id: ix_id,
+                            bound_exprs,
+                            lo,
+                            hi,
+                            residual: and_all(residual_exprs),
+                        },
+                        children: vec![],
+                        cost: index_cost(ix_est.max(1.0), base, fetched),
+                        schema: schema.clone(),
+                    });
                 }
             }
         }
 
-        // Plain filtered scan (or filter over a Values/subplan node).
-        let mut est = node.est_rows.max(1.0);
-        for b in &bound {
-            est *= self.selectivity(b, &schema);
-        }
-        let pred = and_all(bound).expect("nonempty pushdowns");
-        let new_node = match node.op {
-            PlanOp::SeqScan { table, .. } => PlanNode {
-                op: PlanOp::SeqScan {
-                    table,
-                    predicate: Some(pred),
-                },
-                children: vec![],
-                est_rows: est.max(1.0),
-                schema,
-            },
-            _ => PlanNode {
-                op: PlanOp::Filter { predicate: pred },
-                children: vec![node],
-                est_rows: est.max(1.0),
-                schema,
-            },
-        };
-        Ok(self.hinted(new_node))
+        Ok(self.hinted(pick_cheapest(candidates)))
     }
 
-    /// Greedy join ordering: start from the smallest relation, repeatedly
-    /// join the connected relation minimizing the estimated output.
+    /// Join-order search. Exhaustive bitmask DP over the weighted cost total
+    /// up to [`EXHAUSTIVE_JOIN_LIMIT`] relations; greedy smallest-first
+    /// beyond that.
     fn order_joins(
         &mut self,
         mut nodes: Vec<PlanNode>,
-        mut edges: Vec<(usize, usize, Expr)>,
+        edges: Vec<(usize, usize, Expr)>,
     ) -> Result<PlanNode> {
         if nodes.len() == 1 {
             return Ok(nodes.pop().expect("one node"));
         }
+        if nodes.len() <= EXHAUSTIVE_JOIN_LIMIT {
+            self.order_joins_exhaustive(nodes, edges)
+        } else {
+            self.order_joins_greedy(nodes, edges)
+        }
+    }
+
+    /// Selinger-style bottom-up DP: for every subset of relations keep the
+    /// cheapest plan (by [`CostEstimate::total`]), built by merging the best
+    /// plans of two disjoint covering subsets. Cross products are permitted —
+    /// their quadratic NestedLoopJoin CPU term prices them out unless the
+    /// join graph is disconnected. Deterministic: subsets are enumerated in
+    /// ascending mask order and only a strictly cheaper candidate replaces
+    /// the incumbent.
+    fn order_joins_exhaustive(
+        &mut self,
+        nodes: Vec<PlanNode>,
+        edges: Vec<(usize, usize, Expr)>,
+    ) -> Result<PlanNode> {
+        let n = nodes.len();
+        let full: usize = (1 << n) - 1;
+        let mut best: Vec<Option<PlanNode>> = vec![None; 1 << n];
+        for (i, nd) in nodes.into_iter().enumerate() {
+            best[1 << i] = Some(nd);
+        }
+        for mask in 1..=full {
+            if mask.count_ones() < 2 {
+                continue;
+            }
+            // Enumerate splits; anchoring the lowest relation on the left
+            // side visits each unordered split exactly once.
+            let lsb = mask & mask.wrapping_neg();
+            let mut s = (mask - 1) & mask;
+            while s > 0 {
+                if s & lsb != 0 {
+                    let t = mask ^ s;
+                    if let (Some(l), Some(r)) = (&best[s], &best[t]) {
+                        // Every edge crossing the split joins here.
+                        let on: Vec<Expr> = edges
+                            .iter()
+                            .filter(|(a, b, _)| {
+                                (s >> a & 1 == 1 && t >> b & 1 == 1)
+                                    || (s >> b & 1 == 1 && t >> a & 1 == 1)
+                            })
+                            .map(|(_, _, e)| e.clone())
+                            .collect();
+                        let cand = self.build_join(l.clone(), r.clone(), on)?;
+                        let better = match &best[mask] {
+                            None => true,
+                            Some(cur) => cand.cost.total() < cur.cost.total(),
+                        };
+                        if better {
+                            best[mask] = Some(cand);
+                        }
+                    }
+                }
+                s = (s - 1) & mask;
+            }
+        }
+        Ok(best[full].take().expect("full join set planned"))
+    }
+
+    /// Greedy join ordering: start from the smallest relation, repeatedly
+    /// join the connected relation minimizing the estimated output.
+    fn order_joins_greedy(
+        &mut self,
+        mut nodes: Vec<PlanNode>,
+        mut edges: Vec<(usize, usize, Expr)>,
+    ) -> Result<PlanNode> {
         // Track original indices through the fold.
         let mut remaining: Vec<(usize, PlanNode)> = nodes.drain(..).enumerate().collect();
         // Start with the smallest estimate.
-        remaining.sort_by(|a, b| a.1.est_rows.total_cmp(&b.1.est_rows));
+        remaining.sort_by(|a, b| a.1.cost.rows.total_cmp(&b.1.cost.rows));
         let (first_idx, first) = remaining.remove(0);
         let mut joined_ids = vec![first_idx];
         let mut acc = first;
@@ -538,7 +690,7 @@ impl<'a> Planner<'a> {
                 let est = if connected {
                     self.join_estimate(&acc, rnode, true)
                 } else {
-                    acc.est_rows * rnode.est_rows
+                    acc.cost.rows * rnode.cost.rows
                 };
                 // Heavily prefer connected joins.
                 let score = if connected { est } else { est * 1e6 };
@@ -572,36 +724,50 @@ impl<'a> Planner<'a> {
                 .reduce(|a, b| Expr::bin(BinOp::And, a, b))
                 .expect("nonempty");
             let bound = bind(&pred, &acc.schema)?;
-            let est = (acc.est_rows * DEFAULT_SEL).max(1.0);
+            let input_rows = acc.cost.rows;
+            let est = (input_rows * DEFAULT_SEL).max(1.0);
             let schema = acc.schema.clone();
-            acc = PlanNode {
-                op: PlanOp::Filter { predicate: bound },
-                children: vec![acc],
-                est_rows: est,
+            acc = cpu_node(
+                PlanOp::Filter { predicate: bound },
+                vec![acc],
+                est,
+                input_rows,
                 schema,
-            };
+            );
         }
         Ok(acc)
     }
 
     fn join_estimate(&self, l: &PlanNode, r: &PlanNode, connected: bool) -> f64 {
         if !connected {
-            return l.est_rows * r.est_rows;
+            return l.cost.rows * r.cost.rows;
         }
         // Classic equi-join estimate with a generic key NDV.
-        (l.est_rows * r.est_rows / DEFAULT_NDV).max(1.0)
+        (l.cost.rows * r.cost.rows / DEFAULT_NDV).max(1.0)
     }
 
     fn build_join(&mut self, left: PlanNode, right: PlanNode, on: Vec<Expr>) -> Result<PlanNode> {
+        // Canonical operand order: the larger input probes (left), the
+        // smaller builds (right). All joins here are inner, so the swap is
+        // always legal; it collapses equal-cost mirror plans to one shape,
+        // making the chosen join tree a function of the query rather than
+        // of how the FROM list was written. Exact-tie inputs fall back to
+        // the canonical text so the order is still deterministic.
+        let swap = right.cost.rows > left.cost.rows
+            || (right.cost.rows == left.cost.rows && right.canonical() < left.canonical());
+        let (left, right) = if swap { (right, left) } else { (left, right) };
         let schema = left.schema.join(&right.schema);
         if on.is_empty() {
-            let est = left.est_rows * right.est_rows;
-            let node = PlanNode {
-                op: PlanOp::NestedLoopJoin { on: None },
-                children: vec![left, right],
-                est_rows: est.max(1.0),
+            let est = (left.cost.rows * right.cost.rows).max(1.0);
+            // Cross product: the inner side is rescanned for every outer row.
+            let cpu = left.cost.rows * right.cost.rows;
+            let node = cpu_node(
+                PlanOp::NestedLoopJoin { on: None },
+                vec![left, right],
+                est,
+                cpu,
                 schema,
-            };
+            );
             return Ok(self.hinted(node));
         }
 
@@ -634,7 +800,8 @@ impl<'a> Planner<'a> {
             residual.push(bound);
         }
 
-        let mut est = left.est_rows * right.est_rows;
+        let (lrows, rrows) = (left.cost.rows, right.cost.rows);
+        let mut est = lrows * rrows;
         if !left_keys.is_empty() {
             est /= ndv_div.max(1.0);
         }
@@ -644,25 +811,29 @@ impl<'a> Planner<'a> {
         let est = est.max(1.0);
 
         let node = if left_keys.is_empty() {
-            PlanNode {
-                op: PlanOp::NestedLoopJoin {
+            // Non-equi join: nested loop compares every pair.
+            cpu_node(
+                PlanOp::NestedLoopJoin {
                     on: and_all(residual),
                 },
-                children: vec![left, right],
-                est_rows: est,
+                vec![left, right],
+                est,
+                lrows * rrows,
                 schema,
-            }
+            )
         } else {
-            PlanNode {
-                op: PlanOp::HashJoin {
+            // Hash join: build + probe each input once, emit the output.
+            cpu_node(
+                PlanOp::HashJoin {
                     left_keys,
                     right_keys,
                     residual: and_all(residual),
                 },
-                children: vec![left, right],
-                est_rows: est,
+                vec![left, right],
+                est,
+                lrows + rrows + est,
                 schema,
-            }
+            )
         };
         Ok(self.hinted(node))
     }
@@ -712,7 +883,7 @@ impl<'a> Planner<'a> {
         let est = if group_bound.is_empty() {
             1.0
         } else {
-            group_ndv.min(input.est_rows).max(1.0)
+            group_ndv.min(input.cost.rows).max(1.0)
         };
         // HAVING binds over the aggregate output row, and may introduce
         // additional aggregate calls of its own (HAVING count(*) > 3).
@@ -728,34 +899,39 @@ impl<'a> Planner<'a> {
         };
         let agg_schema = agg_output_schema(&group_bound, &aggs, &ischema);
 
-        let mut node = self.hinted(PlanNode {
-            op: PlanOp::HashAgg {
+        let input_rows = input.cost.rows;
+        let mut node = self.hinted(cpu_node(
+            PlanOp::HashAgg {
                 group: group_bound,
                 aggs,
             },
-            children: vec![input],
-            est_rows: est,
-            schema: agg_schema,
-        });
+            vec![input],
+            est,
+            input_rows,
+            agg_schema,
+        ));
 
         if let Some(pred) = having_bound {
-            let est = (node.est_rows * DEFAULT_SEL).max(1.0);
+            let input_rows = node.cost.rows;
+            let est = (input_rows * DEFAULT_SEL).max(1.0);
             let schema = node.schema.clone();
-            node = PlanNode {
-                op: PlanOp::Filter { predicate: pred },
-                children: vec![node],
-                est_rows: est,
+            node = cpu_node(
+                PlanOp::Filter { predicate: pred },
+                vec![node],
+                est,
+                input_rows,
                 schema,
-            };
+            );
         }
 
-        let est = node.est_rows;
-        Ok(PlanNode {
-            op: PlanOp::Project { exprs: out_exprs },
-            children: vec![node],
-            est_rows: est,
-            schema: BoundSchema { cols: out_cols },
-        })
+        let est = node.cost.rows;
+        Ok(cpu_node(
+            PlanOp::Project { exprs: out_exprs },
+            vec![node],
+            est,
+            0.0,
+            BoundSchema { cols: out_cols },
+        ))
     }
 
     fn plan_projection(&mut self, stmt: &SelectStmt, input: PlanNode) -> Result<PlanNode> {
@@ -799,17 +975,20 @@ impl<'a> Planner<'a> {
                 }
             }
         }
-        let est = input.est_rows;
-        Ok(PlanNode {
-            op: PlanOp::Project { exprs },
-            children: vec![input],
-            est_rows: est,
-            schema: BoundSchema { cols },
-        })
+        let est = input.cost.rows;
+        Ok(cpu_node(
+            PlanOp::Project { exprs },
+            vec![input],
+            est,
+            0.0,
+            BoundSchema { cols },
+        ))
     }
 
     /// Consult the plan store for this node's canonical step; use the actual
-    /// cardinality when present.
+    /// cardinality when present. Only the cardinality is corrected — the
+    /// work terms keep their planning-time values, so the drift check can
+    /// compare a cached plan's estimates against fresh actuals.
     fn hinted(&mut self, mut node: PlanNode) -> PlanNode {
         let Some(hints) = self.hints else {
             return node;
@@ -820,7 +999,7 @@ impl<'a> Planner<'a> {
         match hints.lookup(&text) {
             Some(actual) => {
                 self.info.hint_hits += 1;
-                node.est_rows = actual as f64;
+                node.cost.rows = actual as f64;
             }
             None => self.info.hint_misses += 1,
         }
@@ -917,10 +1096,45 @@ enum Classified {
     Residual,
 }
 
-fn and_all(exprs: Vec<SExpr>) -> Option<SExpr> {
+/// Conjoin `exprs` with AND, `None` when empty. Public so the distributed
+/// annotator can rebuild a scan predicate from an index path's consumed
+/// conjuncts.
+pub fn and_all(exprs: Vec<SExpr>) -> Option<SExpr> {
     exprs
         .into_iter()
         .reduce(|a, b| SExpr::Binary(BinOp::And, Box::new(a), Box::new(b)))
+}
+
+/// Build a node whose operator adds `cpu` work on top of its children's
+/// accumulated cost (the common case for CN-side operators, which touch no
+/// storage or network).
+fn cpu_node(op: PlanOp, children: Vec<PlanNode>, rows: f64, cpu: f64, schema: BoundSchema) -> PlanNode {
+    let cost = CostEstimate::of_children(&children).with(rows, cpu, 0.0, 0.0);
+    PlanNode {
+        op,
+        children,
+        cost,
+        schema,
+    }
+}
+
+/// Comparison work for sorting `n` rows.
+fn sort_cpu(n: f64) -> f64 {
+    let n = n.max(1.0);
+    n * n.max(2.0).log2()
+}
+
+/// Cost of an index access path that descends a B-tree over a table of
+/// `base` rows and then randomly fetches `fetched` matching tuples (`rows`
+/// survive the residual filter). The [`CostEstimate::RANDOM_IO`] multiplier
+/// is what lets a full scan win once the probe stops being selective.
+fn index_cost(rows: f64, base: f64, fetched: f64) -> CostEstimate {
+    CostEstimate::default().with(
+        rows,
+        fetched,
+        base.max(2.0).log2() + fetched * CostEstimate::RANDOM_IO,
+        0.0,
+    )
 }
 
 /// Output schema of a HashAgg: group columns then aggregate results.

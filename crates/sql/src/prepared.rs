@@ -22,6 +22,7 @@ use crate::lexer::{lex, Sym, Token};
 use crate::plan::{PlanNode, PlanOp};
 use crate::planner::PlanningInfo;
 use hdm_common::{DataType, Datum, HdmError, Result};
+use std::cell::Cell;
 use std::collections::HashMap;
 
 /// Default number of cached plans per engine.
@@ -249,6 +250,12 @@ impl<T: Clone> PlanCache<T> {
         self.entries.clear();
     }
 
+    /// Drop one cached plan (re-plan-on-drift: captured actuals diverged
+    /// from the cached plan's estimates, so only that statement is stale).
+    pub fn remove(&mut self, key: &str) -> bool {
+        self.entries.remove(key).is_some()
+    }
+
     pub fn epoch(&self) -> u64 {
         self.epoch
     }
@@ -376,6 +383,18 @@ fn walk_plan_types(node: &PlanNode, types: &mut Vec<Option<DataType>>) {
         } => {
             for k in key_exprs {
                 visit(k, &node.schema);
+            }
+            if let Some(r) = residual {
+                visit(r, &node.schema);
+            }
+        }
+        PlanOp::IndexRange {
+            bound_exprs,
+            residual,
+            ..
+        } => {
+            for b in bound_exprs {
+                visit(b, &node.schema);
             }
             if let Some(r) = residual {
                 visit(r, &node.schema);
@@ -730,10 +749,73 @@ pub fn rehint_plan(plan: &mut PlanNode, hints: &dyn CardinalityHints, info: &mut
         match hints.lookup(&text) {
             Some(v) => {
                 info.hint_hits += 1;
-                plan.est_rows = v as f64;
+                plan.set_est_rows(v as f64);
             }
             None => info.hint_misses += 1,
         }
+    }
+}
+
+/// Re-plan-on-drift gate, precompute half: walk a freshly planned tree
+/// (whose `cost.rows` carry planning-time estimates) and collect one probe
+/// per canonical node — (candidate store keys, estimate). Computed once at
+/// plan-cache insert so the per-execution check in [`max_drift`] costs a
+/// few hash lookups instead of re-rendering canonical texts.
+pub fn drift_probes(plan: &PlanNode) -> Vec<(Vec<String>, f64)> {
+    let mut out = Vec::new();
+    let mut stack = vec![plan];
+    while let Some(node) = stack.pop() {
+        stack.extend(node.children.iter());
+        if let Some(text) = node.canonical() {
+            out.push((vec![text], node.est_rows()));
+        }
+    }
+    out
+}
+
+/// Worst symmetric est/actual ratio over precomputed drift probes. Each
+/// probe may carry several candidate plan-store keys tried in order (the
+/// distributed engine bridges the planner's `SCAN(...)` keys to its
+/// per-shard `EXCHANGE(...)` observation keys); a probe with no captured
+/// actual contributes nothing. Both sides clamp to >= 1 row so empty
+/// results cannot divide to infinity.
+pub fn max_drift(probes: &[(Vec<String>, f64)], hints: &dyn CardinalityHints) -> f64 {
+    let mut worst: f64 = 1.0;
+    for (keys, est) in probes {
+        let Some(actual) = keys.iter().find_map(|k| hints.lookup(k)) else {
+            continue;
+        };
+        let est = est.max(1.0);
+        let act = (actual as f64).max(1.0);
+        worst = worst.max(est.max(act) / est.min(act));
+    }
+    worst
+}
+
+/// Generation-gated drift check shared by both engines' plan-cache hot
+/// paths. The keyed [`max_drift`] lookups hash every candidate store key,
+/// so re-running them per execution is measurable; when the hints store
+/// reports a mutation counter ([`CardinalityHints::generation`]), the
+/// verdict is recomputed only after the store's actuals actually changed
+/// and the cached `(generation, verdict)` pair is reused otherwise.
+pub fn drift_exceeds(
+    probes: &[(Vec<String>, f64)],
+    state: &Cell<Option<(u64, bool)>>,
+    hints: &dyn CardinalityHints,
+    ratio: f64,
+) -> bool {
+    match hints.generation() {
+        Some(generation) => {
+            if let Some((seen, verdict)) = state.get() {
+                if seen == generation {
+                    return verdict;
+                }
+            }
+            let verdict = max_drift(probes, hints) >= ratio;
+            state.set(Some((generation, verdict)));
+            verdict
+        }
+        None => max_drift(probes, hints) >= ratio,
     }
 }
 

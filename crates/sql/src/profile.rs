@@ -99,7 +99,7 @@ impl Profiler {
             label: plan.describe(),
             kind: kind_str(plan.step_kind()).to_string(),
             canonical: plan.canonical(),
-            est_rows: plan.est_rows,
+            est_rows: plan.est_rows(),
             rows_out,
             loops,
             time_us: self.clock.now_us().saturating_sub(frame.start_us),

@@ -18,6 +18,25 @@
 
 use crate::ast::{BinOp, Expr, Literal, SelectItem, SelectStmt, Statement, TableRef, UnOp};
 use crate::expr::{bind, BoundSchema};
+use crate::plan::PlanNode;
+
+/// Compare alternative physical plans for the same logical step on their
+/// weighted [`crate::plan::CostEstimate::total`] and keep the cheapest.
+/// Ties keep the earliest candidate, so callers list the safe default
+/// (sequential scan) first and an index path must be *strictly* cheaper to
+/// win.
+pub fn pick_cheapest(candidates: Vec<PlanNode>) -> PlanNode {
+    candidates
+        .into_iter()
+        .reduce(|best, cand| {
+            if cand.cost.total() < best.cost.total() {
+                cand
+            } else {
+                best
+            }
+        })
+        .expect("at least one candidate plan")
+}
 
 /// Rewrite a whole statement in place.
 pub fn rewrite_statement(stmt: &mut Statement) {

@@ -42,6 +42,7 @@ pub const SYS_VIEWS: &[&str] = &[
     "sys.events",
     "sys.plan_store",
     "sys.prepared",
+    "sys.indexes",
 ];
 
 /// Is `name` (any case) one of the served `sys.*` views?
@@ -127,6 +128,13 @@ pub fn view_schema(name: &str) -> Option<Schema> {
             ("hits", DataType::Int),
             ("ops", DataType::Int),
             ("last_used", DataType::Int),
+        ],
+        "sys.indexes" => &[
+            ("name", DataType::Text),
+            ("tbl", DataType::Text),
+            ("col", DataType::Text),
+            ("entries", DataType::Int),
+            ("shards", DataType::Text),
         ],
         _ => return None,
     };

@@ -168,6 +168,30 @@ impl Table {
         Ok(out)
     }
 
+    /// Ordered-index range walk for visible tuples whose single-column key
+    /// lies within `[lo, hi]` on index `ix_id`. Hits come back in index key
+    /// order; callers wanting heap order sort by tuple id.
+    pub fn range_probe<'a, V: Visibility + ?Sized>(
+        &'a self,
+        ix_id: usize,
+        lo: std::ops::Bound<&IndexKey>,
+        hi: std::ops::Bound<&IndexKey>,
+        judge: &'a V,
+    ) -> Result<Vec<(TupleId, &'a Row)>> {
+        let ix = self
+            .indexes
+            .get(ix_id)
+            .ok_or_else(|| HdmError::Catalog(format!("no index {ix_id} on {}", self.name)))?;
+        let mut out = Vec::new();
+        for (_, tid) in ix.range(lo, hi) {
+            let hdr = self.heap.header(tid)?;
+            if judge.tuple_visible(hdr) {
+                out.push((tid, self.heap.row(tid)?));
+            }
+        }
+        Ok(out)
+    }
+
     /// Recompute optimizer statistics from the rows visible to `judge`
     /// (ANALYZE). Distinct counts are exact here — tables are in-memory.
     pub fn analyze<V: Visibility + ?Sized>(&mut self, judge: &V) {

@@ -160,6 +160,119 @@ fn cross_shard_join_gathers_both_sides() {
     );
 }
 
+fn explain_text(r: &huawei_dm::sql::QueryResult) -> String {
+    r.rows
+        .iter()
+        .map(|row| match &row.values()[0] {
+            huawei_dm::common::Datum::Text(s) => s.clone(),
+            other => format!("{other:?}"),
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// ISSUE 9: secondary indexes are planner-visible access paths with a
+/// cost-gated fallback, on both engines, and never change results.
+#[test]
+fn secondary_index_access_paths_are_cost_gated_and_equivalent() {
+    let corpus = DistCorpus::default();
+    let (mut local, mut dist) = build_pair(&corpus);
+    for ddl in [
+        "create index on orders (region)",
+        "create index on orders (amount)",
+    ] {
+        local.execute(ddl).unwrap();
+        dist.execute(ddl).unwrap();
+    }
+    // Fresh statistics (per-column NDV + min/max) drive the access-path gate.
+    local.execute("analyze").unwrap();
+    dist.execute("analyze").unwrap();
+
+    // Selective equality on a non-shard-key column: index probe on both
+    // engines (the distributed side pushes the probe into each Exchange leg).
+    let l = explain_text(&local.execute("explain select * from orders where region = 5").unwrap());
+    assert!(l.contains("Index Scan on orders"), "local eq plan:\n{l}");
+    let d = explain_text(&dist.execute("explain select * from orders where region = 5").unwrap());
+    assert!(d.contains("Exchange Index Scan"), "dist eq plan:\n{d}");
+
+    // Selective range: index range walk on both engines.
+    let l = explain_text(&local.execute("explain select * from orders where amount > 950").unwrap());
+    assert!(l.contains("Index Range Scan on orders"), "local range plan:\n{l}");
+    let d = explain_text(&dist.execute("explain select * from orders where amount > 950").unwrap());
+    assert!(d.contains("Exchange Index Range Scan"), "dist range plan:\n{d}");
+
+    // Non-selective range: the cost gate falls back to the sequential scan
+    // even though a covering index exists.
+    let l = explain_text(&local.execute("explain select * from orders where amount > 100").unwrap());
+    assert!(
+        l.contains("Seq Scan on orders") && !l.contains("Index"),
+        "local wide-range plan must stay sequential:\n{l}"
+    );
+    let d = explain_text(&dist.execute("explain select * from orders where amount > 100").unwrap());
+    assert!(
+        d.contains("Exchange Scan") && !d.contains("Index"),
+        "dist wide-range plan must stay sequential:\n{d}"
+    );
+
+    // Whatever the access path, results are the local engine's, bit for bit
+    // (as multisets — gather order differs).
+    let before = dist.counters().index_probes;
+    for q in [
+        "select * from orders where region = 5",
+        "select * from orders where amount > 950",
+        "select * from orders where amount > 100",
+        "select region, count(*) from orders where region = 2 group by region",
+        "select * from orders where region = 3 and amount > 800",
+    ] {
+        let lr = local.query(q).unwrap_or_else(|e| panic!("local {q}: {e}"));
+        let dr = dist.execute(q).unwrap_or_else(|e| panic!("dist {q}: {e}")).rows;
+        assert_eq!(sorted(lr), sorted(dr), "indexed query diverged: {q}");
+    }
+    assert!(
+        dist.counters().index_probes > before,
+        "probed Exchange legs must answer via the DN-local index"
+    );
+}
+
+/// ISSUE 9: bottom-up join-order search makes the plan a function of the
+/// query, not of how the FROM list happens to be written.
+#[test]
+fn join_order_search_normalizes_written_order() {
+    let corpus = DistCorpus::default();
+    let (mut local, mut dist) = build_pair(&corpus);
+    for stmt in [
+        "create table regions (region int, pop int)",
+        &format!(
+            "insert into regions values {}",
+            (0..8).map(|i| format!("({i}, {})", (i + 1) * 1000)).collect::<Vec<_>>().join(",")
+        ),
+        "analyze",
+    ] {
+        local.execute(stmt).unwrap();
+        dist.execute(stmt).unwrap();
+    }
+    let q1 = "select o.amount, c.tier, r.pop from orders o, custs c, regions r \
+              where o.cust = c.cust and o.region = r.region and o.amount > 900";
+    let q2 = "select o.amount, c.tier, r.pop from regions r, custs c, orders o \
+              where o.cust = c.cust and o.region = r.region and o.amount > 900";
+
+    // Same relations, same predicates => the cost-based search must pick the
+    // same join tree regardless of the written order.
+    let p1 = explain_text(&local.execute(&format!("explain {q1}")).unwrap());
+    let p2 = explain_text(&local.execute(&format!("explain {q2}")).unwrap());
+    assert_eq!(p1, p2, "local join order must not follow the FROM list");
+    let d1 = explain_text(&dist.execute(&format!("explain {q1}")).unwrap());
+    let d2 = explain_text(&dist.execute(&format!("explain {q2}")).unwrap());
+    assert_eq!(d1, d2, "dist join order must not follow the FROM list");
+
+    // And both spellings return bit-equal rows on both engines.
+    let want = sorted(local.query(q1).unwrap());
+    assert_eq!(want, sorted(local.query(q2).unwrap()));
+    assert_eq!(want, sorted(dist.execute(q1).unwrap().rows));
+    assert_eq!(want, sorted(dist.execute(q2).unwrap().rows));
+    assert!(!want.is_empty(), "the join corpus must select something");
+}
+
 #[test]
 fn empty_shard_scan_contributes_nothing() {
     let mut dist = DistDb::new(Cluster::new(ClusterConfig::gtm_lite(SHARDS))).unwrap();

@@ -157,3 +157,42 @@ fn replication_disabled_degrades_to_legacy_unavailable() {
     // try_failover is an explicit no-op without followers.
     assert!(!db.cluster_mut().try_failover(ShardId::new(2)).unwrap());
 }
+
+/// ISSUE 9: CREATE INDEX rides the replication log, so a promoted follower
+/// rebuilds the same secondary index and keeps answering probed Exchange
+/// fragments — the access path survives failover, not just the rows.
+#[test]
+fn secondary_index_probe_path_survives_failover() {
+    let corpus = DistCorpus::default();
+    let mut db = replicated_db(1);
+    load_corpus(&mut db, &corpus);
+    db.execute("create index on orders (region)").unwrap();
+    db.execute("analyze").unwrap();
+    let q = "select * from orders where region = 5";
+    let want = sorted(db.execute(q).unwrap().rows);
+    assert!(!want.is_empty());
+
+    // Ship the index DDL (appended after the loads) to the followers, then
+    // lose every primary in turn.
+    db.cluster_mut().pump_replication(0).unwrap();
+    for s in 0..SHARDS {
+        db.cluster_mut().crash_node(ShardId::new(s as u64));
+        assert!(db.cluster_mut().try_failover(ShardId::new(s as u64)).unwrap());
+    }
+
+    let before = db.counters().index_probes;
+    let got = db.execute(q).unwrap();
+    assert_eq!(sorted(got.rows), want, "promoted replicas serve the same rows");
+    assert!(
+        db.counters().index_probes > before,
+        "the probe path must survive promotion (not fall back to full scans)"
+    );
+
+    // The planner still advertises the probed access path post-failover.
+    let plan = db.execute("explain select * from orders where region = 5").unwrap();
+    let text: Vec<String> = plan.rows.iter().map(|r| format!("{:?}", r.values()[0])).collect();
+    assert!(
+        text.iter().any(|l| l.contains("Exchange Index Scan")),
+        "explain must keep the probed Exchange: {text:?}"
+    );
+}

@@ -215,6 +215,31 @@ fn ddl_and_analyze_invalidate_the_cache_on_both_engines() {
     );
     assert_eq!(sorted(local.execute(point).unwrap().rows), want_point);
     assert_eq!(sorted(dist.execute(point).unwrap().rows), want_point);
+
+    // CREATE INDEX is DDL too (ISSUE 9): a new access path must drop every
+    // cached plan, or cached statements would keep their pre-index scans.
+    let region = "select * from orders where region = 5";
+    let want_region = sorted(local.execute(region).unwrap().rows);
+    dist.execute(region).unwrap();
+    assert!(cached_count(local.execute("select * from sys.prepared").unwrap()) > 0);
+    assert!(cached_count(dist.execute("select * from sys.prepared").unwrap()) > 0);
+    local.execute("create index on orders (region)").unwrap();
+    dist.execute("create index on orders (region)").unwrap();
+    assert_eq!(
+        cached_count(local.execute("select * from sys.prepared").unwrap()),
+        0,
+        "CREATE INDEX must invalidate the local plan cache"
+    );
+    assert_eq!(
+        cached_count(dist.execute("select * from sys.prepared").unwrap()),
+        0,
+        "CREATE INDEX must invalidate the dist plan cache"
+    );
+    // Replans adopt the index without changing results.
+    local.execute("analyze").unwrap();
+    dist.execute("analyze").unwrap();
+    assert_eq!(sorted(local.execute(region).unwrap().rows), want_region);
+    assert_eq!(sorted(dist.execute(region).unwrap().rows), want_region);
 }
 
 #[test]

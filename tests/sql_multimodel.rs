@@ -57,7 +57,7 @@ fn plan_store_refreshes_after_dml() {
     db.sql("delete from t where a = 1").unwrap();
     db.sql(q).unwrap(); // actual now 0; store refreshes
     let plan = db.models().relational().plan_only(q).unwrap();
-    assert_eq!(plan.est_rows, 0.0, "estimate follows the refreshed actual");
+    assert_eq!(plan.est_rows(), 0.0, "estimate follows the refreshed actual");
 }
 
 /// Graph + relational + spatial in one query through the facade.

@@ -32,6 +32,7 @@ const VIEWS: &[&str] = &[
     "sys.events",
     "sys.plan_store",
     "sys.prepared",
+    "sys.indexes",
 ];
 
 fn cell(d: &Datum) -> String {
@@ -85,6 +86,7 @@ fn embedded_scenario() -> (Database, Arc<VirtualClock>) {
 
     clock.set(1_000);
     db.execute("create table orders (cust int, amount int)").unwrap();
+    db.execute("create index on orders (amount)").unwrap();
     let vals: Vec<String> = (0..16i64)
         .map(|i| format!("({}, {})", i % 8, (i + 1) * 100))
         .collect();
@@ -124,6 +126,7 @@ fn dist_scenario() -> (DistDb, Arc<VirtualClock>) {
 
     clock.set(1_000);
     db.execute("create table orders (cust int, amount int)").unwrap();
+    db.execute("create index on orders (amount)").unwrap();
     let vals: Vec<String> = (0..16i64)
         .map(|i| format!("({}, {})", i % 8, (i + 1) * 100))
         .collect();
