@@ -3,9 +3,14 @@
 //! Detects the paper's three example anomaly classes — "datanode failures,
 //! slow disk or insufficient memory" — with classic online detectors:
 //! heartbeat-gap tracking for node failure, EWMA + z-score spike detection
-//! for disk latency, and threshold crossing for memory pressure.
+//! for disk latency, and threshold crossing for memory pressure. The
+//! workload-history repository adds a fourth source: regressions the
+//! trailing-baseline detector attributes to a captured window (latency p95
+//! growth, 2PC-rate spike, replica-lag trend, plan-cache hit-rate collapse)
+//! surface here as `WorkloadRegression` anomalies for the driver.
 
 use hdm_common::stats::Ewma;
+use hdm_telemetry::{detect_regressions, WorkloadSnapshot};
 use std::collections::HashMap;
 
 /// What kind of problem was detected.
@@ -14,6 +19,8 @@ pub enum AnomalyClass {
     DataNodeFailure,
     SlowDisk,
     InsufficientMemory,
+    /// A workload-history window regressed against its trailing baseline.
+    WorkloadRegression,
 }
 
 /// One detected anomaly.
@@ -143,6 +150,29 @@ impl AnomalyManager {
         }
     }
 
+    /// Feed one captured workload-history window with its trailing baseline
+    /// (earlier windows, any order the history ring yields them). Runs the
+    /// same deterministic detector the cluster journals from, so the
+    /// driver's anomaly stream and `sys.events` agree on what regressed.
+    pub fn observe_history_window(
+        &mut self,
+        tick: u64,
+        baseline: &[&WorkloadSnapshot],
+        window: &WorkloadSnapshot,
+    ) {
+        for r in detect_regressions(baseline, window) {
+            self.events.push(Anomaly {
+                class: AnomalyClass::WorkloadRegression,
+                subject: match r.shard {
+                    Some(s) => format!("shard{s}"),
+                    None => format!("window{}", r.window),
+                },
+                tick,
+                detail: format!("kind={} window={} {}", r.kind.as_str(), r.window, r.detail),
+            });
+        }
+    }
+
     /// Drain detected anomalies.
     pub fn take_events(&mut self) -> Vec<Anomaly> {
         std::mem::take(&mut self.events)
@@ -207,6 +237,40 @@ mod tests {
         m.observe_memory("dn1", 6, 0.85);
         let events = m.take_events();
         assert_eq!(events[0].class, AnomalyClass::InsufficientMemory);
+    }
+
+    #[test]
+    fn history_window_regression_surfaces_as_anomaly() {
+        use std::collections::BTreeMap;
+        let mk = |window, stmts, legs| WorkloadSnapshot {
+            window,
+            start_us: 0,
+            end_us: 0,
+            stmts,
+            twopc_legs: legs,
+            p95_us: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_len: 0,
+            plan_store_len: 0,
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            histogram_counts: BTreeMap::new(),
+            statements: vec![],
+            coaccess: vec![],
+            shards: vec![],
+        };
+        let mut m = AnomalyManager::new();
+        let base = [mk(0, 10, 1), mk(1, 10, 1)];
+        let refs: Vec<&WorkloadSnapshot> = base.iter().collect();
+        m.observe_history_window(7, &refs, &mk(2, 10, 1));
+        assert!(m.take_events().is_empty(), "steady workload is quiet");
+        m.observe_history_window(8, &refs, &mk(3, 10, 9));
+        let events = m.take_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].class, AnomalyClass::WorkloadRegression);
+        assert_eq!(events[0].tick, 8);
+        assert!(events[0].detail.contains("kind=twopc_rate"), "{events:?}");
     }
 
     #[test]

@@ -30,7 +30,9 @@ use crate::retry::RetryPolicy;
 use hdm_common::{Result, Row, SplitMix64};
 use hdm_sql::prepared::{ExecOptions, QueryApi};
 use hdm_simnet::CrashTarget;
-use hdm_telemetry::Telemetry;
+use hdm_telemetry::{
+    HistoryConfig, RecorderConfig, SharedHistory, SharedRecorder, Telemetry, WorkloadSnapshot,
+};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
@@ -58,6 +60,13 @@ pub struct ChaosDistConfig {
     /// is observation-only, so the report must compare equal with it on or
     /// off — pinned by the perturbation test.
     pub health_monitor: bool,
+    /// Capture AWR-style workload-history windows on both runs. The chaos
+    /// shape uses the statement-count stride (clock-free cadence) and a
+    /// top_k large enough to keep every statement, so the wall-time top-K
+    /// ordering never picks winners and same-seed replays agree. History is
+    /// observation-only: the deterministic report fields must compare equal
+    /// with it on or off — pinned by the perturbation test.
+    pub history: bool,
 }
 
 impl ChaosDistConfig {
@@ -74,6 +83,7 @@ impl ChaosDistConfig {
             duplicate_fraction: 0.1,
             telemetry: None,
             health_monitor: false,
+            history: false,
         }
     }
 }
@@ -123,6 +133,12 @@ pub struct ChaosDistReport {
     pub failover_wall_us: u64,
     /// Statements that drove >= 1 promotion.
     pub failover_stmts: u64,
+    /// Workload-history windows the faulted run captured (empty unless
+    /// `history` is on). Compared via [`WorkloadSnapshot`]'s `PartialEq`,
+    /// which excludes the clock-valued fields — so same-seed replays must
+    /// agree on every window's statements, co-access sets, 2PC legs and
+    /// shard states.
+    pub history_windows: Vec<WorkloadSnapshot>,
 }
 
 impl PartialEq for ChaosDistReport {
@@ -141,6 +157,7 @@ impl PartialEq for ChaosDistReport {
             && self.mismatches == other.mismatches
             && self.audit_diffs == other.audit_diffs
             && self.ticks == other.ticks
+            && self.history_windows == other.history_windows
     }
 }
 
@@ -254,6 +271,20 @@ fn build_db(cfg: &ChaosDistConfig, script: Rc<RefCell<FaultScript>>) -> Result<D
     let mut db = DistDb::new(Cluster::new(cc))?;
     if let Some(tel) = &cfg.telemetry {
         db.attach_telemetry(tel);
+    }
+    if cfg.history {
+        // A recorder big enough that nothing is evicted between window
+        // captures, and a top_k that keeps every statement: both keep the
+        // wall-clock out of window *content* so replays compare equal.
+        db.attach_recorder(SharedRecorder::new(RecorderConfig {
+            capacity: 256,
+            ..RecorderConfig::default()
+        }));
+        db.attach_history(SharedHistory::new(HistoryConfig {
+            every_stmts: 16,
+            top_k: 1024,
+            ..HistoryConfig::default()
+        }));
     }
     db.execute("create table orders (cust int, region int, amount int)")?;
     db.execute("create table custs (cust int, tier int)")?;
@@ -423,6 +454,13 @@ pub fn run_chaos_dist(cfg: &ChaosDistConfig) -> Result<ChaosDistReport> {
     report.stmt_retries = d.stmt_retries;
     report.dedup_hits = d.dedup_hits;
     report.backoff_us = d.backoff_us;
+
+    // Flush the partial window so the trailing statements (including the
+    // heal-phase audit SELECTs) land in the report too.
+    db.capture_history_now();
+    if let Some(h) = db.history() {
+        report.history_windows = h.with(|e| e.windows().cloned().collect());
+    }
     Ok(report)
 }
 
@@ -466,6 +504,37 @@ mod tests {
         let r_on = run_chaos_dist(&on).unwrap();
         let r_off = run_chaos_dist(&off).unwrap();
         assert_eq!(r_on, r_off, "health monitor perturbed the sweep");
+    }
+
+    #[test]
+    fn history_is_a_pure_observer() {
+        // Perturbation test: the snapshot engine counts statements and cuts
+        // windows but touches no control flow, so a faulted sweep replays
+        // identically with it enabled. The captured windows themselves are
+        // cleared before comparing — they only exist on the history-on run.
+        let mut on = ChaosDistConfig::standard(0xBEEF);
+        on.statements = 24;
+        on.orders = 120;
+        let off = on.clone();
+        on.history = true;
+        let mut r_on = run_chaos_dist(&on).unwrap();
+        let r_off = run_chaos_dist(&off).unwrap();
+        assert!(!r_on.history_windows.is_empty(), "history-on run captured nothing");
+        r_on.history_windows.clear();
+        assert_eq!(r_on, r_off, "history capture perturbed the sweep");
+    }
+
+    #[test]
+    fn history_windows_replay_bit_identical() {
+        let mut cfg = ChaosDistConfig::standard(0xA11CE);
+        cfg.statements = 24;
+        cfg.orders = 120;
+        cfg.history = true;
+        let r1 = run_chaos_dist(&cfg).unwrap();
+        let r2 = run_chaos_dist(&cfg).unwrap();
+        assert!(!r1.history_windows.is_empty());
+        assert!(r1.history_windows.iter().any(|w| !w.statements.is_empty()));
+        assert_eq!(r1, r2, "same-seed replay diverged with history on");
     }
 
     #[test]

@@ -42,7 +42,8 @@ use hdm_sql::{Catalog, ExecBackend, Profiler};
 use hdm_storage::heap::TupleId;
 use hdm_storage::{ColumnStats, TableStats, Visibility};
 use hdm_telemetry::{
-    OpProfile, ShardLeg, SharedClock, SharedRecorder, StatementProfile, Telemetry, WallClock,
+    CaptureInput, OpProfile, ShardLeg, SharedClock, SharedHistory, SharedRecorder,
+    ShardWindowStat, StatementProfile, Telemetry, WallClock,
 };
 use hdm_txn::SnapshotVisibility;
 use std::cell::{Cell, RefCell};
@@ -217,6 +218,16 @@ pub struct DistDb {
     /// Canonical text → cached logical plan + fast program, invalidated on
     /// DDL and ANALYZE (merged statistics change plan choices).
     cache: PlanCache<Rc<CachedDistStmt>>,
+    /// Workload-history snapshot engine backing `sys.history_*`; regressions
+    /// detected at capture are journaled as `history.regression` events.
+    history: Option<SharedHistory>,
+    /// Cached `HistoryConfig::every_stmts` (0 = clock-driven windows). In
+    /// stride mode the per-statement hook is a plain counter bump on
+    /// `history_pending` — no clock read, no lock — flushed into the engine
+    /// only when a window is cut.
+    history_stride: u64,
+    /// Statements completed since the last flush into the snapshot engine.
+    history_pending: u64,
 }
 
 impl DistDb {
@@ -264,6 +275,9 @@ impl DistDb {
             faults: None,
             sys_plan_store: None,
             cache: PlanCache::new(PLAN_CACHE_CAP),
+            history: None,
+            history_stride: 0,
+            history_pending: 0,
         })
     }
 
@@ -356,16 +370,127 @@ impl DistDb {
         self.faults = script;
     }
 
+    /// Record AWR-style workload-history windows into `history` (which also
+    /// backs `sys.history_*`). Observation-only: statements are counted at
+    /// this facade, a window is cut after the statement that crosses the
+    /// configured boundary, and regressions the capture detects against the
+    /// trailing baseline are journaled as `history.regression` events.
+    /// Statement/co-access detail appears only while a recorder is attached;
+    /// without one the fast point path stays untouched.
+    pub fn attach_history(&mut self, history: SharedHistory) {
+        self.history_stride = history.with(|e| e.config().every_stmts);
+        self.history_pending = 0;
+        self.history = Some(history);
+    }
+
+    /// Stop capturing workload history. Statements executed since the last
+    /// window cut are discarded rather than flushed into a partial window.
+    pub fn detach_history(&mut self) {
+        self.history = None;
+        self.history_stride = 0;
+        self.history_pending = 0;
+    }
+
+    /// Force a window capture now (harnesses cut windows at deterministic
+    /// points; no-op without an attached history engine).
+    pub fn capture_history_now(&mut self) {
+        if let Some(h) = self.history.clone() {
+            self.capture_history(&h);
+        }
+    }
+
+    /// The attached workload-history handle, if any.
+    pub fn history(&self) -> Option<&SharedHistory> {
+        self.history.as_ref()
+    }
+
+    fn history_capture_input(&self) -> CaptureInput {
+        let (cache_hits, cache_misses) = self.cache.stats();
+        let lags = self.cluster.shard_lags();
+        let shards = self
+            .cluster
+            .shard_map()
+            .all()
+            .map(|shard| {
+                let i = shard.raw() as usize;
+                ShardWindowStat {
+                    shard: shard.raw(),
+                    up: self.cluster.is_node_up(shard),
+                    epoch: self.cluster.epoch_of(shard),
+                    lag: lags.get(i).copied().unwrap_or(0),
+                }
+            })
+            .collect();
+        CaptureInput {
+            now_us: self.clock.now_us(),
+            metrics: self.tel.as_ref().map(|t| t.metrics.snapshot()),
+            shards,
+            cache_hits,
+            cache_misses,
+            cache_len: self.cache.len() as u64,
+            plan_store_len: self
+                .sys_plan_store
+                .as_ref()
+                .map(|d| d.dump_entries().len() as u64)
+                .unwrap_or(0),
+        }
+    }
+
+    fn capture_history(&mut self, h: &SharedHistory) {
+        let pending = std::mem::take(&mut self.history_pending);
+        let input = self.history_capture_input();
+        let regressions = h.with(|e| {
+            if pending > 0 {
+                e.note_statements(pending, input.now_us);
+            }
+            e.capture(input, self.recorder.as_ref())
+        });
+        for r in regressions {
+            self.cluster.journal_event(
+                "history.regression",
+                r.shard,
+                format!("kind={} window={} {}", r.kind.as_str(), r.window, r.detail),
+            );
+        }
+    }
+
+    /// Per-statement history hook: count the statement and cut a window
+    /// when one is due. In stride mode the hot path is a single local
+    /// counter bump; clock-driven mode reads the clock and asks the engine.
+    /// Either way the capture itself runs once per window.
+    fn maybe_capture_history(&mut self) {
+        if self.history.is_none() {
+            return;
+        }
+        if self.history_stride > 0 {
+            self.history_pending += 1;
+            if self.history_pending < self.history_stride {
+                return;
+            }
+            let h = self.history.clone().expect("checked above");
+            self.capture_history(&h);
+        } else {
+            let now = self.clock.now_us();
+            let h = self.history.clone().expect("checked above");
+            if h.with(|e| e.note_statement(now)) {
+                self.capture_history(&h);
+            }
+        }
+    }
+
     /// Execute one SQL statement on the cluster. Cacheable SELECTs are
     /// canonicalized (literals lifted to parameters) and served through the
     /// plan cache, skipping the parser and planner on repeats.
     pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
-        if let Some(c) = canonicalize(sql)? {
-            return self.execute_canonical(&c.text, &c.slots, &[], sql);
-        }
-        let mut stmt = hdm_sql::parser::parse(sql)?;
-        hdm_sql::rewrite::rewrite_statement(&mut stmt);
-        self.execute_statement(&stmt, Some(sql))
+        let result = if let Some(c) = canonicalize(sql)? {
+            self.execute_canonical(&c.text, &c.slots, &[], sql)
+        } else {
+            let mut stmt = hdm_sql::parser::parse(sql)?;
+            hdm_sql::rewrite::rewrite_statement(&mut stmt);
+            self.execute_statement(&stmt, Some(sql))
+        }?;
+        self.maybe_capture_history();
+        Ok(result)
     }
 
     /// Convenience: execute and return rows.
@@ -907,11 +1032,7 @@ impl DistDb {
         let mut snap = SysSnapshot::new();
         for view in wanted {
             let rows = match view.as_str() {
-                "sys.metrics" => self
-                    .tel
-                    .as_ref()
-                    .map(|t| sys::metrics_rows(&t.metrics.snapshot()))
-                    .unwrap_or_default(),
+                "sys.metrics" => self.metric_rows(),
                 "sys.statements" => self
                     .recorder
                     .as_ref()
@@ -927,11 +1048,116 @@ impl DistDb {
                     .unwrap_or_default(),
                 "sys.prepared" => self.prepared_rows(),
                 "sys.indexes" => self.index_rows(),
+                "sys.config" => self.config_rows(),
+                "sys.history_windows" => self
+                    .history
+                    .as_ref()
+                    .map(sys::history_window_rows)
+                    .unwrap_or_default(),
+                "sys.history_metrics" => self
+                    .history
+                    .as_ref()
+                    .map(sys::history_metric_rows)
+                    .unwrap_or_default(),
+                "sys.history_statements" => self
+                    .history
+                    .as_ref()
+                    .map(sys::history_statement_rows)
+                    .unwrap_or_default(),
+                "sys.history_coaccess" => self
+                    .history
+                    .as_ref()
+                    .map(sys::history_coaccess_rows)
+                    .unwrap_or_default(),
                 _ => Vec::new(),
             };
             snap.insert(&view, rows);
         }
         Some(snap)
+    }
+
+    /// `sys.metrics` rows: the telemetry registry snapshot, plus the
+    /// synthetic bounded-ring eviction counters (`recorder.dropped` when a
+    /// recorder is attached, `events.dropped` always — the journal always
+    /// exists here). The registry itself is untouched, so telemetry exports
+    /// stay byte-identical.
+    fn metric_rows(&self) -> Vec<Row> {
+        let mut snap = self
+            .tel
+            .as_ref()
+            .map(|t| t.metrics.snapshot())
+            .unwrap_or_default();
+        snap.counters
+            .insert("events.dropped".into(), self.cluster.events_dropped());
+        if let Some(r) = &self.recorder {
+            snap.counters.insert("recorder.dropped".into(), r.dropped());
+        }
+        sys::metrics_rows(&snap)
+    }
+
+    /// `sys.config` rows: the effective cluster and engine knobs, one row
+    /// per knob in a fixed order (cluster, then engine, then telemetry,
+    /// then history) — experiments are self-describing from SQL.
+    fn config_rows(&self) -> Vec<Row> {
+        let cc = self.cluster.config();
+        let mut rows = vec![
+            sys::config_row("cluster.health_monitor", cc.health_monitor, "bool", "cluster"),
+            sys::config_row(
+                "cluster.lco_prune_horizon",
+                cc.lco_prune_horizon,
+                "int",
+                "cluster",
+            ),
+            sys::config_row(
+                "cluster.merge_policy",
+                format!("{:?}", cc.merge_policy).to_ascii_lowercase(),
+                "text",
+                "cluster",
+            ),
+            sys::config_row(
+                "cluster.protocol",
+                format!("{:?}", cc.protocol).to_ascii_lowercase(),
+                "text",
+                "cluster",
+            ),
+            sys::config_row("cluster.replicas", cc.replicas, "int", "cluster"),
+            sys::config_row("cluster.shards", cc.shards, "int", "cluster"),
+            sys::config_row("cluster.snapshot_cache", cc.snapshot_cache, "bool", "cluster"),
+            sys::config_row(
+                "events.capacity",
+                crate::health::EVENT_JOURNAL_CAP,
+                "int",
+                "cluster",
+            ),
+            sys::config_row("misestimate_ratio", self.misestimate_ratio, "float", "engine"),
+            sys::config_row("plan_cache.cap", PLAN_CACHE_CAP, "int", "engine"),
+            sys::config_row("profiling", self.profiling, "bool", "engine"),
+            sys::config_row("retry_policy", self.retry.is_some(), "bool", "engine"),
+        ];
+        if let Some(r) = &self.recorder {
+            let (cap, slow) = r.with(|r| (r.config().capacity, r.config().slow_threshold_us));
+            rows.push(sys::config_row("recorder.capacity", cap, "int", "telemetry"));
+            rows.push(sys::config_row(
+                "recorder.slow_threshold_us",
+                slow,
+                "int",
+                "telemetry",
+            ));
+        }
+        if let Some(h) = &self.history {
+            let cfg = h.with(|e| e.config());
+            rows.push(sys::config_row("history.baseline", cfg.baseline, "int", "history"));
+            rows.push(sys::config_row("history.capacity", cfg.capacity, "int", "history"));
+            rows.push(sys::config_row(
+                "history.every_stmts",
+                cfg.every_stmts,
+                "int",
+                "history",
+            ));
+            rows.push(sys::config_row("history.top_k", cfg.top_k, "int", "history"));
+            rows.push(sys::config_row("history.window_us", cfg.window_us, "int", "history"));
+        }
+        rows
     }
 
     /// `sys.shards` rows: per-shard liveness, primary epoch, replication log
@@ -1875,7 +2101,7 @@ impl QueryApi for DistDb {
     }
 
     fn execute_prepared(&mut self, handle: &StmtHandle, params: &[Datum]) -> Result<QueryResult> {
-        match handle {
+        let result = match handle {
             StmtHandle::Cached {
                 canonical, slots, ..
             } => self.execute_canonical(canonical, slots, params, canonical),
@@ -1893,7 +2119,9 @@ impl QueryApi for DistDb {
                 let bound = substitute_statement_params(stmt, params)?;
                 self.execute_statement(&bound, Some(sql))
             }
-        }
+        }?;
+        self.maybe_capture_history();
+        Ok(result)
     }
 
     fn execute_opts(&mut self, sql: &str, opts: ExecOptions) -> Result<QueryResult> {

@@ -811,6 +811,21 @@ impl Cluster {
         self.journal.iter()
     }
 
+    /// Events evicted from the bounded journal ring (the `events.dropped`
+    /// counter `sys.metrics` exposes).
+    pub fn events_dropped(&self) -> u64 {
+        self.journal.dropped()
+    }
+
+    /// Append an observation-only event from an outer layer (the SQL facade
+    /// journals `history.regression` findings here). Timestamped from the
+    /// telemetry clock like every other journal entry; never feeds back
+    /// into routing or recovery.
+    pub fn journal_event(&mut self, kind: &str, shard: Option<u64>, detail: String) {
+        let now = self.journal_now_us();
+        self.journal.append(now, kind, shard, detail);
+    }
+
     /// Per-shard follower CSNs (applied log-prefix lengths) — outer index
     /// is the shard, inner the follower. Empty inner vecs when replication
     /// is off.

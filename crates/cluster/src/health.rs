@@ -43,6 +43,9 @@ pub struct EventJournal {
     cap: usize,
     next_seq: u64,
     events: VecDeque<SysEvent>,
+    /// Events evicted from the bounded ring — the `events.dropped` counter
+    /// `sys.metrics` exposes, so overflow is visible instead of silent.
+    dropped: u64,
 }
 
 impl Default for EventJournal {
@@ -57,6 +60,7 @@ impl EventJournal {
             cap: cap.max(1),
             next_seq: 0,
             events: VecDeque::new(),
+            dropped: 0,
         }
     }
 
@@ -64,6 +68,7 @@ impl EventJournal {
     pub fn append(&mut self, time_us: u64, kind: &str, shard: Option<u64>, detail: String) {
         if self.events.len() == self.cap {
             self.events.pop_front();
+            self.dropped += 1;
         }
         self.events.push_back(SysEvent {
             seq: self.next_seq,
@@ -86,6 +91,11 @@ impl EventJournal {
 
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
+    }
+
+    /// Events that fell off the bounded ring.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 }
 
@@ -139,6 +149,7 @@ mod tests {
             j.append(i * 10, "crash", Some(i), format!("n={i}"));
         }
         assert_eq!(j.len(), 3);
+        assert_eq!(j.dropped(), 2, "evictions are counted, not silent");
         let seqs: Vec<u64> = j.iter().map(|e| e.seq).collect();
         assert_eq!(seqs, vec![2, 3, 4]);
         assert_eq!(j.iter().next().unwrap().time_us, 20);

@@ -18,7 +18,10 @@ use crate::prepared::{
 use crate::profile::{observations, render_analyze, Profiler};
 use crate::sys::{self, PlanStoreDump, SysSnapshot};
 use hdm_common::{DataType, Datum, HdmError, Result, Row, Schema};
-use hdm_telemetry::{MetricsRegistry, SharedClock, SharedRecorder, StatementProfile, WallClock};
+use hdm_telemetry::{
+    CaptureInput, MetricsRegistry, SharedClock, SharedHistory, SharedRecorder, StatementProfile,
+    WallClock,
+};
 use hdm_txn::{LocalTxnManager, SnapshotVisibility, TxnStatus};
 use std::cell::Cell;
 use std::collections::HashMap;
@@ -121,6 +124,15 @@ pub struct Database {
     sys_plan_store: Option<Rc<dyn PlanStoreDump>>,
     /// Prepared-statement plan cache, keyed by canonical statement text.
     cache: PlanCache<Rc<CachedStmt>>,
+    /// Workload-history snapshot engine backing `sys.history_*` (windows are
+    /// cut after the statement that crosses the window boundary).
+    history: Option<SharedHistory>,
+    /// Cached `HistoryConfig::every_stmts` (0 = clock-driven windows). In
+    /// stride mode the per-statement hook is a plain counter bump on
+    /// `history_pending`, flushed into the engine only at window cuts.
+    history_stride: u64,
+    /// Statements completed since the last flush into the snapshot engine.
+    history_pending: u64,
 }
 
 impl Default for Database {
@@ -144,6 +156,9 @@ impl Database {
             metrics: None,
             sys_plan_store: None,
             cache: PlanCache::new(PLAN_CACHE_CAP),
+            history: None,
+            history_stride: 0,
+            history_pending: 0,
         }
     }
 
@@ -171,6 +186,86 @@ impl Database {
     /// separate hook so the plan-store API is unchanged).
     pub fn attach_sys_plan_store(&mut self, dump: Rc<dyn PlanStoreDump>) {
         self.sys_plan_store = Some(dump);
+    }
+
+    /// Record AWR-style workload-history windows into `history` (which also
+    /// backs `sys.history_*`). Capture is observation-only: statements are
+    /// counted at this facade and a window is cut after the statement that
+    /// crosses the configured boundary. Statement/co-access detail appears
+    /// only while a recorder is attached.
+    pub fn attach_history(&mut self, history: SharedHistory) {
+        self.history_stride = history.with(|e| e.config().every_stmts);
+        self.history_pending = 0;
+        self.history = Some(history);
+    }
+
+    /// Stop capturing workload history. Statements executed since the last
+    /// window cut are discarded rather than flushed into a partial window.
+    pub fn detach_history(&mut self) {
+        self.history = None;
+        self.history_stride = 0;
+        self.history_pending = 0;
+    }
+
+    /// Force a window capture now (harnesses cut windows at deterministic
+    /// points; no-op without an attached history engine).
+    pub fn capture_history_now(&mut self) {
+        if let Some(h) = self.history.clone() {
+            self.capture_history(&h);
+        }
+    }
+
+    fn capture_history(&mut self, h: &SharedHistory) {
+        let pending = std::mem::take(&mut self.history_pending);
+        let input = self.history_capture_input();
+        h.with(|e| {
+            if pending > 0 {
+                e.note_statements(pending, input.now_us);
+            }
+            e.capture(input, self.recorder.as_ref())
+        });
+    }
+
+    fn history_capture_input(&self) -> CaptureInput {
+        let (cache_hits, cache_misses) = self.cache.stats();
+        CaptureInput {
+            now_us: self.clock.now_us(),
+            metrics: self.metrics.as_ref().map(|m| m.snapshot()),
+            shards: Vec::new(),
+            cache_hits,
+            cache_misses,
+            cache_len: self.cache.len() as u64,
+            plan_store_len: self
+                .sys_plan_store
+                .as_ref()
+                .map(|d| d.dump_entries().len() as u64)
+                .unwrap_or(0),
+        }
+    }
+
+    /// Per-statement history hook: count the statement and cut a window
+    /// when one is due. In stride mode the hot path is a single local
+    /// counter bump; clock-driven mode reads the clock and asks the engine.
+    /// Either way the capture itself runs once per window.
+    fn maybe_capture_history(&mut self) {
+        if self.history.is_none() {
+            return;
+        }
+        if self.history_stride > 0 {
+            self.history_pending += 1;
+            if self.history_pending < self.history_stride {
+                return;
+            }
+            let h = self.history.clone().expect("checked above");
+            self.capture_history(&h);
+        } else {
+            let now = self.clock.now_us();
+            let h = self.history.clone().expect("checked above");
+            if h.with(|e| e.note_statement(now)) {
+                let input = self.history_capture_input();
+                h.with(|e| e.capture(input, self.recorder.as_ref()));
+            }
+        }
     }
 
     /// Profile every SELECT even without a recorder attached, surfacing
@@ -224,12 +319,15 @@ impl Database {
     /// plan cache, so repeat statements that differ only in literal values
     /// skip the parser and planner entirely.
     pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
-        if let Some(c) = canonicalize(sql)? {
-            return self.execute_canonical(&c.text, &c.slots, &[], sql);
-        }
-        let mut stmt = parse(sql)?;
-        crate::rewrite::rewrite_statement(&mut stmt);
-        self.execute_statement_inner(&stmt, Some(sql))
+        let result = if let Some(c) = canonicalize(sql)? {
+            self.execute_canonical(&c.text, &c.slots, &[], sql)
+        } else {
+            let mut stmt = parse(sql)?;
+            crate::rewrite::rewrite_statement(&mut stmt);
+            self.execute_statement_inner(&stmt, Some(sql))
+        }?;
+        self.maybe_capture_history();
+        Ok(result)
     }
 
     /// Convenience: execute and return rows.
@@ -325,11 +423,7 @@ impl Database {
         let mut snap = SysSnapshot::new();
         for view in wanted {
             let rows = match view.as_str() {
-                "sys.metrics" => self
-                    .metrics
-                    .as_ref()
-                    .map(|m| sys::metrics_rows(&m.snapshot()))
-                    .unwrap_or_default(),
+                "sys.metrics" => self.metric_rows(),
                 "sys.statements" => self
                     .recorder
                     .as_ref()
@@ -343,6 +437,27 @@ impl Database {
                     .unwrap_or_default(),
                 "sys.prepared" => self.prepared_rows(),
                 "sys.indexes" => self.index_rows(),
+                "sys.config" => self.config_rows(),
+                "sys.history_windows" => self
+                    .history
+                    .as_ref()
+                    .map(sys::history_window_rows)
+                    .unwrap_or_default(),
+                "sys.history_metrics" => self
+                    .history
+                    .as_ref()
+                    .map(sys::history_metric_rows)
+                    .unwrap_or_default(),
+                "sys.history_statements" => self
+                    .history
+                    .as_ref()
+                    .map(sys::history_statement_rows)
+                    .unwrap_or_default(),
+                "sys.history_coaccess" => self
+                    .history
+                    .as_ref()
+                    .map(sys::history_coaccess_rows)
+                    .unwrap_or_default(),
                 // The embedded engine has no shards, replicas, or event
                 // journal: those views exist (same schema as distributed)
                 // but scan empty.
@@ -351,6 +466,61 @@ impl Database {
             snap.insert(&view, rows);
         }
         Some(snap)
+    }
+
+    /// `sys.metrics` rows: the attached registry's snapshot, plus the
+    /// synthetic `recorder.dropped` ring-eviction counter when a recorder is
+    /// attached (the registry itself is untouched, so telemetry exports stay
+    /// byte-identical).
+    fn metric_rows(&self) -> Vec<Row> {
+        let mut snap = self
+            .metrics
+            .as_ref()
+            .map(|m| m.snapshot())
+            .unwrap_or_default();
+        let mut synthetic = false;
+        if let Some(r) = &self.recorder {
+            snap.counters.insert("recorder.dropped".into(), r.dropped());
+            synthetic = true;
+        }
+        if self.metrics.is_none() && !synthetic {
+            return Vec::new();
+        }
+        sys::metrics_rows(&snap)
+    }
+
+    /// `sys.config` rows: the embedded engine's effective knobs, one row per
+    /// knob in a fixed order (engine, then telemetry, then history).
+    fn config_rows(&self) -> Vec<Row> {
+        let mut rows = vec![
+            sys::config_row("misestimate_ratio", self.misestimate_ratio, "float", "engine"),
+            sys::config_row("plan_cache.cap", PLAN_CACHE_CAP, "int", "engine"),
+            sys::config_row("profiling", self.profiling, "bool", "engine"),
+        ];
+        if let Some(r) = &self.recorder {
+            let (cap, slow) = r.with(|r| (r.config().capacity, r.config().slow_threshold_us));
+            rows.push(sys::config_row("recorder.capacity", cap, "int", "telemetry"));
+            rows.push(sys::config_row(
+                "recorder.slow_threshold_us",
+                slow,
+                "int",
+                "telemetry",
+            ));
+        }
+        if let Some(h) = &self.history {
+            let cfg = h.with(|e| e.config());
+            rows.push(sys::config_row("history.baseline", cfg.baseline, "int", "history"));
+            rows.push(sys::config_row("history.capacity", cfg.capacity, "int", "history"));
+            rows.push(sys::config_row(
+                "history.every_stmts",
+                cfg.every_stmts,
+                "int",
+                "history",
+            ));
+            rows.push(sys::config_row("history.top_k", cfg.top_k, "int", "history"));
+            rows.push(sys::config_row("history.window_us", cfg.window_us, "int", "history"));
+        }
+        rows
     }
 
     /// `sys.txns` rows for the embedded engine: the local manager's active
@@ -909,7 +1079,7 @@ impl QueryApi for Database {
     }
 
     fn execute_prepared(&mut self, handle: &StmtHandle, params: &[Datum]) -> Result<QueryResult> {
-        match handle {
+        let result = match handle {
             StmtHandle::Cached {
                 canonical, slots, ..
             } => self.execute_canonical(canonical, slots, params, canonical),
@@ -927,7 +1097,9 @@ impl QueryApi for Database {
                 let bound = substitute_statement_params(stmt, params)?;
                 self.execute_statement_inner(&bound, Some(sql))
             }
-        }
+        }?;
+        self.maybe_capture_history();
+        Ok(result)
     }
 
     /// The embedded engine has no replication to retry against; options are

@@ -197,6 +197,8 @@ pub struct PlanCache<T> {
     cap: usize,
     tick: u64,
     epoch: u64,
+    hits: u64,
+    misses: u64,
 }
 
 impl<T: Clone> PlanCache<T> {
@@ -206,6 +208,8 @@ impl<T: Clone> PlanCache<T> {
             cap: cap.max(1),
             tick: 0,
             epoch: 0,
+            hits: 0,
+            misses: 0,
         }
     }
 
@@ -213,10 +217,20 @@ impl<T: Clone> PlanCache<T> {
     pub fn get(&mut self, key: &str) -> Option<T> {
         self.tick += 1;
         let tick = self.tick;
-        let e = self.entries.get_mut(key)?;
+        let Some(e) = self.entries.get_mut(key) else {
+            self.misses += 1;
+            return None;
+        };
         e.hits += 1;
         e.last_used = tick;
+        self.hits += 1;
         Some(e.payload.clone())
+    }
+
+    /// Cumulative `(hits, misses)` across the cache's lifetime (survives
+    /// eviction and epoch bumps) — the workload-history hit-rate source.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
     }
 
     /// Insert `key`, evicting the least-recently-used entry at capacity

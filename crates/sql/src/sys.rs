@@ -27,7 +27,7 @@
 
 use crate::ast::{SelectStmt, Statement, TableRef};
 use hdm_common::{Column, DataType, Datum, Row, Schema};
-use hdm_telemetry::{MetricsSnapshot, SharedRecorder, StatementProfile};
+use hdm_telemetry::{MetricsSnapshot, SharedHistory, SharedRecorder, StatementProfile};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Reserved prefix for system views (and rejected for user table names).
@@ -43,6 +43,11 @@ pub const SYS_VIEWS: &[&str] = &[
     "sys.plan_store",
     "sys.prepared",
     "sys.indexes",
+    "sys.config",
+    "sys.history_windows",
+    "sys.history_metrics",
+    "sys.history_statements",
+    "sys.history_coaccess",
 ];
 
 /// Is `name` (any case) one of the served `sys.*` views?
@@ -135,6 +140,46 @@ pub fn view_schema(name: &str) -> Option<Schema> {
             ("col", DataType::Text),
             ("entries", DataType::Int),
             ("shards", DataType::Text),
+        ],
+        "sys.config" => &[
+            ("name", DataType::Text),
+            ("value", DataType::Text),
+            ("kind", DataType::Text),
+            ("source", DataType::Text),
+        ],
+        "sys.history_windows" => &[
+            ("window", DataType::Int),
+            ("start_us", DataType::Int),
+            ("end_us", DataType::Int),
+            ("stmts", DataType::Int),
+            ("twopc_legs", DataType::Int),
+            ("p95_us", DataType::Int),
+            ("cache_hits", DataType::Int),
+            ("cache_misses", DataType::Int),
+            ("cache_len", DataType::Int),
+            ("plan_store_len", DataType::Int),
+        ],
+        "sys.history_metrics" => &[
+            ("window", DataType::Int),
+            ("name", DataType::Text),
+            ("kind", DataType::Text),
+            ("value", DataType::Int),
+        ],
+        "sys.history_statements" => &[
+            ("window", DataType::Int),
+            ("stmt", DataType::Text),
+            ("scope", DataType::Text),
+            ("execs", DataType::Int),
+            ("total_us", DataType::Int),
+            ("rows_out", DataType::Int),
+            ("twopc_legs", DataType::Int),
+            ("misestimate", DataType::Float),
+        ],
+        "sys.history_coaccess" => &[
+            ("window", DataType::Int),
+            ("stmt", DataType::Text),
+            ("shards", DataType::Text),
+            ("count", DataType::Int),
         ],
         _ => return None,
     };
@@ -340,6 +385,118 @@ pub fn plan_store_rows(dump: &dyn PlanStoreDump) -> Vec<Row> {
             ])
         })
         .collect()
+}
+
+/// One `sys.config` row: a knob name, its rendered value, the value's kind
+/// (`int`/`bool`/`text`), and the layer it came from (`cluster`, `engine`,
+/// `telemetry`, `history`).
+pub fn config_row(name: &str, value: impl ToString, kind: &str, source: &str) -> Row {
+    Row::new(vec![
+        Datum::Text(name.to_string()),
+        Datum::Text(value.to_string()),
+        Datum::Text(kind.to_string()),
+        Datum::Text(source.to_string()),
+    ])
+}
+
+/// `sys.history_windows` rows: one per retained window, oldest first.
+pub fn history_window_rows(h: &SharedHistory) -> Vec<Row> {
+    h.with(|e| {
+        e.windows()
+            .map(|w| {
+                Row::new(vec![
+                    Datum::Int(w.window as i64),
+                    Datum::Int(w.start_us as i64),
+                    Datum::Int(w.end_us as i64),
+                    Datum::Int(w.stmts as i64),
+                    Datum::Int(w.twopc_legs as i64),
+                    Datum::Int(w.p95_us as i64),
+                    Datum::Int(w.cache_hits as i64),
+                    Datum::Int(w.cache_misses as i64),
+                    Datum::Int(w.cache_len as i64),
+                    Datum::Int(w.plan_store_len as i64),
+                ])
+            })
+            .collect()
+    })
+}
+
+/// `sys.history_metrics` rows: per window, counter deltas then gauge levels
+/// then histogram count deltas, each group in series-name order.
+pub fn history_metric_rows(h: &SharedHistory) -> Vec<Row> {
+    h.with(|e| {
+        let mut rows = Vec::new();
+        for w in e.windows() {
+            let win = Datum::Int(w.window as i64);
+            for (name, v) in &w.counters {
+                rows.push(Row::new(vec![
+                    win.clone(),
+                    Datum::Text(name.clone()),
+                    Datum::Text("counter".into()),
+                    Datum::Int(*v as i64),
+                ]));
+            }
+            for (name, v) in &w.gauges {
+                rows.push(Row::new(vec![
+                    win.clone(),
+                    Datum::Text(name.clone()),
+                    Datum::Text("gauge".into()),
+                    Datum::Int(*v),
+                ]));
+            }
+            for (name, v) in &w.histogram_counts {
+                rows.push(Row::new(vec![
+                    win.clone(),
+                    Datum::Text(name.clone()),
+                    Datum::Text("histogram".into()),
+                    Datum::Int(*v as i64),
+                ]));
+            }
+        }
+        rows
+    })
+}
+
+/// `sys.history_statements` rows: each window's top-K statement aggregates
+/// in statement-text order.
+pub fn history_statement_rows(h: &SharedHistory) -> Vec<Row> {
+    h.with(|e| {
+        let mut rows = Vec::new();
+        for w in e.windows() {
+            for s in &w.statements {
+                rows.push(Row::new(vec![
+                    Datum::Int(w.window as i64),
+                    Datum::Text(s.stmt.clone()),
+                    Datum::Text(s.scope.clone()),
+                    Datum::Int(s.execs as i64),
+                    Datum::Int(s.total_us as i64),
+                    Datum::Int(s.rows_out as i64),
+                    Datum::Int(s.twopc_legs as i64),
+                    Datum::Float(s.max_misestimate),
+                ]));
+            }
+        }
+        rows
+    })
+}
+
+/// `sys.history_coaccess` rows: each window's `(statement, shard set)`
+/// observations in (statement, shard-set) order — the placement substrate.
+pub fn history_coaccess_rows(h: &SharedHistory) -> Vec<Row> {
+    h.with(|e| {
+        let mut rows = Vec::new();
+        for w in e.windows() {
+            for c in &w.coaccess {
+                rows.push(Row::new(vec![
+                    Datum::Int(w.window as i64),
+                    Datum::Text(c.stmt.clone()),
+                    Datum::Text(c.shards.clone()),
+                    Datum::Int(c.count as i64),
+                ]));
+            }
+        }
+        rows
+    })
 }
 
 #[cfg(test)]

@@ -26,12 +26,18 @@
 
 pub mod clock;
 pub mod export;
+pub mod history;
 pub mod metrics;
 pub mod recorder;
 pub mod span;
 pub mod timeline;
 
 pub use clock::{Clock, SharedClock, VirtualClock, WallClock};
+pub use history::{
+    detect_regressions, diff, CaptureInput, CoAccess, HistoryConfig, HistoryDiff, Regression,
+    RegressionKind, SharedHistory, ShardWindowStat, SnapshotEngine, StatementWindowStat,
+    WorkloadSnapshot,
+};
 pub use metrics::{
     Counter, Gauge, HistogramHandle, HistogramSnapshot, MetricKey, MetricsRegistry,
     MetricsSnapshot,

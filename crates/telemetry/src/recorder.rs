@@ -132,6 +132,10 @@ pub struct FlightRecorder {
     /// Statements ever recorded (monotonic; entries keep their seq after
     /// older ones are evicted).
     next_seq: u64,
+    /// Profiles evicted from (or rejected by) the bounded ring — the
+    /// `recorder.dropped` counter `sys.metrics` exposes, so ring overflow is
+    /// visible instead of silent.
+    dropped: u64,
 }
 
 impl FlightRecorder {
@@ -140,6 +144,7 @@ impl FlightRecorder {
             cfg,
             ring: VecDeque::new(),
             next_seq: 0,
+            dropped: 0,
         }
     }
 
@@ -151,13 +156,21 @@ impl FlightRecorder {
     pub fn record(&mut self, profile: StatementProfile) {
         if self.cfg.capacity == 0 {
             self.next_seq += 1;
+            self.dropped += 1;
             return;
         }
         while self.ring.len() >= self.cfg.capacity {
             self.ring.pop_front();
+            self.dropped += 1;
         }
         self.ring.push_back((self.next_seq, profile));
         self.next_seq += 1;
+    }
+
+    /// Profiles that fell off the bounded ring (evictions plus records into
+    /// a zero-capacity recorder).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 
     pub fn len(&self) -> usize {
@@ -276,6 +289,11 @@ impl SharedRecorder {
         self.0.lock().expect("recorder lock").to_jsonl()
     }
 
+    /// Profiles evicted from the bounded ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.0.lock().expect("recorder lock").dropped()
+    }
+
     /// Run `f` against the recorder under its lock.
     pub fn with<R>(&self, f: impl FnOnce(&FlightRecorder) -> R) -> R {
         f(&self.0.lock().expect("recorder lock"))
@@ -322,6 +340,7 @@ mod tests {
         }
         assert_eq!(r.len(), 2);
         assert_eq!(r.recorded(), 5);
+        assert_eq!(r.dropped(), 3, "evictions are counted, not silent");
         let seqs: Vec<u64> = r.iter().map(|(s, _)| s).collect();
         assert_eq!(seqs, vec![3, 4], "oldest evicted, seq preserved");
     }

@@ -118,11 +118,15 @@ fn twenty_seed_chaos_dist_sweep_loses_nothing_and_replays_bit_identical() {
     for seed in 0..20u64 {
         let mut cfg = ChaosDistConfig::standard(0xBAD_5EED + seed);
         // Trimmed sizes keep the 20×2 runs debug-friendly; the CI release
-        // sweep runs the full standard shape. The health monitor rides along
-        // on every seed: it must observe without perturbing the replay.
+        // sweep runs the full standard shape. The health monitor and the
+        // workload-history engine ride along on every seed: both must
+        // observe without perturbing the replay, and the captured windows
+        // themselves must replay bit-identically (they are part of the
+        // report's `PartialEq`).
         cfg.orders = 160;
         cfg.statements = 36;
         cfg.health_monitor = true;
+        cfg.history = true;
         let r1 = run_chaos_dist(&cfg).unwrap();
         assert_eq!(
             r1.mismatches, 0,
@@ -133,6 +137,10 @@ fn twenty_seed_chaos_dist_sweep_loses_nothing_and_replays_bit_identical() {
             "seed {seed}: lost or double-applied rows: {r1:?}"
         );
         assert!(r1.crashes > 0, "seed {seed}: no crashes scheduled");
+        assert!(
+            !r1.history_windows.is_empty(),
+            "seed {seed}: history-on sweep captured no windows"
+        );
         let r2 = run_chaos_dist(&cfg).unwrap();
         assert_eq!(r1, r2, "seed {seed}: same-seed replay diverged");
     }
